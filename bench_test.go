@@ -1,0 +1,161 @@
+// Benchmarks regenerating the paper's evaluation artifacts, one per table
+// and figure (run with `go test -bench=. -benchmem`):
+//
+//   - BenchmarkTable1/* time the four Table-1 flows (Electrical [14],
+//     Optical [4], OPERON-LR per case, OPERON-ILP on a reduced case);
+//   - BenchmarkFig3b times the FD-BPM Y-branch cascade simulation;
+//   - BenchmarkFig8 times the WDM placement + min-cost-flow assignment;
+//   - BenchmarkFig9 times the hotspot-map computation.
+package operon_test
+
+import (
+	"testing"
+	"time"
+
+	operon "operon"
+	"operon/internal/benchgen"
+	"operon/internal/optics/bpm"
+	"operon/internal/signal"
+	"operon/internal/wdm"
+)
+
+// design loads a Table-1 benchmark, failing the benchmark on error.
+func design(b *testing.B, name string) signal.Design {
+	b.Helper()
+	spec, err := benchgen.SpecByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := benchgen.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// ilpDesign is a reduced I3-style case on which the branch-and-bound ILP
+// finishes quickly enough to benchmark.
+func ilpDesign(b *testing.B) signal.Design {
+	b.Helper()
+	d, err := benchgen.Generate(benchgen.Spec{
+		Name: "I3s", DieCM: 4, Groups: 24, BitsPerGroup: 30, BitsJitter: 1,
+		MinSinkClusters: 1, MaxSinkClusters: 1, LocalFraction: 0.15,
+		LocalSpanCM: 0.15, GlobalSpanCM: 1.9, RegionSpreadCM: 0.02,
+		LanePitchCM: 0.2, Seed: 103,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkTable1(b *testing.B) {
+	b.Run("Electrical/I2", func(b *testing.B) {
+		d := design(b, "I2")
+		cfg := operon.DefaultConfig()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := operon.RunElectrical(d, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Optical/I2", func(b *testing.B) {
+		d := design(b, "I2")
+		cfg := operon.DefaultConfig()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := operon.RunOptical(d, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, name := range []string{"I1", "I2", "I3", "I4", "I5"} {
+		b.Run("OperonLR/"+name, func(b *testing.B) {
+			d := design(b, name)
+			cfg := operon.DefaultConfig()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := operon.Run(d, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("OperonILP/I3small", func(b *testing.B) {
+		d := ilpDesign(b)
+		cfg := operon.DefaultConfig()
+		cfg.Mode = operon.ModeILP
+		cfg.ILPTimeLimit = 30 * time.Second
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := operon.Run(d, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.ILP.TimedOut {
+				b.Fatal("ILP benchmark case timed out; shrink the case")
+			}
+		}
+	})
+}
+
+func BenchmarkFig3b(b *testing.B) {
+	cfg := bpm.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bpm.Simulate(cfg, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.ArmPowers) != 4 {
+			b.Fatal("unexpected arm count")
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	// Time the §4 WDM pipeline (placement sweep + min-cost max-flow
+	// assignment) on the optical connections of an OPERON run on I4, the
+	// case with the richest consolidation structure.
+	d := design(b, "I4")
+	cfg := operon.DefaultConfig()
+	cfg.SkipWDM = true
+	res, err := operon.Run(d, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var conns []wdm.Connection
+	for i, j := range res.Selection.Choice {
+		for _, seg := range res.Nets[i].Cands[j].OpticalSegs {
+			conns = append(conns, wdm.Connection{Seg: seg, Bits: res.Nets[i].Bits, Net: i})
+		}
+	}
+	wcfg := wdm.Config{
+		Capacity:        cfg.Lib.WDMCapacity,
+		MinSpacingCM:    cfg.Lib.CrosstalkMinDistCM,
+		MaxAssignDistCM: cfg.Lib.AssignMaxDistCM,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := wdm.Run(conns, wcfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	// Time the hotspot-map binning for both layers on the I2 result.
+	d := design(b, "I2")
+	cfg := operon.DefaultConfig()
+	res, err := operon.Run(d, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := operon.Hotspots(res, d.Die, 24, 48, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

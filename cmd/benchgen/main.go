@@ -1,0 +1,73 @@
+// Command benchgen emits a synthetic OPERON benchmark as JSON, either one
+// of the built-in Table-1 cases or a custom parameterisation.
+//
+// Usage:
+//
+//	benchgen -bench I2 > i2.json
+//	benchgen -groups 64 -bits 8 -sinks 2 -span 1.2 -seed 7 > custom.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"operon/internal/benchgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgen: ")
+
+	var (
+		bench  = flag.String("bench", "", "built-in benchmark (I1..I5); empty = custom")
+		groups = flag.Int("groups", 32, "custom: number of signal groups")
+		bits   = flag.Float64("bits", 8, "custom: average bits per group")
+		sinks  = flag.Int("sinks", 2, "custom: sink regions per group")
+		span   = flag.Float64("span", 1.2, "custom: global driver-sink span in cm")
+		local  = flag.Float64("local", 0.2, "custom: fraction of local groups")
+		die    = flag.Float64("die", 4.0, "custom: die edge length in cm")
+		seed   = flag.Int64("seed", 1, "custom: random seed")
+		stats  = flag.Bool("stats", false, "print statistics instead of JSON")
+	)
+	flag.Parse()
+
+	spec := benchgen.Spec{
+		Name:            "custom",
+		DieCM:           *die,
+		Groups:          *groups,
+		BitsPerGroup:    *bits,
+		BitsJitter:      1,
+		MinSinkClusters: *sinks,
+		MaxSinkClusters: *sinks,
+		LocalFraction:   *local,
+		LocalSpanCM:     0.18,
+		GlobalSpanCM:    *span,
+		RegionSpreadCM:  0.02,
+		LanePitchCM:     0.2,
+		Seed:            *seed,
+	}
+	if *bench != "" {
+		var err error
+		spec, err = benchgen.SpecByName(*bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	design, err := benchgen.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *stats {
+		fmt.Printf("%s: %d groups, %d nets, die %.1f cm\n",
+			design.Name, len(design.Groups), design.NetCount(), design.Die.Width())
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(design); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+// Command experiments regenerates the paper's evaluation artifacts:
+// Table 1, Fig. 3(b), Fig. 8 and Fig. 9.
+//
+// Usage:
+//
+//	experiments -all
+//	experiments -table1 -skip-ilp          # fast Table 1 without the ILP
+//	experiments -table1 -ilp-limit 300s    # the paper used 3000 s
+//	experiments -fig3b -fig8 -fig9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"operon/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		all      = flag.Bool("all", false, "run every experiment")
+		table1   = flag.Bool("table1", false, "run Table 1 (power/CPU comparison)")
+		fig3b    = flag.Bool("fig3b", false, "run Fig. 3(b) (Y-branch BPM simulation)")
+		fig8     = flag.Bool("fig8", false, "run Fig. 8 (WDM placement/assignment)")
+		fig9     = flag.Bool("fig9", false, "run Fig. 9 (power hotspots on I2)")
+		ablation = flag.Bool("ablation", false, "run the design-choice ablation study")
+		robust   = flag.Bool("robustness", false, "run the temperature guard-band extension study")
+		skipILP  = flag.Bool("skip-ilp", false, "omit the ILP columns of Table 1")
+		ilpLimit = flag.Duration("ilp-limit", 60*time.Second, "ILP time limit per case")
+		cases    = flag.String("cases", "", "comma-separated case filter, e.g. I2,I3")
+	)
+	flag.Parse()
+	if *all {
+		*table1, *fig3b, *fig8, *fig9, *ablation, *robust = true, true, true, true, true, true
+	}
+	if !*table1 && !*fig3b && !*fig8 && !*fig9 && !*ablation && !*robust {
+		flag.Usage()
+		return
+	}
+
+	var caseList []string
+	if *cases != "" {
+		for _, c := range splitComma(*cases) {
+			caseList = append(caseList, c)
+		}
+	}
+
+	var table1Rows []experiments.Table1Row
+	if *table1 || *fig8 {
+		var err error
+		table1Rows, err = experiments.Table1(experiments.Table1Options{
+			Cases:        caseList,
+			ILPTimeLimit: *ilpLimit,
+			SkipILP:      *skipILP || !*table1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *table1 {
+		fmt.Println("== Table 1: performance comparison among designs ==")
+		fmt.Print(experiments.FormatTable1(table1Rows, *ilpLimit, *skipILP))
+		fmt.Println()
+	}
+	if *fig3b {
+		rows, err := experiments.Fig3b(2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatFig3b(rows))
+		fmt.Println()
+	}
+	if *fig8 {
+		fmt.Print(experiments.FormatFig8(experiments.Fig8(table1Rows)))
+		fmt.Println()
+	}
+	if *fig9 {
+		maps, err := experiments.Fig9("I2", 24, 48)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatFig9(maps))
+		fmt.Println()
+	}
+	if *ablation {
+		abl := []string{"I2", "I4"}
+		rows, err := experiments.Ablation(experiments.AblationOptions{Cases: abl})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatAblation(rows, abl))
+		fmt.Println()
+	}
+	if *robust {
+		rows, err := experiments.Robustness("I2", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatRobustness("I2", rows))
+	}
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module operon
+
+go 1.23

@@ -1,0 +1,49 @@
+package operon
+
+import (
+	"fmt"
+
+	"operon/internal/geom"
+	"operon/internal/power"
+)
+
+// HotspotMaps holds the per-layer power-density grids of the paper's
+// Fig. 9: the optical layer carries the EO/OE conversion power at the
+// modulator and detector sites; the electrical layer carries the dynamic
+// wire power distributed along the copper routes.
+type HotspotMaps struct {
+	Optical    *power.Grid
+	Electrical *power.Grid
+}
+
+// Hotspots bins the selected routes of a result onto rows×cols grids over
+// the die.
+func Hotspots(res *Result, die geom.Rect, rows, cols int, cfg Config) (HotspotMaps, error) {
+	if res == nil || len(res.Nets) == 0 || len(res.Selection.Choice) != len(res.Nets) {
+		return HotspotMaps{}, fmt.Errorf("operon: result has no complete selection")
+	}
+	opt, err := power.NewGrid(die, rows, cols)
+	if err != nil {
+		return HotspotMaps{}, err
+	}
+	elec, err := power.NewGrid(die, rows, cols)
+	if err != nil {
+		return HotspotMaps{}, err
+	}
+	modP := cfg.Lib.ConversionPowerMW(1, 0)
+	detP := cfg.Lib.ConversionPowerMW(0, 1)
+	for i, j := range res.Selection.Choice {
+		cand := res.Nets[i].Cands[j]
+		bits := float64(res.Nets[i].Bits)
+		for _, p := range cand.ModSites {
+			opt.AddPoint(p, modP*bits)
+		}
+		for _, p := range cand.DetSites {
+			opt.AddPoint(p, detP*bits)
+		}
+		for _, s := range cand.ElecSegs {
+			elec.AddSegment(s, cfg.Elec.BusPowerMW(s.ManhattanLength(), res.Nets[i].Bits))
+		}
+	}
+	return HotspotMaps{Optical: opt, Electrical: elec}, nil
+}

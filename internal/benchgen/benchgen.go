@@ -1,0 +1,231 @@
+// Package benchgen generates the synthetic signal-group benchmarks that
+// stand in for the proprietary industrial test cases I1–I5 of the paper's
+// Table 1. The generator is deterministic (seeded) and parameterised by the
+// published per-case statistics: total bit count (#Net), target hyper-net
+// count and the pin-cluster structure that determines #HPin. Geometry is
+// up-scaled to a centimetre die, matching the paper's setup.
+//
+// Each signal group is a bundle of bits sharing a driver region and one or
+// more sink regions. Region spreads are tight (tens of micrometres) so the
+// signal-processing stage recovers one hyper pin per region; group spans
+// mix local (sub-crossover) and global distances so optical-electrical
+// co-design has real decisions to make. Like industrial block-to-block
+// bundles, groups run along axis-aligned corridors on a snapped lane grid:
+// parallel buses share lanes (which the WDM stage can consolidate) and
+// only perpendicular corridors cross (which keeps the crossing loss of a
+// waveguide physical rather than quadratic in design size).
+package benchgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"operon/internal/geom"
+	"operon/internal/signal"
+)
+
+// Spec parameterises one synthetic benchmark.
+type Spec struct {
+	// Name labels the design (e.g. "I1").
+	Name string
+	// DieCM is the square die edge length in cm.
+	DieCM float64
+	// Groups is the number of signal groups.
+	Groups int
+	// BitsPerGroup is the average bits per group; actual group sizes vary
+	// ±BitsJitter around it while the total hits Groups×BitsPerGroup
+	// as closely as integer rounding allows.
+	BitsPerGroup float64
+	// BitsJitter is the maximum deviation of a group's bit count.
+	BitsJitter int
+	// MinSinkClusters and MaxSinkClusters bound the number of sink regions
+	// per group (uniformly chosen).
+	MinSinkClusters, MaxSinkClusters int
+	// LocalFraction is the fraction of groups whose sink regions are close
+	// to the driver (local nets, below the optical crossover distance).
+	LocalFraction float64
+	// LocalSpanCM and GlobalSpanCM scale driver-to-sink distances for the
+	// two populations.
+	LocalSpanCM, GlobalSpanCM float64
+	// RegionSpreadCM is the pin jitter within one region.
+	RegionSpreadCM float64
+	// LanePitchCM is the spacing of the corridor lane grid that group
+	// positions snap to (0 disables snapping).
+	LanePitchCM float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Validate reports whether the spec is generatable.
+func (s Spec) Validate() error {
+	switch {
+	case s.Groups <= 0:
+		return fmt.Errorf("benchgen: %s: groups %d must be positive", s.Name, s.Groups)
+	case s.BitsPerGroup < 1:
+		return fmt.Errorf("benchgen: %s: bits per group %v must be >= 1", s.Name, s.BitsPerGroup)
+	case s.DieCM <= 0:
+		return fmt.Errorf("benchgen: %s: die %v must be positive", s.Name, s.DieCM)
+	case s.MinSinkClusters < 1 || s.MaxSinkClusters < s.MinSinkClusters:
+		return fmt.Errorf("benchgen: %s: bad sink cluster bounds", s.Name)
+	case s.LocalFraction < 0 || s.LocalFraction > 1:
+		return fmt.Errorf("benchgen: %s: local fraction %v outside [0,1]", s.Name, s.LocalFraction)
+	}
+	return nil
+}
+
+// Generate builds the design for a spec.
+func Generate(spec Spec) (signal.Design, error) {
+	if err := spec.Validate(); err != nil {
+		return signal.Design{}, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	die := geom.Rect{Hi: geom.Point{X: spec.DieCM, Y: spec.DieCM}}
+	d := signal.Design{Name: spec.Name, Die: die}
+
+	targetBits := int(float64(spec.Groups)*spec.BitsPerGroup + 0.5)
+	remaining := targetBits
+	for g := 0; g < spec.Groups; g++ {
+		groupsLeft := spec.Groups - g
+		base := remaining / groupsLeft
+		jit := 0
+		if spec.BitsJitter > 0 && groupsLeft > 1 {
+			jit = rng.Intn(2*spec.BitsJitter+1) - spec.BitsJitter
+		}
+		bits := base + jit
+		if bits < 1 {
+			bits = 1
+		}
+		if bits > remaining-(groupsLeft-1) {
+			bits = remaining - (groupsLeft - 1)
+		}
+		remaining -= bits
+
+		local := rng.Float64() < spec.LocalFraction
+		span := spec.GlobalSpanCM
+		if local {
+			span = spec.LocalSpanCM
+		}
+		d.Groups = append(d.Groups, makeGroup(rng, fmt.Sprintf("%s_g%d", spec.Name, g),
+			bits, spec.MinSinkClusters+rng.Intn(spec.MaxSinkClusters-spec.MinSinkClusters+1),
+			die, span, spec.RegionSpreadCM, spec.LanePitchCM))
+	}
+	return d, nil
+}
+
+// makeGroup builds one bundle: a driver region and nSinks sink regions at
+// roughly `span` distance along an axis-aligned corridor, all within the
+// die. The corridor's cross-axis coordinate snaps to the lane grid.
+func makeGroup(rng *rand.Rand, name string, bits, nSinks int, die geom.Rect,
+	span, spread, lanePitch float64) signal.Group {
+	clamp := func(p geom.Point) geom.Point {
+		if p.X < die.Lo.X {
+			p.X = die.Lo.X
+		}
+		if p.Y < die.Lo.Y {
+			p.Y = die.Lo.Y
+		}
+		if p.X > die.Hi.X {
+			p.X = die.Hi.X
+		}
+		if p.Y > die.Hi.Y {
+			p.Y = die.Hi.Y
+		}
+		return p
+	}
+	horizontal := rng.Intn(2) == 0
+	// Cross-axis coordinate snapped to a lane; along-axis start random.
+	cross := die.Lo.Y + rng.Float64()*die.Height()
+	along := die.Lo.X + rng.Float64()*die.Width()
+	if !horizontal {
+		cross = die.Lo.X + rng.Float64()*die.Width()
+		along = die.Lo.Y + rng.Float64()*die.Height()
+	}
+	if lanePitch > 0 {
+		cross = math.Round(cross/lanePitch) * lanePitch
+	}
+	pt := func(a, c float64) geom.Point {
+		if horizontal {
+			return clamp(geom.Point{X: a, Y: c})
+		}
+		return clamp(geom.Point{X: c, Y: a})
+	}
+	driver := pt(along, cross)
+	dir := 1.0
+	if rng.Intn(2) == 0 {
+		dir = -1
+	}
+	sinkBase := make([]geom.Point, nSinks)
+	for s := range sinkBase {
+		// Sinks spread along the corridor at [0.75, 1.25]×span steps, with
+		// a small cross-axis offset so multi-sink topologies branch. A
+		// floor keeps sink regions distinct under the hyper-pin merge
+		// threshold even for local groups.
+		dist := span * (0.75 + 0.5*rng.Float64()) * float64(s+1) / float64(nSinks)
+		if min := 0.16 * float64(s+1); dist < min {
+			dist = min
+		}
+		off := (rng.Float64() - 0.5) * 0.1
+		sinkBase[s] = pt(along+dir*dist, cross+off)
+	}
+	jitter := func(p geom.Point) geom.Point {
+		return clamp(geom.Point{
+			X: p.X + (rng.Float64()-0.5)*2*spread,
+			Y: p.Y + (rng.Float64()-0.5)*2*spread,
+		})
+	}
+	grp := signal.Group{Name: name}
+	for b := 0; b < bits; b++ {
+		bit := signal.Bit{Driver: jitter(driver)}
+		for _, sb := range sinkBase {
+			bit.Sinks = append(bit.Sinks, jitter(sb))
+		}
+		grp.Bits = append(grp.Bits, bit)
+	}
+	return grp
+}
+
+// Table1Specs returns the five specs calibrated to the paper's published
+// case statistics (#Net / #HNet / #HPin in Table 1):
+//
+//	I1: 2660 / 356 / 1306   (mid bundles, 2-3 sink regions)
+//	I2: 1782 / 837 / 1701   (many tiny bundles, mostly 1 sink region)
+//	I3: 5072 / 168 / 336    (wide 30-bit buses, single sink region)
+//	I4: 3224 / 403 / 1474   (mid bundles, 2-3 sink regions)
+//	I5: 1994 / 933 / 1897   (many tiny bundles, mostly 1 sink region)
+func Table1Specs() []Spec {
+	common := func(s Spec) Spec {
+		s.DieCM = 4.0
+		s.RegionSpreadCM = 0.02
+		s.LocalSpanCM = 0.15
+		s.LanePitchCM = 0.2
+		return s
+	}
+	return []Spec{
+		common(Spec{Name: "I1", Groups: 356, BitsPerGroup: 2660.0 / 356, BitsJitter: 2,
+			MinSinkClusters: 2, MaxSinkClusters: 3, LocalFraction: 0.25,
+			GlobalSpanCM: 1.3, Seed: 101}),
+		common(Spec{Name: "I2", Groups: 837, BitsPerGroup: 1782.0 / 837, BitsJitter: 1,
+			MinSinkClusters: 1, MaxSinkClusters: 1, LocalFraction: 0.12,
+			GlobalSpanCM: 1.05, Seed: 102}),
+		common(Spec{Name: "I3", Groups: 168, BitsPerGroup: 5072.0 / 168, BitsJitter: 1,
+			MinSinkClusters: 1, MaxSinkClusters: 1, LocalFraction: 0.15,
+			GlobalSpanCM: 1.9, Seed: 103}),
+		common(Spec{Name: "I4", Groups: 403, BitsPerGroup: 3224.0 / 403, BitsJitter: 2,
+			MinSinkClusters: 2, MaxSinkClusters: 3, LocalFraction: 0.25,
+			GlobalSpanCM: 1.3, Seed: 104}),
+		common(Spec{Name: "I5", Groups: 933, BitsPerGroup: 1994.0 / 933, BitsJitter: 1,
+			MinSinkClusters: 1, MaxSinkClusters: 1, LocalFraction: 0.12,
+			GlobalSpanCM: 1.05, Seed: 105}),
+	}
+}
+
+// SpecByName returns the Table-1 spec with the given name.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range Table1Specs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("benchgen: unknown benchmark %q", name)
+}

@@ -1,0 +1,133 @@
+package benchgen
+
+import (
+	"testing"
+
+	"operon/internal/optics"
+	"operon/internal/signal"
+)
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{Name: "g0", Groups: 0, BitsPerGroup: 2, DieCM: 1, MinSinkClusters: 1, MaxSinkClusters: 1},
+		{Name: "b0", Groups: 1, BitsPerGroup: 0.5, DieCM: 1, MinSinkClusters: 1, MaxSinkClusters: 1},
+		{Name: "d0", Groups: 1, BitsPerGroup: 2, DieCM: 0, MinSinkClusters: 1, MaxSinkClusters: 1},
+		{Name: "s0", Groups: 1, BitsPerGroup: 2, DieCM: 1, MinSinkClusters: 2, MaxSinkClusters: 1},
+		{Name: "lf", Groups: 1, BitsPerGroup: 2, DieCM: 1, MinSinkClusters: 1, MaxSinkClusters: 1,
+			LocalFraction: 2},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %s accepted", s.Name)
+		}
+	}
+}
+
+func TestGenerateExactNetCounts(t *testing.T) {
+	wantNets := map[string]int{"I1": 2660, "I2": 1782, "I3": 5072, "I4": 3224, "I5": 1994}
+	for _, spec := range Table1Specs() {
+		d, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: invalid design: %v", spec.Name, err)
+		}
+		if got := d.NetCount(); got != wantNets[spec.Name] {
+			t.Errorf("%s: #Net = %d, want %d", spec.Name, got, wantNets[spec.Name])
+		}
+		if len(d.Groups) != spec.Groups {
+			t.Errorf("%s: groups = %d, want %d", spec.Name, len(d.Groups), spec.Groups)
+		}
+	}
+}
+
+func TestGeneratePinsInsideDie(t *testing.T) {
+	spec, err := SpecByName("I1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range d.Groups {
+		for _, b := range g.Bits {
+			if !d.Die.Contains(b.Driver) {
+				t.Fatalf("driver %v outside die", b.Driver)
+			}
+			for _, s := range b.Sinks {
+				if !d.Die.Contains(s) {
+					t.Fatalf("sink %v outside die", s)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec, _ := SpecByName("I3")
+	a, _ := Generate(spec)
+	b, _ := Generate(spec)
+	if len(a.Groups) != len(b.Groups) {
+		t.Fatal("nondeterministic group count")
+	}
+	for i := range a.Groups {
+		if len(a.Groups[i].Bits) != len(b.Groups[i].Bits) {
+			t.Fatalf("group %d bit count differs", i)
+		}
+		if a.Groups[i].Bits[0].Driver != b.Groups[i].Bits[0].Driver {
+			t.Fatalf("group %d geometry differs", i)
+		}
+	}
+}
+
+func TestHyperNetStatisticsNearPaper(t *testing.T) {
+	// The whole point of the generator: signal processing over the
+	// synthetic designs must land near the published #HNet / #HPin.
+	want := map[string][2]int{
+		"I1": {356, 1306},
+		"I2": {837, 1701},
+		"I3": {168, 336},
+		"I4": {403, 1474},
+		"I5": {933, 1897},
+	}
+	lib := optics.DefaultLibrary()
+	for _, spec := range Table1Specs() {
+		d, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets, err := signal.Process(d, signal.ProcessConfig{
+			WDMCapacity:         lib.WDMCapacity,
+			PinMergeThresholdCM: 0.1,
+			Seed:                spec.Seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := signal.Summarize(nets)
+		w := want[spec.Name]
+		// Within 15% of the published statistics.
+		if !within(st.HyperNets, w[0], 0.15) {
+			t.Errorf("%s: #HNet = %d, want ≈%d", spec.Name, st.HyperNets, w[0])
+		}
+		if !within(st.HyperPins, w[1], 0.15) {
+			t.Errorf("%s: #HPin = %d, want ≈%d", spec.Name, st.HyperPins, w[1])
+		}
+	}
+}
+
+func within(got, want int, frac float64) bool {
+	d := float64(got - want)
+	if d < 0 {
+		d = -d
+	}
+	return d <= frac*float64(want)
+}
+
+func TestSpecByNameUnknown(t *testing.T) {
+	if _, err := SpecByName("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"container/heap"
+	"sort"
+
+	"operon/internal/geom"
+)
+
+// Agglomerate performs the bottom-up hyper-pin clustering of §3.1.2: every
+// point starts as its own cluster; at each step the pair of clusters whose
+// gravity centres are closest is merged, provided their centre distance is
+// below threshold; merging updates the gravity centre. It returns the member
+// indices of each final cluster, ordered by the smallest member index.
+//
+// With a non-positive threshold no merging happens and every point is its
+// own cluster.
+func Agglomerate(pts []geom.Point, threshold float64) [][]int {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	parent := make([]int, n)
+	size := make([]int, n)
+	centre := make([]geom.Point, n)
+	alive := make([]bool, n)
+	for i := range parent {
+		parent[i] = i
+		size[i] = 1
+		centre[i] = pts[i]
+		alive[i] = true
+	}
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	if threshold > 0 && n > 1 {
+		pq := newPairQueue(centre)
+		for pq.Len() > 0 {
+			pr := heap.Pop(pq).(pair)
+			a, b := find(pr.a), find(pr.b)
+			if a == b || !alive[a] || !alive[b] {
+				continue
+			}
+			// The queue entry may be stale: centres move as clusters merge.
+			d := centre[a].Dist(centre[b])
+			if d > pr.d+geom.Eps {
+				if d < threshold {
+					heap.Push(pq, pair{a: a, b: b, d: d})
+				}
+				continue
+			}
+			if d >= threshold {
+				continue
+			}
+			// Merge b into a with gravity-centre update.
+			tot := size[a] + size[b]
+			centre[a] = centre[a].Scale(float64(size[a]) / float64(tot)).
+				Add(centre[b].Scale(float64(size[b]) / float64(tot)))
+			size[a] = tot
+			parent[b] = a
+			alive[b] = false
+			// New candidate pairs against the merged centre.
+			for c := 0; c < n; c++ {
+				if c != a && alive[c] {
+					if d := centre[a].Dist(centre[c]); d < threshold {
+						heap.Push(pq, pair{a: a, b: c, d: d})
+					}
+				}
+			}
+		}
+	}
+
+	groups := map[int][]int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return groups[roots[i]][0] < groups[roots[j]][0] })
+	out := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// Centres returns the gravity centre of each cluster (as produced by
+// Agglomerate or KMeans) over the original points.
+func Centres(pts []geom.Point, clusters [][]int) []geom.Point {
+	out := make([]geom.Point, len(clusters))
+	for i, c := range clusters {
+		members := make([]geom.Point, len(c))
+		for j, idx := range c {
+			members[j] = pts[idx]
+		}
+		out[i] = geom.Centroid(members)
+	}
+	return out
+}
+
+type pair struct {
+	a, b int
+	d    float64
+}
+
+type pairQueue []pair
+
+func (q pairQueue) Len() int            { return len(q) }
+func (q pairQueue) Less(i, j int) bool  { return q[i].d < q[j].d }
+func (q pairQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pairQueue) Push(x interface{}) { *q = append(*q, x.(pair)) }
+func (q *pairQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// newPairQueue seeds the merge queue with all point pairs. Quadratic seeding
+// is acceptable: hyper-pin clustering runs per hyper net on tens of pins.
+func newPairQueue(centre []geom.Point) *pairQueue {
+	n := len(centre)
+	q := make(pairQueue, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			q = append(q, pair{a: i, b: j, d: centre[i].Dist(centre[j])})
+		}
+	}
+	heap.Init(&q)
+	return &q
+}

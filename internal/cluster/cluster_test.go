@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"operon/internal/geom"
+)
+
+func randPoints(n int, seed int64, spread float64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * spread, Y: rng.Float64() * spread}
+	}
+	return pts
+}
+
+func TestKMeansRejectsBadCapacity(t *testing.T) {
+	if _, err := KMeans(randPoints(4, 1, 1), KMeansConfig{Capacity: 0}); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	if _, err := KMeans(randPoints(4, 1, 1), KMeansConfig{Capacity: -3}); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}
+
+func TestKMeansEmpty(t *testing.T) {
+	got, err := KMeans(nil, KMeansConfig{Capacity: 4})
+	if err != nil || got != nil {
+		t.Fatalf("empty input: got %v, %v", got, err)
+	}
+}
+
+func TestKMeansSingleCluster(t *testing.T) {
+	pts := randPoints(5, 2, 1)
+	clusters, err := KMeans(pts, KMeansConfig{Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 || len(clusters[0]) != 5 {
+		t.Fatalf("want one cluster of 5, got %v", clusters)
+	}
+}
+
+// checkPartition verifies that clusters form an exact partition of 0..n-1.
+func checkPartition(t *testing.T, clusters [][]int, n int) {
+	t.Helper()
+	seen := make([]bool, n)
+	total := 0
+	for _, c := range clusters {
+		if len(c) == 0 {
+			t.Fatal("empty cluster not removed")
+		}
+		for _, i := range c {
+			if i < 0 || i >= n {
+				t.Fatalf("index %d out of range", i)
+			}
+			if seen[i] {
+				t.Fatalf("index %d appears twice", i)
+			}
+			seen[i] = true
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("partition covers %d of %d points", total, n)
+	}
+}
+
+func TestKMeansCapacityInvariant(t *testing.T) {
+	for _, n := range []int{1, 7, 31, 32, 33, 100, 257} {
+		for _, capac := range []int{1, 3, 32} {
+			pts := randPoints(n, int64(n*100+capac), 10)
+			clusters, err := KMeans(pts, KMeansConfig{Capacity: capac, Seed: 9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkPartition(t, clusters, n)
+			for _, c := range clusters {
+				if len(c) > capac {
+					t.Fatalf("n=%d cap=%d: cluster size %d exceeds capacity", n, capac, len(c))
+				}
+			}
+		}
+	}
+}
+
+func TestKMeansCapacityProperty(t *testing.T) {
+	f := func(nn uint8, cc uint8, seed int64) bool {
+		n := int(nn)%120 + 1
+		capac := int(cc)%40 + 1
+		pts := randPoints(n, seed, 5)
+		clusters, err := KMeans(pts, KMeansConfig{Capacity: capac, Seed: seed})
+		if err != nil {
+			return false
+		}
+		count := 0
+		for _, c := range clusters {
+			if len(c) > capac || len(c) == 0 {
+				return false
+			}
+			count += len(c)
+		}
+		return count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKMeansSeparatesDistantBlobs(t *testing.T) {
+	// Two tight blobs far apart, 8 points each, capacity 8: the two
+	// clusters should coincide with the blobs.
+	var pts []geom.Point
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 8; i++ {
+		pts = append(pts, geom.Point{X: rng.Float64() * 0.1, Y: rng.Float64() * 0.1})
+	}
+	for i := 0; i < 8; i++ {
+		pts = append(pts, geom.Point{X: 50 + rng.Float64()*0.1, Y: 50 + rng.Float64()*0.1})
+	}
+	clusters, err := KMeans(pts, KMeansConfig{Capacity: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("want 2 clusters, got %d", len(clusters))
+	}
+	for _, c := range clusters {
+		low, high := 0, 0
+		for _, i := range c {
+			if i < 8 {
+				low++
+			} else {
+				high++
+			}
+		}
+		if low != 0 && high != 0 {
+			t.Fatalf("cluster mixes blobs: %v", c)
+		}
+	}
+}
+
+func TestKMeansCoincidentPoints(t *testing.T) {
+	// All points identical: clustering must still satisfy capacity.
+	pts := make([]geom.Point, 10)
+	clusters, err := KMeans(pts, KMeansConfig{Capacity: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, clusters, 10)
+	for _, c := range clusters {
+		if len(c) > 3 {
+			t.Fatalf("coincident points: cluster size %d > 3", len(c))
+		}
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	pts := randPoints(64, 11, 10)
+	a, _ := KMeans(pts, KMeansConfig{Capacity: 10, Seed: 5})
+	b, _ := KMeans(pts, KMeansConfig{Capacity: 10, Seed: 5})
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic cluster count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("nondeterministic cluster %d", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("nondeterministic member a[%d][%d]", i, j)
+			}
+		}
+	}
+}
+
+func TestAgglomerateEmptyAndSingle(t *testing.T) {
+	if got := Agglomerate(nil, 1); got != nil {
+		t.Errorf("empty: %v", got)
+	}
+	got := Agglomerate([]geom.Point{{X: 1, Y: 1}}, 1)
+	if len(got) != 1 || len(got[0]) != 1 {
+		t.Errorf("single: %v", got)
+	}
+}
+
+func TestAgglomerateZeroThreshold(t *testing.T) {
+	pts := randPoints(10, 5, 1)
+	got := Agglomerate(pts, 0)
+	if len(got) != 10 {
+		t.Fatalf("threshold 0: want 10 singleton clusters, got %d", len(got))
+	}
+}
+
+func TestAgglomerateMergesNeighbours(t *testing.T) {
+	pts := []geom.Point{
+		{X: 0, Y: 0}, {X: 0.1, Y: 0}, {X: 0.05, Y: 0.1}, // blob A
+		{X: 10, Y: 10}, {X: 10.1, Y: 10}, // blob B
+		{X: -20, Y: 5}, // isolated
+	}
+	got := Agglomerate(pts, 1.0)
+	if len(got) != 3 {
+		t.Fatalf("want 3 clusters, got %d: %v", len(got), got)
+	}
+	sizes := map[int]int{}
+	for _, c := range got {
+		sizes[len(c)]++
+	}
+	if sizes[3] != 1 || sizes[2] != 1 || sizes[1] != 1 {
+		t.Fatalf("cluster sizes wrong: %v", got)
+	}
+}
+
+func TestAgglomeratePartitionProperty(t *testing.T) {
+	f := func(nn uint8, th float64, seed int64) bool {
+		n := int(nn)%60 + 1
+		threshold := math.Abs(math.Mod(th, 5))
+		pts := randPoints(n, seed, 10)
+		clusters := Agglomerate(pts, threshold)
+		seen := make([]bool, n)
+		count := 0
+		for _, c := range clusters {
+			for _, i := range c {
+				if seen[i] {
+					return false
+				}
+				seen[i] = true
+				count++
+			}
+		}
+		return count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAgglomerateChainStops(t *testing.T) {
+	// A long chain of points spaced 0.9 apart with threshold 1.0: merging
+	// moves gravity centres, so chaining may stop early, but every adjacent
+	// pair closer than threshold when both are singletons must at least be
+	// considered. We only assert no cluster pair of *final* centres violates
+	// an obvious invariant: centres of distinct clusters are >= some margin.
+	var pts []geom.Point
+	for i := 0; i < 12; i++ {
+		pts = append(pts, geom.Point{X: float64(i) * 0.9, Y: 0})
+	}
+	clusters := Agglomerate(pts, 1.0)
+	// The chain must collapse into far fewer clusters than points.
+	if len(clusters) >= 12 {
+		t.Fatalf("chain did not merge at all: %d clusters", len(clusters))
+	}
+	checkPartition(t, clusters, 12)
+}
+
+func TestCentres(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 10, Y: 10}}
+	clusters := [][]int{{0, 1}, {2}}
+	cs := Centres(pts, clusters)
+	if !cs[0].Eq(geom.Point{X: 1, Y: 0}) || !cs[1].Eq(geom.Point{X: 10, Y: 10}) {
+		t.Fatalf("Centres = %v", cs)
+	}
+}

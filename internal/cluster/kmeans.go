@@ -1,0 +1,200 @@
+// Package cluster implements the two clustering strategies of OPERON's
+// signal-processing stage (paper §3.1): a capacity-constrained K-Means used
+// top-down to partition a signal group's bits into hyper nets, and a
+// bottom-up agglomerative clustering used to merge neighbouring electrical
+// pins into hyper pins.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"operon/internal/geom"
+)
+
+// KMeansConfig controls the capacity-constrained K-Means of §3.1.1.
+type KMeansConfig struct {
+	// Capacity is the maximum number of members per cluster (the WDM
+	// channel capacity). Must be positive.
+	Capacity int
+	// MaxIters bounds the Lloyd iterations. Defaults to 50 when zero.
+	MaxIters int
+	// VarianceThreshold stops the iteration when the relative decrease of
+	// the within-cluster distance variance falls below it. Defaults to 1e-3
+	// when zero.
+	VarianceThreshold float64
+	// Seed makes centre initialisation deterministic.
+	Seed int64
+}
+
+// KMeans partitions pts into capacity-respecting clusters and returns the
+// member indices of each non-empty cluster. K is chosen as ⌈n/Capacity⌉, so
+// K clusters are always adequate for all the points; per the paper, empty
+// clusters that remain after convergence are removed.
+func KMeans(pts []geom.Point, cfg KMeansConfig) ([][]int, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("cluster: capacity %d must be positive", cfg.Capacity)
+	}
+	n := len(pts)
+	if n == 0 {
+		return nil, nil
+	}
+	k := (n + cfg.Capacity - 1) / cfg.Capacity
+	if k == 1 {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return [][]int{all}, nil
+	}
+	maxIters := cfg.MaxIters
+	if maxIters == 0 {
+		maxIters = 50
+	}
+	varThresh := cfg.VarianceThreshold
+	if varThresh == 0 {
+		varThresh = 1e-3
+	}
+
+	centres := initialCentres(pts, k, cfg.Seed)
+	assign := make([]int, n)
+	prevVar := math.Inf(1)
+
+	for iter := 0; iter < maxIters; iter++ {
+		assignCapacitated(pts, centres, cfg.Capacity, assign)
+		updateCentres(pts, assign, centres)
+
+		v := withinVariance(pts, assign, centres)
+		if prevVar < math.Inf(1) && prevVar > 0 {
+			if (prevVar-v)/prevVar < varThresh {
+				break
+			}
+		}
+		prevVar = v
+	}
+
+	clusters := make([][]int, k)
+	for i, c := range assign {
+		clusters[c] = append(clusters[c], i)
+	}
+	// Remove empty clusters (paper: "There may be a few empty clusters
+	// without any assigned bits, which will be removed afterward").
+	out := clusters[:0]
+	for _, c := range clusters {
+		if len(c) > 0 {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// initialCentres picks k distinct seeds using a farthest-point heuristic
+// from a deterministic random start, which spreads the centres and keeps
+// the capacitated assignment stable.
+func initialCentres(pts []geom.Point, k int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed + 1))
+	centres := make([]geom.Point, 0, k)
+	centres = append(centres, pts[rng.Intn(len(pts))])
+	minDist := make([]float64, len(pts))
+	for i, p := range pts {
+		minDist[i] = p.Dist(centres[0])
+	}
+	for len(centres) < k {
+		best, bestD := 0, -1.0
+		for i, d := range minDist {
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		c := pts[best]
+		if bestD <= 0 {
+			// All points coincide with existing centres; jitter
+			// deterministically so that k centres still exist.
+			c = geom.Point{X: c.X + float64(len(centres))*1e-12, Y: c.Y}
+		}
+		centres = append(centres, c)
+		for i, p := range pts {
+			if d := p.Dist(c); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	return centres
+}
+
+// assignCapacitated performs the paper's extended assignment step: each
+// point goes to its closest centre, and when a cluster exceeds the capacity
+// the farthest excess members spill to their second-closest centre, and so
+// on. The pass over points is ordered by assignment cost so the spill is
+// deterministic.
+func assignCapacitated(pts []geom.Point, centres []geom.Point, capacity int, assign []int) {
+	k := len(centres)
+	type cand struct {
+		point int
+		order []int // centre indices sorted by distance
+	}
+	cands := make([]cand, len(pts))
+	for i, p := range pts {
+		order := make([]int, k)
+		for j := range order {
+			order[j] = j
+		}
+		sort.Slice(order, func(a, b int) bool {
+			da, db := p.Dist(centres[order[a]]), p.Dist(centres[order[b]])
+			if da != db {
+				return da < db
+			}
+			return order[a] < order[b]
+		})
+		cands[i] = cand{point: i, order: order}
+	}
+	// Assign points in order of their distance to their closest centre so
+	// that near points claim capacity first.
+	sort.SliceStable(cands, func(a, b int) bool {
+		pa, pb := cands[a], cands[b]
+		return pts[pa.point].Dist(centres[pa.order[0]]) < pts[pb.point].Dist(centres[pb.order[0]])
+	})
+	load := make([]int, k)
+	for _, c := range cands {
+		placed := false
+		for _, ci := range c.order {
+			if load[ci] < capacity {
+				assign[c.point] = ci
+				load[ci]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// Unreachable: k·capacity >= n by construction of k.
+			assign[c.point] = c.order[0]
+			load[c.order[0]]++
+		}
+	}
+}
+
+func updateCentres(pts []geom.Point, assign []int, centres []geom.Point) {
+	k := len(centres)
+	sums := make([]geom.Point, k)
+	counts := make([]int, k)
+	for i, c := range assign {
+		sums[c] = sums[c].Add(pts[i])
+		counts[c]++
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] > 0 {
+			centres[c] = sums[c].Scale(1 / float64(counts[c]))
+		}
+	}
+}
+
+func withinVariance(pts []geom.Point, assign []int, centres []geom.Point) float64 {
+	var sum float64
+	for i, c := range assign {
+		d := pts[i].Dist(centres[c])
+		sum += d * d
+	}
+	return sum / float64(len(pts))
+}

@@ -1,0 +1,596 @@
+// Package codesign implements OPERON's optical-electrical route co-design
+// (paper §3.2): given a baseline Steiner topology for a hyper net, it labels
+// every tree edge as Optical or Electrical, producing a set of Pareto-optimal
+// candidate solutions over (power, worst optical path loss).
+//
+// The algorithm is the bottom-up dynamic programme the paper derives from
+// classic buffer insertion: each node keeps a pruned list of sub-solutions;
+// an optical edge extends an open optical domain downward, an electrical
+// edge seals domains with an EO modulator at their top; detectors (OE) are
+// placed at every optical exit. Splitting loss 10·log10(arms) is charged at
+// every node whose light fans out, per the paper's Eq. (2).
+//
+// A labeling alone decodes unambiguously into conversion sites because the
+// DP never creates back-to-back OE→EO regeneration at a single node; see
+// Evaluate for the decode rules.
+package codesign
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"operon/internal/geom"
+	"operon/internal/optics"
+	"operon/internal/power"
+	"operon/internal/steiner"
+)
+
+// Label classifies a tree edge's implementation.
+type Label uint8
+
+const (
+	// Electrical routes the edge as a Manhattan copper wire.
+	Electrical Label = iota
+	// Optical routes the edge as a waveguide segment.
+	Optical
+)
+
+// String implements fmt.Stringer.
+func (l Label) String() string {
+	if l == Optical {
+		return "O"
+	}
+	return "E"
+}
+
+// Input bundles everything candidate generation needs for one hyper net.
+type Input struct {
+	// Tree is a baseline topology (typically Euclidean BI1S). Terminal 0 is
+	// the source hyper pin; all other terminals are sinks.
+	Tree steiner.Tree
+	// Bits is the number of parallel channels the hyper net carries; wire
+	// power and conversion power scale with it.
+	Bits int
+	// Lib provides the optical loss and device parameters.
+	Lib optics.Library
+	// Elec provides the electrical wire power model.
+	Elec power.ElectricalModel
+	// Env holds optical segments of *other* hyper nets' baselines, used to
+	// estimate crossing loss during the DP (the exact pairwise term is
+	// re-evaluated in the selection stage).
+	Env []geom.Segment
+	// MaxOptions caps the per-node option list after Pareto pruning.
+	// Defaults to 24 when zero.
+	MaxOptions int
+}
+
+// Path is one source-to-exit optical detection path of a candidate.
+type Path struct {
+	// Segs are the waveguide segments the light traverses, in order.
+	Segs []geom.Segment
+	// FixedLossDB is the propagation plus splitting loss of the path.
+	FixedLossDB float64
+	// EstCrossLossDB is β times the estimated crossings against Env.
+	EstCrossLossDB float64
+}
+
+// TotalEstLossDB returns the estimated total loss of the path.
+func (p Path) TotalEstLossDB() float64 { return p.FixedLossDB + p.EstCrossLossDB }
+
+// Candidate is one optical-electrical co-design solution a_ij (or the pure
+// electrical alternative a_ie).
+type Candidate struct {
+	// Labels holds the per-edge implementation, indexed like Tree.Edges.
+	Labels []Label
+	// PowerMW is the candidate's total power: electrical wires plus EO/OE
+	// conversions, scaled by the bit count.
+	PowerMW float64
+	// ElecWirelenCM is the total Manhattan length of electrical edges.
+	ElecWirelenCM float64
+	// NumMod and NumDet count modulator and detector sites (per channel).
+	NumMod, NumDet int
+	// Paths are the optical detection paths; each must satisfy the loss
+	// budget once exact crossing loss is added.
+	Paths []Path
+	// OpticalSegs are all waveguide segments of the candidate.
+	OpticalSegs []geom.Segment
+	// ElecSegs are the electrical edges (as drawn in the baseline topology;
+	// implemented as Manhattan wires of equivalent length).
+	ElecSegs []geom.Segment
+	// ModSites and DetSites locate the EO modulators and OE detectors,
+	// used by the power-hotspot analysis (Fig. 9).
+	ModSites, DetSites []geom.Point
+	// AllElectrical marks the fallback candidate a_ie.
+	AllElectrical bool
+	// MaxFixedLossDB is the worst FixedLossDB over Paths (0 if none).
+	MaxFixedLossDB float64
+}
+
+// rooted is the tree re-indexed as a rooted structure at terminal 0.
+type rooted struct {
+	tree     steiner.Tree
+	parent   []int   // parent node index, -1 at root
+	parentE  []int   // edge index to parent, -1 at root
+	children [][]int // child node indices
+	childE   [][]int // edge indices to children
+	order    []int   // post-order traversal
+	root     int
+}
+
+func buildRooted(t steiner.Tree) (*rooted, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	root := -1
+	for i, n := range t.Nodes {
+		if n.Terminal == 0 {
+			root = i
+			break
+		}
+	}
+	if root < 0 {
+		return nil, fmt.Errorf("codesign: tree has no terminal 0 (source)")
+	}
+	n := len(t.Nodes)
+	r := &rooted{
+		tree:     t,
+		parent:   make([]int, n),
+		parentE:  make([]int, n),
+		children: make([][]int, n),
+		childE:   make([][]int, n),
+		root:     root,
+	}
+	type adjEntry struct{ node, edge int }
+	adj := make([][]adjEntry, n)
+	for ei, e := range t.Edges {
+		adj[e.U] = append(adj[e.U], adjEntry{e.V, ei})
+		adj[e.V] = append(adj[e.V], adjEntry{e.U, ei})
+	}
+	for i := range r.parent {
+		r.parent[i] = -1
+		r.parentE[i] = -1
+	}
+	// Iterative DFS producing children lists and a post-order.
+	stack := []int{root}
+	visited := make([]bool, n)
+	visited[root] = true
+	var pre []int
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		pre = append(pre, u)
+		for _, a := range adj[u] {
+			if !visited[a.node] {
+				visited[a.node] = true
+				r.parent[a.node] = u
+				r.parentE[a.node] = a.edge
+				r.children[u] = append(r.children[u], a.node)
+				r.childE[u] = append(r.childE[u], a.edge)
+				stack = append(stack, a.node)
+			}
+		}
+	}
+	// Reverse preorder of a tree is a valid post-order (children before
+	// parents).
+	r.order = make([]int, len(pre))
+	for i, u := range pre {
+		r.order[len(pre)-1-i] = u
+	}
+	return r, nil
+}
+
+// isSink reports whether node u is a sink terminal.
+func (r *rooted) isSink(u int) bool {
+	term := r.tree.Nodes[u].Terminal
+	return term > 0
+}
+
+func (r *rooted) edgeSeg(ei int) geom.Segment {
+	e := r.tree.Edges[ei]
+	return geom.Segment{A: r.tree.Nodes[e.U].Pt, B: r.tree.Nodes[e.V].Pt}
+}
+
+// Generate runs the co-design DP and returns the pruned candidate set,
+// always including the pure-electrical fallback (last, marked
+// AllElectrical). Candidates whose estimated worst path loss exceeds the
+// budget are discarded during the DP.
+func Generate(in Input) ([]Candidate, error) {
+	if in.Bits <= 0 {
+		return nil, fmt.Errorf("codesign: bits %d must be positive", in.Bits)
+	}
+	if err := in.Lib.Validate(); err != nil {
+		return nil, err
+	}
+	if err := in.Elec.Validate(); err != nil {
+		return nil, err
+	}
+	r, err := buildRooted(in.Tree)
+	if err != nil {
+		return nil, err
+	}
+	maxOpts := in.MaxOptions
+	if maxOpts == 0 {
+		maxOpts = 24
+	}
+
+	nEdges := len(in.Tree.Edges)
+	bits := float64(in.Bits)
+	modP := in.Lib.ConversionPowerMW(1, 0) * bits
+	detP := in.Lib.ConversionPowerMW(0, 1) * bits
+
+	edgeLossDB := make([]float64, nEdges)
+	edgeElecP := make([]float64, nEdges)
+	for ei := range in.Tree.Edges {
+		seg := r.edgeSeg(ei)
+		crossings := geom.CrossingsWithSegment(seg, in.Env)
+		edgeLossDB[ei] = in.Lib.PropagationLossDB(seg.Length()) +
+			in.Lib.CrossingLossDB(crossings)
+		edgeElecP[ei] = in.Elec.BusPowerMW(seg.ManhattanLength(), in.Bits)
+	}
+
+	// option is a DP state at a node. mode SELF: no light requested from the
+	// parent; all optical structure below is sealed. mode RECV: the node
+	// expects light from an optical parent edge; recvLoss/recvDets describe
+	// the open cone.
+	type option struct {
+		labels      []Label
+		pow         float64
+		recvLoss    float64
+		sealedWorst float64
+		domainAtTop bool // SELF only: a modulator sits at this node
+	}
+
+	selfOpts := make([][]option, len(in.Tree.Nodes))
+	recvOpts := make([][]option, len(in.Tree.Nodes))
+
+	newLabels := func() []Label { return make([]Label, nEdges) }
+	mergeLabels := func(a, b []Label) []Label {
+		out := make([]Label, nEdges)
+		for i := range out {
+			if a[i] == Optical || b[i] == Optical {
+				out[i] = Optical
+			}
+		}
+		return out
+	}
+
+	// partial is the in-progress merge state at a node.
+	type partial struct {
+		labels      []Label
+		pow         float64
+		arms        int
+		maxArmLoss  float64
+		sealedWorst float64
+		hasEChild   bool
+	}
+
+	prunePartials := func(ps []partial) []partial {
+		sort.Slice(ps, func(i, j int) bool { return ps[i].pow < ps[j].pow })
+		var kept []partial
+		for _, p := range ps {
+			dominated := false
+			for _, k := range kept {
+				if k.pow <= p.pow+geom.Eps &&
+					k.maxArmLoss <= p.maxArmLoss+geom.Eps &&
+					k.arms <= p.arms &&
+					k.sealedWorst <= p.sealedWorst+geom.Eps &&
+					k.hasEChild == p.hasEChild {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				kept = append(kept, p)
+				if len(kept) >= maxOpts*4 {
+					break
+				}
+			}
+		}
+		return kept
+	}
+
+	pruneOptions := func(os []option, keepLoss bool) []option {
+		sort.Slice(os, func(i, j int) bool { return os[i].pow < os[j].pow })
+		var kept []option
+		for _, o := range os {
+			dominated := false
+			for _, k := range kept {
+				if k.pow <= o.pow+geom.Eps &&
+					k.sealedWorst <= o.sealedWorst+geom.Eps &&
+					(!keepLoss || k.recvLoss <= o.recvLoss+geom.Eps) &&
+					k.domainAtTop == o.domainAtTop {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				kept = append(kept, o)
+				if len(kept) >= maxOpts {
+					break
+				}
+			}
+		}
+		return kept
+	}
+
+	for _, v := range r.order {
+		partials := []partial{{labels: newLabels(), maxArmLoss: math.Inf(-1)}}
+		for ci, c := range r.children[v] {
+			ei := r.childE[v][ci]
+			var next []partial
+			for _, p := range partials {
+				// Label the edge Electrical: consume the child's SELF options.
+				for _, co := range selfOpts[c] {
+					lb := mergeLabels(p.labels, co.labels)
+					lb[ei] = Electrical
+					next = append(next, partial{
+						labels:      lb,
+						pow:         p.pow + co.pow + edgeElecP[ei],
+						arms:        p.arms,
+						maxArmLoss:  p.maxArmLoss,
+						sealedWorst: math.Max(p.sealedWorst, co.sealedWorst),
+						hasEChild:   true,
+					})
+				}
+				// Label the edge Optical.
+				for _, co := range recvOpts[c] {
+					lb := mergeLabels(p.labels, co.labels)
+					lb[ei] = Optical
+					next = append(next, partial{
+						labels:      lb,
+						pow:         p.pow + co.pow,
+						arms:        p.arms + 1,
+						maxArmLoss:  math.Max(p.maxArmLoss, edgeLossDB[ei]+co.recvLoss),
+						sealedWorst: math.Max(p.sealedWorst, co.sealedWorst),
+						hasEChild:   p.hasEChild,
+					})
+				}
+				// Optical edge ending at a sealed child: a pure exit with a
+				// detector at the child. Forbidden when the child hosts its
+				// own modulator (no OEO regeneration at a single node).
+				for _, co := range selfOpts[c] {
+					if co.domainAtTop {
+						continue
+					}
+					lb := mergeLabels(p.labels, co.labels)
+					lb[ei] = Optical
+					next = append(next, partial{
+						labels:      lb,
+						pow:         p.pow + co.pow + detP,
+						arms:        p.arms + 1,
+						maxArmLoss:  math.Max(p.maxArmLoss, edgeLossDB[ei]),
+						sealedWorst: math.Max(p.sealedWorst, co.sealedWorst),
+						hasEChild:   p.hasEChild,
+					})
+				}
+			}
+			partials = prunePartials(next)
+		}
+
+		// Finalize the node's options.
+		var selfs, recvs []option
+		for _, p := range partials {
+			if p.arms == 0 {
+				selfs = append(selfs, option{
+					labels: p.labels, pow: p.pow, sealedWorst: p.sealedWorst,
+				})
+			} else {
+				loss := p.maxArmLoss + optics.SplittingLossDB(p.arms)
+				if in.Lib.Detectable(loss) {
+					selfs = append(selfs, option{
+						labels:      p.labels,
+						pow:         p.pow + modP,
+						sealedWorst: math.Max(p.sealedWorst, loss),
+						domainAtTop: true,
+					})
+				}
+			}
+			if v != r.root {
+				selfExit := r.isSink(v) || p.hasEChild || len(r.children[v]) == 0
+				armsTotal := p.arms
+				pow := p.pow
+				if selfExit {
+					armsTotal++
+					pow += detP
+				}
+				if armsTotal == 0 {
+					continue // light delivered to a node that uses none of it
+				}
+				split := optics.SplittingLossDB(armsTotal)
+				worst := split
+				if p.arms > 0 {
+					worst = split + math.Max(p.maxArmLoss, 0)
+					if !selfExit {
+						worst = split + p.maxArmLoss
+					}
+				}
+				if worst <= in.Lib.MaxLossDB { // quick bound; exact check at seal
+					recvs = append(recvs, option{
+						labels: p.labels, pow: pow, recvLoss: worst,
+						sealedWorst: p.sealedWorst,
+					})
+				}
+			}
+		}
+		selfOpts[v] = pruneOptions(selfs, false)
+		recvOpts[v] = pruneOptions(recvs, true)
+	}
+
+	// Root SELF options are the candidate labelings.
+	var out []Candidate
+	sawAllE := false
+	for _, o := range selfOpts[r.root] {
+		cand, feasible := Evaluate(in, o.labels)
+		if !feasible {
+			continue
+		}
+		if cand.AllElectrical {
+			if sawAllE {
+				continue
+			}
+			sawAllE = true
+		}
+		out = append(out, cand)
+	}
+	if !sawAllE {
+		allE, _ := Evaluate(in, make([]Label, nEdges))
+		out = append(out, allE)
+	}
+	out = paretoFilter(out)
+	// Order candidates by power, with the pure-electrical fallback last.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].AllElectrical != out[j].AllElectrical {
+			return !out[i].AllElectrical
+		}
+		return out[i].PowerMW < out[j].PowerMW
+	})
+	return out, nil
+}
+
+// Evaluate decodes a labeling into a full Candidate. The decode rules are:
+// a node with at least one Optical child edge hosts a modulator iff it is
+// the root or its parent edge is Electrical; along optical domains a node
+// takes a detector drop iff it is a sink terminal, has an Electrical child
+// edge, or is a leaf; fan-out at a node splits the light over its optical
+// child arms plus its own drop. The boolean result reports whether every
+// optical path satisfies the loss budget under the Env-estimated crossing
+// loss.
+func Evaluate(in Input, labels []Label) (Candidate, bool) {
+	r, err := buildRooted(in.Tree)
+	if err != nil {
+		return Candidate{}, false
+	}
+	if len(labels) != len(in.Tree.Edges) {
+		return Candidate{}, false
+	}
+	bits := in.Bits
+	c := Candidate{Labels: append([]Label(nil), labels...)}
+
+	// Electrical power and optical segment collection.
+	for ei, e := range in.Tree.Edges {
+		seg := geom.Segment{A: in.Tree.Nodes[e.U].Pt, B: in.Tree.Nodes[e.V].Pt}
+		if labels[ei] == Electrical {
+			c.ElecWirelenCM += seg.ManhattanLength()
+			c.ElecSegs = append(c.ElecSegs, seg)
+		} else {
+			c.OpticalSegs = append(c.OpticalSegs, seg)
+		}
+	}
+	c.PowerMW = in.Elec.BusPowerMW(c.ElecWirelenCM, bits)
+	c.AllElectrical = len(c.OpticalSegs) == 0
+
+	// Decode optical domains.
+	feasible := true
+	for v := range in.Tree.Nodes {
+		if !isDomainTop(r, labels, v) {
+			continue
+		}
+		c.NumMod++
+		c.PowerMW += in.Lib.ConversionPowerMW(1, 0) * float64(bits)
+		c.ModSites = append(c.ModSites, in.Tree.Nodes[v].Pt)
+		// Walk the domain from its top, accumulating loss along each path.
+		type frame struct {
+			node    int
+			lossDB  float64
+			crossDB float64
+			segs    []geom.Segment
+		}
+		stack := []frame{{node: v}}
+		for len(stack) > 0 {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			u := f.node
+			var optChildren, optEdges []int
+			hasEChild := false
+			for ci, ch := range r.children[u] {
+				if labels[r.childE[u][ci]] == Optical {
+					optChildren = append(optChildren, ch)
+					optEdges = append(optEdges, r.childE[u][ci])
+				} else {
+					hasEChild = true
+				}
+			}
+			selfExit := u != v && (r.isSink(u) || hasEChild || len(r.children[u]) == 0)
+			arms := len(optChildren)
+			if selfExit {
+				arms++
+			}
+			split := optics.SplittingLossDB(arms)
+			if selfExit {
+				c.NumDet++
+				c.PowerMW += in.Lib.ConversionPowerMW(0, 1) * float64(bits)
+				c.DetSites = append(c.DetSites, in.Tree.Nodes[u].Pt)
+				p := Path{
+					Segs:           append([]geom.Segment(nil), f.segs...),
+					FixedLossDB:    f.lossDB + split,
+					EstCrossLossDB: f.crossDB,
+				}
+				c.Paths = append(c.Paths, p)
+				if !in.Lib.Detectable(p.TotalEstLossDB()) {
+					feasible = false
+				}
+			}
+			for i, ch := range optChildren {
+				seg := r.edgeSeg(optEdges[i])
+				crossings := geom.CrossingsWithSegment(seg, in.Env)
+				stack = append(stack, frame{
+					node:    ch,
+					lossDB:  f.lossDB + split + in.Lib.PropagationLossDB(seg.Length()),
+					crossDB: f.crossDB + in.Lib.CrossingLossDB(crossings),
+					segs:    append(append([]geom.Segment(nil), f.segs...), seg),
+				})
+			}
+		}
+	}
+	for _, p := range c.Paths {
+		if p.FixedLossDB > c.MaxFixedLossDB {
+			c.MaxFixedLossDB = p.FixedLossDB
+		}
+	}
+	return c, feasible
+}
+
+// paretoFilter drops candidates strictly dominated in (power, worst fixed
+// path loss) by another candidate. The electrical fallback (zero optical
+// loss) is never dominated and always survives.
+func paretoFilter(cands []Candidate) []Candidate {
+	var kept []Candidate
+	for i, c := range cands {
+		dominated := false
+		for j, o := range cands {
+			if i == j {
+				continue
+			}
+			// Strict domination in both coordinates, with index tie-break
+			// to keep exactly one of exact duplicates.
+			better := o.PowerMW < c.PowerMW-geom.Eps && o.MaxFixedLossDB < c.MaxFixedLossDB-geom.Eps
+			duplicate := math.Abs(o.PowerMW-c.PowerMW) <= geom.Eps &&
+				math.Abs(o.MaxFixedLossDB-c.MaxFixedLossDB) <= geom.Eps && j < i
+			if better || duplicate {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+// isDomainTop reports whether node v hosts a modulator under the labeling:
+// it has at least one Optical child edge and no Optical parent edge.
+func isDomainTop(r *rooted, labels []Label, v int) bool {
+	hasOptChild := false
+	for ci := range r.children[v] {
+		if labels[r.childE[v][ci]] == Optical {
+			hasOptChild = true
+			break
+		}
+	}
+	if !hasOptChild {
+		return false
+	}
+	return v == r.root || labels[r.parentE[v]] == Electrical
+}

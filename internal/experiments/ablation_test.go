@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblation(t *testing.T) {
+	cases := []string{"I2"}
+	rows, err := Ablation(AblationOptions{Cases: cases})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 4 {
+		t.Fatalf("only %d variants", len(rows))
+	}
+	if rows[0].Variant != "full flow (LR)" {
+		t.Fatalf("reference row is %q", rows[0].Variant)
+	}
+	ref := rows[0].PowerMW["I2"]
+	if ref <= 0 {
+		t.Fatal("reference power missing")
+	}
+	var noSub float64
+	for _, r := range rows {
+		p := r.PowerMW["I2"]
+		if p <= 0 {
+			t.Errorf("%s: no power recorded", r.Variant)
+		}
+		if r.Variant == "no edge subdivision" {
+			noSub = p
+		}
+	}
+	// The headline ablation finding: edge subdivision (partial-optical
+	// routes) is load-bearing on the thin-bundle case.
+	if noSub < ref*1.05 {
+		t.Errorf("removing subdivision changed power only %v -> %v", ref, noSub)
+	}
+	out := FormatAblation(rows, cases)
+	if !strings.Contains(out, "no edge subdivision") || !strings.Contains(out, "%") {
+		t.Errorf("ablation output malformed:\n%s", out)
+	}
+}
+
+func TestAblationUnknownCase(t *testing.T) {
+	if _, err := Ablation(AblationOptions{Cases: []string{"nope"}}); err == nil {
+		t.Error("unknown case accepted")
+	}
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// table1Small runs Table 1 on the two fastest cases without ILP; it is the
+// shared fixture for the harness tests.
+func table1Small(t *testing.T) []Table1Row {
+	t.Helper()
+	rows, err := Table1(Table1Options{Cases: []string{"I2", "I5"}, SkipILP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows := table1Small(t)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	wantNets := map[string]int{"I2": 1782, "I5": 1994}
+	for _, r := range rows {
+		if r.Nets != wantNets[r.Name] {
+			t.Errorf("%s: #Net = %d, want %d", r.Name, r.Nets, wantNets[r.Name])
+		}
+		if r.ElecPowerMW <= r.OptPowerMW {
+			t.Errorf("%s: electrical %v not above optical %v",
+				r.Name, r.ElecPowerMW, r.OptPowerMW)
+		}
+		if r.LRPowerMW > r.OptPowerMW+1e-9 {
+			t.Errorf("%s: OPERON-LR %v worse than optical-only %v",
+				r.Name, r.LRPowerMW, r.OptPowerMW)
+		}
+		// Paper shape: electrical roughly 3-4x optical on these cases.
+		if ratio := r.ElecPowerMW / r.OptPowerMW; ratio < 2 || ratio > 6 {
+			t.Errorf("%s: E/O ratio %v outside plausible band", r.Name, ratio)
+		}
+	}
+}
+
+func TestTable1UnknownCase(t *testing.T) {
+	if _, err := Table1(Table1Options{Cases: []string{"bogus"}}); err == nil {
+		t.Error("unknown case accepted")
+	}
+}
+
+func TestFormatTable1(t *testing.T) {
+	rows := table1Small(t)
+	out := FormatTable1(rows, time.Minute, true)
+	for _, want := range []string{"I2", "I5", "average", "ratio", "Electrical", "OPERON(LR)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q:\n%s", want, out)
+		}
+	}
+	// The ratio line normalises to the optical column (1.000).
+	if !strings.Contains(out, "1.000") {
+		t.Errorf("ratio line missing optical=1.000:\n%s", out)
+	}
+}
+
+func TestFig3b(t *testing.T) {
+	rows, err := Fig3b(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (stages 0..2)", len(rows))
+	}
+	if len(rows[1].ArmPowers) != 2 || len(rows[2].ArmPowers) != 4 {
+		t.Fatalf("arm counts wrong: %v / %v", rows[1].ArmPowers, rows[2].ArmPowers)
+	}
+	// One stage halves, two stages quarter the power.
+	for _, p := range rows[1].ArmPowers {
+		if math.Abs(p-0.5) > 0.05 {
+			t.Errorf("single-stage arm power %v, want ≈0.5", p)
+		}
+	}
+	for _, p := range rows[2].ArmPowers {
+		if math.Abs(p-0.25) > 0.05 {
+			t.Errorf("two-stage arm power %v, want ≈0.25", p)
+		}
+	}
+	out := FormatFig3b(rows)
+	if !strings.Contains(out, "Y-branch") || !strings.Contains(out, "dB") {
+		t.Errorf("Fig3b output malformed:\n%s", out)
+	}
+}
+
+func TestFig8FromTable1(t *testing.T) {
+	rows := table1Small(t)
+	bars := Fig8(rows)
+	if len(bars) != len(rows) {
+		t.Fatalf("bars = %d", len(bars))
+	}
+	for _, bb := range bars {
+		if bb.Connections == 0 {
+			t.Errorf("%s: no optical connections", bb.Name)
+		}
+		if bb.InitialWDMs > bb.Connections {
+			t.Errorf("%s: placement increased WDM count above connections", bb.Name)
+		}
+		if bb.FinalWDMs > bb.InitialWDMs {
+			t.Errorf("%s: assignment increased WDMs", bb.Name)
+		}
+		if bb.Reduction() < 0 || bb.Reduction() > 1 {
+			t.Errorf("%s: reduction %v outside [0,1]", bb.Name, bb.Reduction())
+		}
+	}
+	out := FormatFig8(bars)
+	if !strings.Contains(out, "average final-WDM reduction") {
+		t.Errorf("Fig8 output malformed:\n%s", out)
+	}
+}
+
+func TestFig9(t *testing.T) {
+	m, err := Fig9("I2", 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's observation: the optical layers look alike (similar
+	// conversion totals), while OPERON's electrical layer is cooler.
+	if m.OperonElec.Total() > m.GlowElec.Total()+1e-9 {
+		t.Errorf("OPERON electrical layer hotter: %v vs %v",
+			m.OperonElec.Total(), m.GlowElec.Total())
+	}
+	if m.GlowOptical.Total() <= 0 || m.OperonOptical.Total() <= 0 {
+		t.Error("optical layers empty")
+	}
+	ratio := m.OperonOptical.Total() / m.GlowOptical.Total()
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("optical layers dissimilar: ratio %v", ratio)
+	}
+	out := FormatFig9(m)
+	for _, want := range []string{"GLOW optical", "OPERON electrical", "cooler"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig9 output missing %q", want)
+		}
+	}
+}
+
+func TestFig9UnknownCase(t *testing.T) {
+	if _, err := Fig9("nope", 8, 8); err == nil {
+		t.Error("unknown case accepted")
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRobustnessMonotone(t *testing.T) {
+	rows, err := Robustness("I2", []float64{0, 40, 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Violations != 0 {
+			t.Errorf("ΔT=%v: %d violations", r.DeltaC, r.Violations)
+		}
+		if i > 0 && r.PowerMW < rows[i-1].PowerMW-1e-9 {
+			t.Errorf("power not monotone in guard band: %v then %v",
+				rows[i-1].PowerMW, r.PowerMW)
+		}
+		if i > 0 && r.OpticalFraction > rows[i-1].OpticalFraction+1e-9 {
+			t.Errorf("optical fraction grew with derating: %v then %v",
+				rows[i-1].OpticalFraction, r.OpticalFraction)
+		}
+	}
+	// The widest band must cost measurably more than the nominal point.
+	if rows[2].PowerMW < rows[0].PowerMW*1.02 {
+		t.Errorf("guard band has no power cost: %v vs %v", rows[0].PowerMW, rows[2].PowerMW)
+	}
+	out := FormatRobustness("I2", rows)
+	if !strings.Contains(out, "guard band") {
+		t.Errorf("robustness output malformed:\n%s", out)
+	}
+}
+
+func TestRobustnessUnknownCase(t *testing.T) {
+	if _, err := Robustness("nope", nil); err == nil {
+		t.Error("unknown case accepted")
+	}
+}

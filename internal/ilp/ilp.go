@@ -1,0 +1,275 @@
+// Package ilp solves mixed 0-1 integer linear programmes with best-first
+// branch and bound over the simplex relaxation in internal/lp. It is the
+// stand-in for the commercial ILP solver of the paper's §3.3; like the
+// paper's experiments it supports a wall-clock time limit and reports
+// whether the limit was hit (the paper's ">3000 s" entries).
+package ilp
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"operon/internal/lp"
+)
+
+// Problem is a linear programme plus a set of variables restricted to {0,1}.
+type Problem struct {
+	LP lp.Problem
+	// Binary lists variable indices constrained to {0,1}. Variables not
+	// listed remain continuous and non-negative.
+	Binary []int
+}
+
+// Validate checks structural consistency.
+func (p Problem) Validate() error {
+	if err := p.LP.Validate(); err != nil {
+		return err
+	}
+	seen := map[int]bool{}
+	for _, v := range p.Binary {
+		if v < 0 || v >= p.LP.NumVars {
+			return fmt.Errorf("ilp: binary variable %d out of range", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("ilp: binary variable %d listed twice", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// Options tunes the search.
+type Options struct {
+	// TimeLimit bounds the wall-clock solve time; zero means no limit.
+	TimeLimit time.Duration
+	// MaxNodes bounds the number of branch-and-bound nodes; zero means
+	// 200000.
+	MaxNodes int
+	// MaxTableauBytes caps the LP tableau allocation (zero = lp default).
+	// Oversized relaxations end the solve with TimedOut set.
+	MaxTableauBytes int64
+}
+
+// Status describes the outcome.
+type Status int
+
+const (
+	// Optimal means the incumbent is proven optimal.
+	Optimal Status = iota
+	// Feasible means a feasible integer solution was found but optimality
+	// was not proven before a limit was reached.
+	Feasible
+	// Infeasible means no integer solution exists.
+	Infeasible
+	// Limit means a limit was reached with no incumbent.
+	Limit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	default:
+		return "limit"
+	}
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	Nodes     int
+	Elapsed   time.Duration
+	TimedOut  bool
+}
+
+const intTol = 1e-6
+
+type node struct {
+	bound float64
+	fixed map[int]float64
+}
+
+type nodeQueue []node
+
+func (q nodeQueue) Len() int            { return len(q) }
+func (q nodeQueue) Less(i, j int) bool  { return q[i].bound < q[j].bound }
+func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(node)) }
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Solve runs best-first branch and bound.
+func Solve(p Problem, opt Options) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	maxNodes := opt.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 200000
+	}
+	deadline := time.Time{}
+	if opt.TimeLimit > 0 {
+		deadline = start.Add(opt.TimeLimit)
+	}
+
+	res := Result{Status: Limit, Objective: math.Inf(1)}
+	var incumbent []float64
+
+	relax := func(fixed map[int]float64) (lp.Solution, error) {
+		q := p.LP
+		rows := make([]lp.Row, len(q.Rows), len(q.Rows)+len(fixed)+len(p.Binary))
+		copy(rows, q.Rows)
+		for v, val := range fixed {
+			rows = append(rows, lp.Row{
+				Terms: []lp.Term{{Var: v, Coeff: 1}}, Sense: lp.EQ, RHS: val,
+			})
+		}
+		// Upper bounds x <= 1 for unfixed binaries keep the relaxation tight.
+		for _, v := range p.Binary {
+			if _, ok := fixed[v]; !ok {
+				rows = append(rows, lp.Row{
+					Terms: []lp.Term{{Var: v, Coeff: 1}}, Sense: lp.LE, RHS: 1,
+				})
+			}
+		}
+		q.Rows = rows
+		return lp.SolveWithOptions(q, lp.Options{
+			Deadline:        deadline,
+			MaxTableauBytes: opt.MaxTableauBytes,
+		})
+	}
+
+	record := func(x []float64, obj float64) {
+		if obj < res.Objective-1e-9 {
+			incumbent = append(incumbent[:0], x...)
+			res.Objective = obj
+		}
+	}
+
+	// tryRound fixes every binary to its rounded relaxation value and
+	// re-solves; a feasible result seeds or improves the incumbent.
+	tryRound := func(x []float64) {
+		fixed := make(map[int]float64, len(p.Binary))
+		for _, v := range p.Binary {
+			if x[v] >= 0.5 {
+				fixed[v] = 1
+			} else {
+				fixed[v] = 0
+			}
+		}
+		s, err := relax(fixed)
+		if err == nil && s.Status == lp.Optimal {
+			record(s.X, s.Objective)
+		}
+	}
+
+	rootSol, err := relax(nil)
+	if errors.Is(err, lp.ErrTooLarge) {
+		// The relaxation alone exceeds the memory budget; report a limit so
+		// callers fall back, mirroring the paper's ">3000 s" outcomes.
+		res.TimedOut = true
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	switch rootSol.Status {
+	case lp.Infeasible:
+		res.Status = Infeasible
+		res.Elapsed = time.Since(start)
+		return res, nil
+	case lp.Unbounded:
+		return Result{}, errors.New("ilp: relaxation unbounded")
+	case lp.IterLimit:
+		res.Elapsed = time.Since(start)
+		res.TimedOut = true
+		return res, nil
+	}
+
+	pq := &nodeQueue{{bound: rootSol.Objective, fixed: nil}}
+	heap.Init(pq)
+
+	for pq.Len() > 0 {
+		res.Nodes++
+		if res.Nodes > maxNodes {
+			res.TimedOut = true
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			res.TimedOut = true
+			break
+		}
+		nd := heap.Pop(pq).(node)
+		if nd.bound >= res.Objective-1e-9 {
+			continue // pruned by incumbent
+		}
+		sol, err := relax(nd.fixed)
+		if err != nil {
+			return Result{}, err
+		}
+		if sol.Status != lp.Optimal {
+			continue // infeasible or numerically stuck subtree
+		}
+		if sol.Objective >= res.Objective-1e-9 {
+			continue
+		}
+		// Find the most fractional binary.
+		branchVar, frac := -1, 0.0
+		for _, v := range p.Binary {
+			if _, ok := nd.fixed[v]; ok {
+				continue
+			}
+			f := math.Abs(sol.X[v] - math.Round(sol.X[v]))
+			if f > intTol && f > frac {
+				frac = f
+				branchVar = v
+			}
+		}
+		if branchVar < 0 {
+			// Integral: incumbent.
+			record(sol.X, sol.Objective)
+			continue
+		}
+		if incumbent == nil {
+			tryRound(sol.X)
+		}
+		for _, val := range []float64{math.Round(sol.X[branchVar]), 1 - math.Round(sol.X[branchVar])} {
+			child := make(map[int]float64, len(nd.fixed)+1)
+			for k, v := range nd.fixed {
+				child[k] = v
+			}
+			child[branchVar] = val
+			heap.Push(pq, node{bound: sol.Objective, fixed: child})
+		}
+	}
+
+	res.Elapsed = time.Since(start)
+	if incumbent != nil {
+		res.X = incumbent
+		if res.TimedOut || pq.Len() > 0 && (*pq)[0].bound < res.Objective-1e-9 {
+			res.Status = Feasible
+		} else {
+			res.Status = Optimal
+		}
+	} else if !res.TimedOut {
+		res.Status = Infeasible
+	}
+	return res, nil
+}

@@ -1,0 +1,165 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDeadlineAborts(t *testing.T) {
+	// A moderately large random LP with an already-expired deadline must
+	// return IterLimit immediately rather than solving.
+	rng := rand.New(rand.NewSource(2))
+	n, m := 60, 60
+	p := Problem{NumVars: n, Objective: make([]float64, n)}
+	for i := range p.Objective {
+		p.Objective[i] = rng.Float64()
+	}
+	for i := 0; i < m; i++ {
+		row := Row{Sense: GE, RHS: 1}
+		for j := 0; j < n; j++ {
+			row.Terms = append(row.Terms, Term{j, rng.Float64()})
+		}
+		p.Rows = append(p.Rows, row)
+	}
+	s, err := SolveWithOptions(p, Options{Deadline: time.Now().Add(-time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != IterLimit {
+		t.Fatalf("status %v, want iteration-limit on expired deadline", s.Status)
+	}
+}
+
+func TestTableauMemoryBudget(t *testing.T) {
+	p := Problem{NumVars: 4, Objective: []float64{1, 1, 1, 1}}
+	for i := 0; i < 4; i++ {
+		p.Rows = append(p.Rows, Row{Terms: []Term{{i, 1}}, Sense: LE, RHS: 1})
+	}
+	// A budget too small for even this tiny tableau triggers ErrTooLarge.
+	_, err := SolveWithOptions(p, Options{MaxTableauBytes: 8})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	// The default budget solves it.
+	s, err := SolveWithOptions(p, Options{})
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("default budget failed: %v %v", s.Status, err)
+	}
+}
+
+func TestTransportationProblem(t *testing.T) {
+	// Classic 2-supply / 3-demand transportation problem with a known
+	// optimum. Supplies: 20, 30. Demands: 10, 25, 15.
+	// Costs:      d1 d2 d3
+	//   s1:        2  3  1
+	//   s2:        5  4  8
+	// Optimal plan: s1→d3:15, s1→d1:5, s2→d1:5, s2→d2:25
+	// cost = 15·1 + 5·2 + 5·5 + 25·4 = 150.
+	// Variables x[s][d] flattened: x00 x01 x02 x10 x11 x12.
+	p := Problem{
+		NumVars:   6,
+		Objective: []float64{2, 3, 1, 5, 4, 8},
+		Rows: []Row{
+			{Terms: []Term{{0, 1}, {1, 1}, {2, 1}}, Sense: EQ, RHS: 20}, // supply 1
+			{Terms: []Term{{3, 1}, {4, 1}, {5, 1}}, Sense: EQ, RHS: 30}, // supply 2
+			{Terms: []Term{{0, 1}, {3, 1}}, Sense: EQ, RHS: 10},         // demand 1
+			{Terms: []Term{{1, 1}, {4, 1}}, Sense: EQ, RHS: 25},         // demand 2
+			{Terms: []Term{{2, 1}, {5, 1}}, Sense: EQ, RHS: 15},         // demand 3
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective-150) > 1e-6 {
+		t.Fatalf("status %v obj %v, want optimal 150", s.Status, s.Objective)
+	}
+}
+
+func TestDietProblem(t *testing.T) {
+	// Tiny Stigler-style diet: minimise 0.6a + 0.35b
+	// s.t. 30a + 20b >= 60 (nutrient 1), 10a + 40b >= 40 (nutrient 2).
+	// Vertices: (2,0) violates nutrient 2; intersection (1.6,0.6) costs
+	// 1.17; the all-b corner (0,3) satisfies both and costs 1.05 — optimal.
+	p := Problem{
+		NumVars:   2,
+		Objective: []float64{0.6, 0.35},
+		Rows: []Row{
+			{Terms: []Term{{0, 30}, {1, 20}}, Sense: GE, RHS: 60},
+			{Terms: []Term{{0, 10}, {1, 40}}, Sense: GE, RHS: 40},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective-1.05) > 1e-6 {
+		t.Fatalf("status %v obj %v, want optimal 1.05", s.Status, s.Objective)
+	}
+	if math.Abs(s.X[0]) > 1e-6 || math.Abs(s.X[1]-3) > 1e-6 {
+		t.Fatalf("X = %v, want (0, 3)", s.X)
+	}
+}
+
+func TestDualityGapZero(t *testing.T) {
+	// Weak LP duality spot-check on random bounded problems: the optimum
+	// must satisfy all constraints with complementary tightness — verified
+	// indirectly by perturbation: decreasing any positive variable must not
+	// keep feasibility with a lower objective.
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(3)
+		p := Problem{NumVars: n, Objective: make([]float64, n)}
+		for i := range p.Objective {
+			p.Objective[i] = 0.5 + rng.Float64()
+		}
+		row := Row{Sense: GE, RHS: 2}
+		for j := 0; j < n; j++ {
+			row.Terms = append(row.Terms, Term{j, 0.5 + rng.Float64()})
+		}
+		p.Rows = append(p.Rows, row)
+		s := solveOK(t, p)
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: %v", trial, s.Status)
+		}
+		// Single covering constraint: optimum puts everything on the best
+		// cost/coefficient ratio variable, and the constraint is tight.
+		var lhs float64
+		for _, term := range row.Terms {
+			lhs += term.Coeff * s.X[term.Var]
+		}
+		if math.Abs(lhs-2) > 1e-6 {
+			t.Errorf("trial %d: covering constraint slack at optimum: %v", trial, lhs)
+		}
+	}
+}
+
+func BenchmarkSolveDense(b *testing.B) {
+	// An OPERON-selection-shaped LP: assignment equalities plus covering
+	// rows, ~200 variables.
+	rng := rand.New(rand.NewSource(3))
+	nNets, cands := 50, 4
+	n := nNets * cands
+	p := Problem{NumVars: n, Objective: make([]float64, n)}
+	for i := range p.Objective {
+		p.Objective[i] = 1 + rng.Float64()*5
+	}
+	for i := 0; i < nNets; i++ {
+		row := Row{Sense: EQ, RHS: 1}
+		for j := 0; j < cands; j++ {
+			row.Terms = append(row.Terms, Term{i*cands + j, 1})
+		}
+		p.Rows = append(p.Rows, row)
+	}
+	for k := 0; k < 30; k++ {
+		row := Row{Sense: LE, RHS: 10}
+		for j := 0; j < n; j += 3 {
+			row.Terms = append(row.Terms, Term{j, rng.Float64()})
+		}
+		p.Rows = append(p.Rows, row)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			b.Fatalf("%v %v", s.Status, err)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package mcmf implements integral min-cost max-flow with the successive
+// shortest paths algorithm and Johnson potentials. It replaces the LEMON
+// network-flow library the paper used for the WDM assignment stage (§4.2):
+// capacities are integers (signal bits), costs are integers (quantised
+// displacement plus WDM usage costs, kept integral so the shortest-path
+// arithmetic is exact), and the returned flow is integral — the
+// uni-modularity property §4.2 relies on.
+package mcmf
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// edge is one directed arc plus its residual twin at index^1.
+type edge struct {
+	to   int
+	cap  int
+	cost int64
+}
+
+// Graph is a flow network. Nodes are 0..N-1.
+type Graph struct {
+	n     int
+	edges []edge // twin arcs at 2k, 2k+1
+	adj   [][]int
+}
+
+// New returns an empty network on n nodes.
+func New(n int) *Graph {
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return g.n }
+
+// AddEdge adds a directed arc u→v with the given capacity and per-unit
+// cost, returning an edge handle for Flow. Costs are integers so that the
+// successive-shortest-path arithmetic is exact — callers quantise real
+// costs before building the network. It panics on invalid endpoints or
+// negative capacity, which are programming errors.
+func (g *Graph) AddEdge(u, v, capacity int, cost int64) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("mcmf: edge %d→%d out of range", u, v))
+	}
+	if capacity < 0 {
+		panic("mcmf: negative capacity")
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, edge{to: v, cap: capacity, cost: cost})
+	g.edges = append(g.edges, edge{to: u, cap: 0, cost: -cost})
+	g.adj[u] = append(g.adj[u], id)
+	g.adj[v] = append(g.adj[v], id+1)
+	return id
+}
+
+// Flow returns the flow currently routed on the edge with the given handle
+// (the residual capacity of its twin).
+func (g *Graph) Flow(id int) int {
+	return g.edges[id^1].cap
+}
+
+// Result summarises a MaxFlow run.
+type Result struct {
+	Flow int
+	Cost int64
+}
+
+// pqItem is a Dijkstra queue entry.
+type pqItem struct {
+	node int
+	dist int64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// MaxFlow pushes the maximum flow from s to t at minimum total cost.
+// Negative edge costs are supported via a Bellman-Ford potential
+// initialisation; negative cycles are not.
+func (g *Graph) MaxFlow(s, t int) (Result, error) {
+	if s < 0 || s >= g.n || t < 0 || t >= g.n {
+		return Result{}, fmt.Errorf("mcmf: source/sink out of range")
+	}
+	if s == t {
+		return Result{}, fmt.Errorf("mcmf: source equals sink")
+	}
+	pot := make([]int64, g.n)
+	if g.hasNegativeCost() {
+		if err := g.bellmanFord(s, pot); err != nil {
+			return Result{}, err
+		}
+	}
+	var res Result
+	const unreached = math.MaxInt64
+	dist := make([]int64, g.n)
+	prevEdge := make([]int, g.n)
+	for {
+		// Dijkstra on reduced costs (exact integer arithmetic).
+		for i := range dist {
+			dist[i] = unreached
+			prevEdge[i] = -1
+		}
+		dist[s] = 0
+		q := &pq{{node: s}}
+		for q.Len() > 0 {
+			it := heap.Pop(q).(pqItem)
+			if it.dist > dist[it.node] {
+				continue
+			}
+			for _, id := range g.adj[it.node] {
+				e := g.edges[id]
+				if e.cap <= 0 {
+					continue
+				}
+				nd := it.dist + e.cost + pot[it.node] - pot[e.to]
+				if nd < dist[e.to] {
+					dist[e.to] = nd
+					prevEdge[e.to] = id
+					heap.Push(q, pqItem{node: e.to, dist: nd})
+				}
+			}
+		}
+		if dist[t] == unreached {
+			break // no augmenting path remains
+		}
+		// Update potentials with dist capped at dist[t]: nodes beyond the
+		// sink (or unreached this round) advance by dist[t], which keeps
+		// every residual reduced cost non-negative even when reachability
+		// changes between augmentations.
+		for i := range pot {
+			if dist[i] < dist[t] {
+				pot[i] += dist[i]
+			} else {
+				pot[i] += dist[t]
+			}
+		}
+		// Bottleneck along the path.
+		bottleneck := math.MaxInt
+		for v := t; v != s; {
+			id := prevEdge[v]
+			if g.edges[id].cap < bottleneck {
+				bottleneck = g.edges[id].cap
+			}
+			v = g.edges[id^1].to
+		}
+		for v := t; v != s; {
+			id := prevEdge[v]
+			g.edges[id].cap -= bottleneck
+			g.edges[id^1].cap += bottleneck
+			res.Cost += int64(bottleneck) * g.edges[id].cost
+			v = g.edges[id^1].to
+		}
+		res.Flow += bottleneck
+	}
+	return res, nil
+}
+
+func (g *Graph) hasNegativeCost() bool {
+	for i := 0; i < len(g.edges); i += 2 {
+		if g.edges[i].cost < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// bellmanFord fills pot with shortest distances from s over residual arcs,
+// detecting negative cycles.
+func (g *Graph) bellmanFord(s int, pot []int64) error {
+	const unreached = math.MaxInt64
+	for i := range pot {
+		pot[i] = unreached
+	}
+	pot[s] = 0
+	for iter := 0; iter < g.n; iter++ {
+		changed := false
+		for u := 0; u < g.n; u++ {
+			if pot[u] == unreached {
+				continue
+			}
+			for _, id := range g.adj[u] {
+				e := g.edges[id]
+				if e.cap > 0 && pot[u]+e.cost < pot[e.to] {
+					pot[e.to] = pot[u] + e.cost
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter == g.n-1 {
+			return fmt.Errorf("mcmf: negative cycle detected")
+		}
+	}
+	// Unreached nodes would keep a sentinel potential; normalise to 0 so
+	// reduced costs stay finite if flow later reaches them.
+	for i, v := range pot {
+		if v == unreached {
+			pot[i] = 0
+		}
+	}
+	return nil
+}

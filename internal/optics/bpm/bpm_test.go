@@ -1,0 +1,265 @@
+package bpm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	muts := []func(*Config){
+		func(c *Config) { c.WavelengthUM = 0 },
+		func(c *Config) { c.NCore = c.NClad },
+		func(c *Config) { c.NClad = -1 },
+		func(c *Config) { c.CoreWidthUM = 0 },
+		func(c *Config) { c.WindowUM = c.CoreWidthUM },
+		func(c *Config) { c.NX = 4 },
+		func(c *Config) { c.StepUM = 0 },
+		func(c *Config) { c.AbsorberStrength = -1 },
+	}
+	for i, m := range muts {
+		c := DefaultConfig()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestGaussianLaunch(t *testing.T) {
+	cfg := DefaultConfig()
+	f, err := NewGaussian(cfg, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Power() <= 0 {
+		t.Fatal("launched field has no power")
+	}
+	f.Normalize()
+	if math.Abs(f.Power()-1) > 1e-9 {
+		t.Errorf("normalised power = %v", f.Power())
+	}
+	if _, err := NewGaussian(cfg, 0, 0); err == nil {
+		t.Error("zero waist accepted")
+	}
+}
+
+func TestStraightGuideConservesPower(t *testing.T) {
+	cfg := DefaultConfig()
+	f, err := FundamentalMode(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Propagate(Straight{Cfg: cfg, CenterUM: 0}, 600)
+	// A settled mode propagating in a straight lossless guide keeps nearly
+	// all its power (small residual radiates into the absorber).
+	if p := f.Power(); p < 0.98 || p > 1.001 {
+		t.Errorf("straight-guide power = %v, want ≈1", p)
+	}
+}
+
+func TestModeStaysCentred(t *testing.T) {
+	cfg := DefaultConfig()
+	f, err := FundamentalMode(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Propagate(Straight{Cfg: cfg, CenterUM: 5}, 400)
+	inCore := f.PowerIn(5-cfg.CoreWidthUM, 5+cfg.CoreWidthUM)
+	if inCore < 0.85 {
+		t.Errorf("only %v of power near core", inCore)
+	}
+}
+
+func TestSingleYBranchSplitsEvenly(t *testing.T) {
+	res, err := Simulate(DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ArmPowers) != 2 {
+		t.Fatalf("arm count = %d", len(res.ArmPowers))
+	}
+	// Symmetric Y-branch: each arm carries half the power; the observed
+	// per-arm loss is the ideal 3.01 dB plus a small excess (< 0.5 dB).
+	if math.Abs(res.ArmPowers[0]-res.ArmPowers[1]) > 0.01 {
+		t.Errorf("asymmetric split: %v", res.ArmPowers)
+	}
+	for _, loss := range res.PerArmLossDB {
+		if loss < res.IdealPerArmLossDB-0.05 {
+			t.Errorf("arm loss %v below the ideal %v (non-physical)",
+				loss, res.IdealPerArmLossDB)
+		}
+		if loss > res.IdealPerArmLossDB+0.5 {
+			t.Errorf("arm loss %v far above ideal %v", loss, res.IdealPerArmLossDB)
+		}
+	}
+	if res.TotalOut < 0.95 {
+		t.Errorf("excess radiation loss: total out %v", res.TotalOut)
+	}
+}
+
+func TestCascadedYBranchesQuarterPower(t *testing.T) {
+	// The Fig. 3(b) observation: two cascaded 50-50 Y-branches leave each
+	// of the four arms with ≈ one quarter of the input power.
+	res, err := Simulate(DefaultConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ArmPowers) != 4 {
+		t.Fatalf("arm count = %d", len(res.ArmPowers))
+	}
+	for i, p := range res.ArmPowers {
+		if p < 0.20 || p > 0.30 {
+			t.Errorf("arm %d power = %v, want ≈0.25", i, p)
+		}
+	}
+	// Mirror symmetry of the cascade.
+	if math.Abs(res.ArmPowers[0]-res.ArmPowers[3]) > 0.01 ||
+		math.Abs(res.ArmPowers[1]-res.ArmPowers[2]) > 0.01 {
+		t.Errorf("cascade not symmetric: %v", res.ArmPowers)
+	}
+	if res.TotalOut < 0.93 {
+		t.Errorf("cascade radiates too much: %v", res.TotalOut)
+	}
+}
+
+func TestSplittingLossMatchesRouterModel(t *testing.T) {
+	// The router charges 10·log10(2) dB per Y-branch stage. The full-wave
+	// simulation must agree within a modest excess-loss margin — this is
+	// the link between Fig. 3(b) and Eq. (2).
+	for stages := 1; stages <= 2; stages++ {
+		res, err := Simulate(DefaultConfig(), stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ideal := float64(stages) * 10 * math.Log10(2)
+		var worst float64
+		for _, l := range res.PerArmLossDB {
+			if l > worst {
+				worst = l
+			}
+		}
+		if worst < ideal-0.05 || worst > ideal+0.6 {
+			t.Errorf("stages=%d: worst arm loss %v vs model %v", stages, worst, ideal)
+		}
+	}
+}
+
+func TestZeroStagesPassThrough(t *testing.T) {
+	res, err := Simulate(DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ArmPowers) != 1 || res.ArmPowers[0] < 0.98 {
+		t.Errorf("pass-through result: %+v", res)
+	}
+}
+
+func TestCascadeValidation(t *testing.T) {
+	if _, err := NewCascade(DefaultConfig(), -1); err == nil {
+		t.Error("negative stages accepted")
+	}
+	if _, err := NewCascade(DefaultConfig(), 9); err == nil {
+		t.Error("too many stages accepted")
+	}
+	bad := DefaultConfig()
+	bad.NX = 1
+	if _, err := NewCascade(bad, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestCascadeIndexProfile(t *testing.T) {
+	cfg := DefaultConfig()
+	cas, err := NewCascade(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At z=0 the input guide is at x=0.
+	if cas.Index(0, 0) != cfg.NCore {
+		t.Error("input core missing at origin")
+	}
+	if cas.Index(20, 0) != cfg.NClad {
+		t.Error("cladding missing far from core")
+	}
+	// At the end of the stage the arms are at ±separation.
+	sep := cas.SeparationsUM[0]
+	zEnd := cas.StageLenUM
+	if cas.Index(sep, zEnd) != cfg.NCore || cas.Index(-sep, zEnd) != cfg.NCore {
+		t.Error("output arms missing")
+	}
+	if cas.Index(0, zEnd+1) != cfg.NClad {
+		t.Error("centre should be cladding after the fork")
+	}
+}
+
+func TestTridiagSolver(t *testing.T) {
+	// Solve a known 3x3 complex tridiagonal system and verify A·x = b.
+	lower := []complex128{0, 1i, 2}
+	diag := []complex128{4, 5 + 1i, 6}
+	upper := []complex128{1, 2, 0}
+	b := []complex128{1 + 1i, 2, 3 - 1i}
+	x := make([]complex128, 3)
+	scratch := make([]complex128, 3)
+	solveTridiag(lower, diag, upper, b, x, scratch)
+	check := []complex128{
+		diag[0]*x[0] + upper[0]*x[1],
+		lower[1]*x[0] + diag[1]*x[1] + upper[1]*x[2],
+		lower[2]*x[1] + diag[2]*x[2],
+	}
+	for i := range check {
+		d := check[i] - b[i]
+		if math.Hypot(real(d), imag(d)) > 1e-12 {
+			t.Errorf("residual at %d: %v", i, d)
+		}
+	}
+}
+
+func TestGridConvergence(t *testing.T) {
+	// Halving the transverse pitch and the z step must not change the
+	// single-branch split measurably — the discretisation is converged.
+	coarse := DefaultConfig()
+	fine := DefaultConfig()
+	fine.NX = 2 * fine.NX
+	fine.StepUM = fine.StepUM / 2
+	rc, err := Simulate(coarse, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Simulate(fine, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rc.ArmPowers {
+		if math.Abs(rc.ArmPowers[i]-rf.ArmPowers[i]) > 0.01 {
+			t.Errorf("arm %d: coarse %v vs fine %v", i, rc.ArmPowers[i], rf.ArmPowers[i])
+		}
+	}
+}
+
+func TestOffsetLaunchLosesToAbsorber(t *testing.T) {
+	// Launching far from any core radiates; the absorber must remove the
+	// power rather than reflecting it back.
+	cfg := DefaultConfig()
+	f, err := NewGaussian(cfg, 20, 3) // 20 µm off the guide at 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Normalize()
+	f.Propagate(Straight{Cfg: cfg, CenterUM: 0}, 1500)
+	if p := f.Power(); p > 0.6 {
+		t.Errorf("unguided launch kept %v of its power after 1.5 mm", p)
+	}
+}
+
+func BenchmarkSimulateCascade(b *testing.B) {
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

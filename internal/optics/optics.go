@@ -1,0 +1,239 @@
+// Package optics models the on-chip photonic devices used by OPERON: the
+// WDM waveguide infrastructure, modulators and detectors at the EO/OE
+// boundaries, and the optical loss model of the paper's Eq. (2)
+//
+//	loss = α·WL + β·n_x + 10·Σ log10(n_s)   [dB]
+//
+// together with the optical power model of Eq. (1)
+//
+//	p_o = p_mod·n_mod + p_det·n_det.
+//
+// Device energies are per-bit (pJ/bit); multiplying by the bit rate turns
+// them into mW. The default parameter values are the ones used in the
+// paper's evaluation (α, β from Boos et al. [5]; modulator/detector energies
+// from Sun et al. [2]; WDM capacity 32 from GLOW [4]).
+package optics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Library collects the optical device and loss parameters. The zero value is
+// not useful; obtain a populated Library from DefaultLibrary and override
+// fields as needed.
+type Library struct {
+	// AlphaDBPerCM is the waveguide propagation loss α in dB/cm.
+	AlphaDBPerCM float64
+	// BetaDBPerCrossing is the waveguide crossing loss β in dB per crossing.
+	BetaDBPerCrossing float64
+	// ModulatorPJPerBit is the EO modulator energy p_mod in pJ/bit.
+	ModulatorPJPerBit float64
+	// DetectorPJPerBit is the OE detector (receiver) energy p_det in pJ/bit.
+	DetectorPJPerBit float64
+	// BitRateGHz is the per-channel signalling rate f in Gbit/s, used to
+	// convert pJ/bit device energies into mW.
+	BitRateGHz float64
+	// WDMCapacity is the number of wavelength channels one waveguide carries.
+	WDMCapacity int
+	// MaxLossDB is the detection budget l_m: the maximum tolerable
+	// source-to-sink optical loss in dB.
+	MaxLossDB float64
+	// CrosstalkMinDistCM is dis_l: the minimum spacing between two parallel
+	// WDM waveguides, below which crosstalk is assumed.
+	CrosstalkMinDistCM float64
+	// AssignMaxDistCM is dis_u: the maximum displacement allowed when
+	// assigning a connection to a shared WDM waveguide.
+	AssignMaxDistCM float64
+}
+
+// DefaultLibrary returns the parameter set used in the paper's experiments.
+func DefaultLibrary() Library {
+	return Library{
+		AlphaDBPerCM:       1.5,   // [5]
+		BetaDBPerCrossing:  0.52,  // [5]
+		ModulatorPJPerBit:  0.511, // [2]
+		DetectorPJPerBit:   0.374, // [2]
+		BitRateGHz:         1.0,
+		WDMCapacity:        32, // [4]
+		MaxLossDB:          20.0,
+		CrosstalkMinDistCM: 0.0005, // 5 µm
+		AssignMaxDistCM:    0.05,   // 500 µm
+	}
+}
+
+// Validate reports whether the library parameters are physically meaningful.
+func (l Library) Validate() error {
+	switch {
+	case l.AlphaDBPerCM < 0:
+		return errors.New("optics: negative propagation loss α")
+	case l.BetaDBPerCrossing < 0:
+		return errors.New("optics: negative crossing loss β")
+	case l.ModulatorPJPerBit < 0 || l.DetectorPJPerBit < 0:
+		return errors.New("optics: negative device energy")
+	case l.BitRateGHz <= 0:
+		return errors.New("optics: bit rate must be positive")
+	case l.WDMCapacity <= 0:
+		return errors.New("optics: WDM capacity must be positive")
+	case l.MaxLossDB <= 0:
+		return errors.New("optics: loss budget l_m must be positive")
+	case l.CrosstalkMinDistCM < 0 || l.AssignMaxDistCM < 0:
+		return errors.New("optics: negative WDM distance bound")
+	case l.CrosstalkMinDistCM > l.AssignMaxDistCM:
+		return errors.New("optics: dis_l exceeds dis_u")
+	}
+	return nil
+}
+
+// Variation models the physical-variation sensitivity of the optical
+// devices — the resilience concern of the optical-NoC literature the paper
+// builds on (GLOW's thermal reliability, Mohamed et al.'s variation-aware
+// management). Temperature drift raises waveguide loss (thermo-optic
+// detuning of resonant devices re-expressed as an effective per-cm excess)
+// and erodes the receiver's sensitivity margin.
+type Variation struct {
+	// AlphaDriftDBPerCMPerC is the extra propagation loss per cm per °C of
+	// deviation from the calibration temperature.
+	AlphaDriftDBPerCMPerC float64
+	// BudgetDriftDBPerC is the detection-budget erosion per °C (receiver
+	// sensitivity plus laser wall-plug degradation).
+	BudgetDriftDBPerC float64
+}
+
+// DefaultVariation returns a conservative silicon-photonics drift model.
+func DefaultVariation() Variation {
+	return Variation{
+		AlphaDriftDBPerCMPerC: 0.01,
+		BudgetDriftDBPerC:     0.05,
+	}
+}
+
+// AtTemperature returns the library re-derated for a |deltaC| degree
+// deviation from the calibration point under the variation model: α grows
+// and the loss budget l_m shrinks (never below 1 dB). Routing with a
+// derated library buys variation resilience at a power cost — the trade
+// the robustness experiment sweeps.
+func (l Library) AtTemperature(v Variation, deltaC float64) Library {
+	if deltaC < 0 {
+		deltaC = -deltaC
+	}
+	out := l
+	out.AlphaDBPerCM += v.AlphaDriftDBPerCMPerC * deltaC
+	out.MaxLossDB -= v.BudgetDriftDBPerC * deltaC
+	if out.MaxLossDB < 1 {
+		out.MaxLossDB = 1
+	}
+	return out
+}
+
+// SplittingLossDB returns the ideal splitting loss in dB incurred when one
+// input splits into arms output arms: 10·log10(arms). A pass-through
+// (arms <= 1) splits nothing and loses nothing.
+func SplittingLossDB(arms int) float64 {
+	if arms <= 1 {
+		return 0
+	}
+	return 10 * math.Log10(float64(arms))
+}
+
+// CascadeSplittingLossDB returns the accumulated splitting loss of a chain
+// of splitters, 10·Σ log10(n_s), per the paper's Eq. (2).
+func CascadeSplittingLossDB(armCounts []int) float64 {
+	var total float64
+	for _, n := range armCounts {
+		total += SplittingLossDB(n)
+	}
+	return total
+}
+
+// PropagationLossDB returns α·WL for a waveguide of the given length.
+func (l Library) PropagationLossDB(lengthCM float64) float64 {
+	return l.AlphaDBPerCM * lengthCM
+}
+
+// CrossingLossDB returns β·n_x for the given number of waveguide crossings.
+func (l Library) CrossingLossDB(crossings int) float64 {
+	return l.BetaDBPerCrossing * float64(crossings)
+}
+
+// PathLossDB evaluates Eq. (2) for one source-to-sink path: propagation over
+// lengthCM, crossings waveguide crossings, and the splitter cascade armCounts
+// encountered along the path.
+func (l Library) PathLossDB(lengthCM float64, crossings int, armCounts []int) float64 {
+	return l.PropagationLossDB(lengthCM) + l.CrossingLossDB(crossings) +
+		CascadeSplittingLossDB(armCounts)
+}
+
+// Detectable reports whether a path with the given loss satisfies the
+// detection constraint loss <= l_m.
+func (l Library) Detectable(lossDB float64) bool {
+	return lossDB <= l.MaxLossDB+1e-9
+}
+
+// ConversionPowerMW evaluates Eq. (1) for a single wavelength channel:
+// the power in mW of nMod modulators and nDet detectors running at the
+// library bit rate. Multiply by the channel (bit) count for a full bundle.
+func (l Library) ConversionPowerMW(nMod, nDet int) float64 {
+	pj := l.ModulatorPJPerBit*float64(nMod) + l.DetectorPJPerBit*float64(nDet)
+	// pJ/bit × Gbit/s = mW.
+	return pj * l.BitRateGHz
+}
+
+// FractionRemaining converts a loss in dB to the fraction of optical power
+// remaining, 10^(−loss/10).
+func FractionRemaining(lossDB float64) float64 {
+	return math.Pow(10, -lossDB/10)
+}
+
+// LossDBFromFraction converts a power fraction to loss in dB,
+// −10·log10(frac). It returns +Inf for a non-positive fraction.
+func LossDBFromFraction(frac float64) float64 {
+	if frac <= 0 {
+		return math.Inf(1)
+	}
+	return -10 * math.Log10(frac)
+}
+
+// SplitterTree describes an ideal 1-to-N splitter cascade built from
+// ns-way splitters, used to budget the worst-case splitting loss of a
+// hyper-net branch before routing.
+type SplitterTree struct {
+	Fanout int // number of leaf outputs
+	Arms   int // arms per splitter stage (>= 2)
+}
+
+// Stages returns the number of cascaded splitter stages needed to reach the
+// fanout: ⌈log_arms(fanout)⌉.
+func (t SplitterTree) Stages() int {
+	if t.Fanout <= 1 {
+		return 0
+	}
+	arms := t.Arms
+	if arms < 2 {
+		arms = 2
+	}
+	stages := 0
+	reach := 1
+	for reach < t.Fanout {
+		reach *= arms
+		stages++
+	}
+	return stages
+}
+
+// WorstPathLossDB returns the splitting loss along the deepest root-to-leaf
+// path of the cascade. For an ideal cascade this is stages · 10·log10(arms),
+// which equals 10·log10(fanout) when fanout is an exact power of arms.
+func (t SplitterTree) WorstPathLossDB() float64 {
+	arms := t.Arms
+	if arms < 2 {
+		arms = 2
+	}
+	return float64(t.Stages()) * SplittingLossDB(arms)
+}
+
+// String implements fmt.Stringer.
+func (t SplitterTree) String() string {
+	return fmt.Sprintf("splitter-tree{fanout=%d arms=%d stages=%d}", t.Fanout, t.Arms, t.Stages())
+}

@@ -1,0 +1,207 @@
+package optics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultLibraryValid(t *testing.T) {
+	if err := DefaultLibrary().Validate(); err != nil {
+		t.Fatalf("default library invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Library)
+	}{
+		{"negative alpha", func(l *Library) { l.AlphaDBPerCM = -1 }},
+		{"negative beta", func(l *Library) { l.BetaDBPerCrossing = -0.1 }},
+		{"negative mod", func(l *Library) { l.ModulatorPJPerBit = -1 }},
+		{"negative det", func(l *Library) { l.DetectorPJPerBit = -1 }},
+		{"zero bitrate", func(l *Library) { l.BitRateGHz = 0 }},
+		{"zero capacity", func(l *Library) { l.WDMCapacity = 0 }},
+		{"zero budget", func(l *Library) { l.MaxLossDB = 0 }},
+		{"negative disl", func(l *Library) { l.CrosstalkMinDistCM = -1 }},
+		{"disl > disu", func(l *Library) { l.CrosstalkMinDistCM = 1; l.AssignMaxDistCM = 0.5 }},
+	}
+	for _, m := range mutations {
+		l := DefaultLibrary()
+		m.mut(&l)
+		if err := l.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid library", m.name)
+		}
+	}
+}
+
+func TestSplittingLoss(t *testing.T) {
+	if got := SplittingLossDB(1); got != 0 {
+		t.Errorf("1 arm loss = %v, want 0", got)
+	}
+	if got := SplittingLossDB(0); got != 0 {
+		t.Errorf("0 arm loss = %v, want 0", got)
+	}
+	// A 50-50 Y-branch halves the power: 10·log10(2) ≈ 3.0103 dB.
+	if got := SplittingLossDB(2); math.Abs(got-3.0103) > 1e-3 {
+		t.Errorf("Y-branch loss = %v, want ≈3.0103", got)
+	}
+	if got := SplittingLossDB(4); math.Abs(got-6.0206) > 1e-3 {
+		t.Errorf("4-way loss = %v, want ≈6.0206", got)
+	}
+}
+
+func TestCascadeSplittingLoss(t *testing.T) {
+	// Two cascaded Y-branches (Fig. 3(b)): each halves the power, so a
+	// leaf sees one quarter of the input = 6.02 dB.
+	got := CascadeSplittingLossDB([]int{2, 2})
+	if math.Abs(got-6.0206) > 1e-3 {
+		t.Errorf("two-cascade loss = %v, want ≈6.0206", got)
+	}
+	if got := CascadeSplittingLossDB(nil); got != 0 {
+		t.Errorf("empty cascade loss = %v, want 0", got)
+	}
+}
+
+func TestPathLossComposition(t *testing.T) {
+	l := DefaultLibrary()
+	// 2 cm propagation + 3 crossings + one Y split.
+	want := 1.5*2 + 0.52*3 + 10*math.Log10(2)
+	got := l.PathLossDB(2, 3, []int{2})
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("PathLossDB = %v, want %v", got, want)
+	}
+}
+
+func TestDetectable(t *testing.T) {
+	l := DefaultLibrary()
+	if !l.Detectable(l.MaxLossDB) {
+		t.Error("budget-exact loss should be detectable")
+	}
+	if l.Detectable(l.MaxLossDB + 0.1) {
+		t.Error("over-budget loss should not be detectable")
+	}
+}
+
+func TestConversionPower(t *testing.T) {
+	l := DefaultLibrary()
+	// 1 modulator + 2 detectors at 1 Gbit/s.
+	want := 0.511 + 2*0.374
+	if got := l.ConversionPowerMW(1, 2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ConversionPowerMW = %v, want %v", got, want)
+	}
+	// Doubling the bit rate doubles power.
+	l.BitRateGHz = 2
+	if got := l.ConversionPowerMW(1, 2); math.Abs(got-2*want) > 1e-12 {
+		t.Errorf("2 GHz ConversionPowerMW = %v, want %v", got, 2*want)
+	}
+}
+
+func TestFractionLossRoundTrip(t *testing.T) {
+	f := func(loss float64) bool {
+		loss = math.Abs(math.Mod(loss, 60)) // 0..60 dB
+		if math.IsNaN(loss) {
+			loss = 0
+		}
+		back := LossDBFromFraction(FractionRemaining(loss))
+		return math.Abs(back-loss) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if !math.IsInf(LossDBFromFraction(0), 1) {
+		t.Error("zero fraction should be infinite loss")
+	}
+}
+
+func TestHalfPowerIs3DB(t *testing.T) {
+	if got := LossDBFromFraction(0.5); math.Abs(got-3.0103) > 1e-3 {
+		t.Errorf("half power = %v dB, want ≈3.0103", got)
+	}
+	if got := FractionRemaining(3.0103); math.Abs(got-0.5) > 1e-4 {
+		t.Errorf("3.01 dB remaining = %v, want ≈0.5", got)
+	}
+}
+
+func TestSplitterTreeStages(t *testing.T) {
+	cases := []struct {
+		fanout, arms, stages int
+	}{
+		{1, 2, 0},
+		{2, 2, 1},
+		{3, 2, 2},
+		{4, 2, 2},
+		{5, 2, 3},
+		{8, 2, 3},
+		{9, 3, 2},
+		{0, 2, 0},
+	}
+	for _, c := range cases {
+		tr := SplitterTree{Fanout: c.fanout, Arms: c.arms}
+		if got := tr.Stages(); got != c.stages {
+			t.Errorf("fanout=%d arms=%d: Stages = %d, want %d", c.fanout, c.arms, got, c.stages)
+		}
+	}
+}
+
+func TestSplitterTreeWorstPathLoss(t *testing.T) {
+	// Power-of-two fanout: worst path loss equals 10·log10(fanout).
+	for _, fanout := range []int{2, 4, 8, 16, 32} {
+		tr := SplitterTree{Fanout: fanout, Arms: 2}
+		want := 10 * math.Log10(float64(fanout))
+		if got := tr.WorstPathLossDB(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("fanout %d: worst loss = %v, want %v", fanout, got, want)
+		}
+	}
+	// Degenerate arms fall back to 2.
+	tr := SplitterTree{Fanout: 4, Arms: 0}
+	if got := tr.WorstPathLossDB(); math.Abs(got-6.0206) > 1e-3 {
+		t.Errorf("arms=0 worst loss = %v", got)
+	}
+}
+
+func TestSplitterTreeMonotoneInFanout(t *testing.T) {
+	f := func(a, b uint8) bool {
+		fa, fb := int(a%64), int(b%64)
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		la := SplitterTree{Fanout: fa, Arms: 2}.WorstPathLossDB()
+		lb := SplitterTree{Fanout: fb, Arms: 2}.WorstPathLossDB()
+		return la <= lb+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtTemperature(t *testing.T) {
+	l := DefaultLibrary()
+	v := DefaultVariation()
+	hot := l.AtTemperature(v, 50)
+	if hot.AlphaDBPerCM <= l.AlphaDBPerCM {
+		t.Error("temperature drift did not raise α")
+	}
+	if hot.MaxLossDB >= l.MaxLossDB {
+		t.Error("temperature drift did not shrink the budget")
+	}
+	if err := hot.Validate(); err != nil {
+		t.Errorf("derated library invalid: %v", err)
+	}
+	// Symmetric in the sign of the deviation.
+	cold := l.AtTemperature(v, -50)
+	if cold.AlphaDBPerCM != hot.AlphaDBPerCM || cold.MaxLossDB != hot.MaxLossDB {
+		t.Error("derating not symmetric in ΔT")
+	}
+	// Zero deviation is the identity.
+	same := l.AtTemperature(v, 0)
+	if same != l {
+		t.Error("ΔT=0 changed the library")
+	}
+	// The budget floors at 1 dB rather than going non-positive.
+	extreme := l.AtTemperature(v, 1e6)
+	if extreme.MaxLossDB != 1 {
+		t.Errorf("extreme derating budget = %v, want floor 1", extreme.MaxLossDB)
+	}
+}

@@ -1,0 +1,225 @@
+// Package power models electrical interconnect power (paper Eq. 6) and the
+// per-layer power-density hotspot grids of Fig. 9.
+//
+// Electrical dynamic power for one wire is
+//
+//	p_e = γ · f · V² · Cap,   Cap = UnitCapPFPerCM · wirelength
+//
+// with γ the switching factor, f the system frequency, V the supply voltage
+// and Cap the wire capacitance proportional to the (rectilinear) wirelength.
+// Powers are reported in mW for consistency with the optical model.
+package power
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"operon/internal/geom"
+)
+
+// ElectricalModel holds the Eq. (6) parameters.
+type ElectricalModel struct {
+	// SwitchingFactor is γ, the signal activity factor.
+	SwitchingFactor float64
+	// FrequencyGHz is the system frequency f in GHz.
+	FrequencyGHz float64
+	// VoltageV is the supply voltage V in volts.
+	VoltageV float64
+	// UnitCapPFPerCM is the wire capacitance per centimetre, in pF/cm.
+	UnitCapPFPerCM float64
+}
+
+// DefaultElectricalModel returns parameters representative of the paper's
+// performance-critical global signals at centimetre scale. They are the
+// calibration knob for the Electrical/Optical power ratio (paper: ≈3.565).
+// The unit capacitance is an effective value for repeated global wires
+// (wire plus repeater load) on the up-scaled centimetre-size die.
+func DefaultElectricalModel() ElectricalModel {
+	return ElectricalModel{
+		SwitchingFactor: 0.5,
+		FrequencyGHz:    1.0,
+		VoltageV:        1.0,
+		UnitCapPFPerCM:  9.0,
+	}
+}
+
+// Validate reports whether the model parameters are physically meaningful.
+func (m ElectricalModel) Validate() error {
+	switch {
+	case m.SwitchingFactor <= 0 || m.SwitchingFactor > 1:
+		return errors.New("power: switching factor must be in (0,1]")
+	case m.FrequencyGHz <= 0:
+		return errors.New("power: frequency must be positive")
+	case m.VoltageV <= 0:
+		return errors.New("power: voltage must be positive")
+	case m.UnitCapPFPerCM <= 0:
+		return errors.New("power: unit capacitance must be positive")
+	}
+	return nil
+}
+
+// WirePowerMW returns the dynamic power in mW of a single wire of the given
+// rectilinear length: γ · f · V² · c · WL. (GHz × pF × V² = mW.)
+func (m ElectricalModel) WirePowerMW(lengthCM float64) float64 {
+	return m.SwitchingFactor * m.FrequencyGHz * m.VoltageV * m.VoltageV *
+		m.UnitCapPFPerCM * lengthCM
+}
+
+// BusPowerMW returns WirePowerMW scaled by the number of parallel bits.
+func (m ElectricalModel) BusPowerMW(lengthCM float64, bits int) float64 {
+	return m.WirePowerMW(lengthCM) * float64(bits)
+}
+
+// Grid is a 2-D power-density histogram over the die, used to render the
+// hotspot maps of Fig. 9. Cells are indexed [row][col] with row 0 at the
+// bottom (minimum Y).
+type Grid struct {
+	Die  geom.Rect
+	Rows int
+	Cols int
+	Cell [][]float64
+}
+
+// NewGrid returns an empty grid over the die with the given resolution.
+func NewGrid(die geom.Rect, rows, cols int) (*Grid, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("power: grid %dx%d must be positive", rows, cols)
+	}
+	if die.Width() <= 0 || die.Height() <= 0 {
+		return nil, fmt.Errorf("power: die %v has no area", die)
+	}
+	g := &Grid{Die: die, Rows: rows, Cols: cols, Cell: make([][]float64, rows)}
+	for r := range g.Cell {
+		g.Cell[r] = make([]float64, cols)
+	}
+	return g, nil
+}
+
+// clampIndex maps a coordinate fraction to a valid cell index.
+func clampIndex(frac float64, n int) int {
+	i := int(frac * float64(n))
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// cellOf returns the (row, col) containing p, clamped to the die.
+func (g *Grid) cellOf(p geom.Point) (int, int) {
+	fr := (p.Y - g.Die.Lo.Y) / g.Die.Height()
+	fc := (p.X - g.Die.Lo.X) / g.Die.Width()
+	return clampIndex(fr, g.Rows), clampIndex(fc, g.Cols)
+}
+
+// AddPoint deposits power at a single location (e.g. an EO/OE conversion
+// site).
+func (g *Grid) AddPoint(p geom.Point, mw float64) {
+	r, c := g.cellOf(p)
+	g.Cell[r][c] += mw
+}
+
+// AddSegment distributes power uniformly along a wire segment by sampling.
+// The sample pitch adapts to the cell size so every traversed cell receives
+// its share.
+func (g *Grid) AddSegment(s geom.Segment, mw float64) {
+	length := s.Length()
+	if length <= geom.Eps {
+		g.AddPoint(s.A, mw)
+		return
+	}
+	pitch := math.Min(g.Die.Width()/float64(g.Cols), g.Die.Height()/float64(g.Rows)) / 2
+	n := int(length/pitch) + 1
+	share := mw / float64(n)
+	for i := 0; i < n; i++ {
+		t := (float64(i) + 0.5) / float64(n)
+		p := geom.Point{
+			X: s.A.X + t*(s.B.X-s.A.X),
+			Y: s.A.Y + t*(s.B.Y-s.A.Y),
+		}
+		g.AddPoint(p, share)
+	}
+}
+
+// Total returns the sum over all cells.
+func (g *Grid) Total() float64 {
+	var sum float64
+	for _, row := range g.Cell {
+		for _, v := range row {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Max returns the hottest cell value.
+func (g *Grid) Max() float64 {
+	best := 0.0
+	for _, row := range g.Cell {
+		for _, v := range row {
+			if v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// Normalized returns a copy of the grid scaled so that the hottest cell is
+// 1.0. An all-zero grid normalises to all zeros.
+func (g *Grid) Normalized() *Grid {
+	out, _ := NewGrid(g.Die, g.Rows, g.Cols)
+	max := g.Max()
+	if max == 0 {
+		return out
+	}
+	for r := range g.Cell {
+		for c := range g.Cell[r] {
+			out.Cell[r][c] = g.Cell[r][c] / max
+		}
+	}
+	return out
+}
+
+// Render draws the grid as an ASCII heat map, top row first, using a ramp
+// of shading characters. It is the textual stand-in for the colour maps of
+// Fig. 9.
+func (g *Grid) Render() string {
+	ramp := []byte(" .:-=+*#%@")
+	max := g.Max()
+	var b strings.Builder
+	for r := g.Rows - 1; r >= 0; r-- {
+		for c := 0; c < g.Cols; c++ {
+			idx := 0
+			if max > 0 {
+				idx = int(g.Cell[r][c] / max * float64(len(ramp)-1))
+				if idx >= len(ramp) {
+					idx = len(ramp) - 1
+				}
+			}
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV serialises the grid as comma-separated rows (bottom row first) for
+// external plotting.
+func (g *Grid) CSV() string {
+	var b strings.Builder
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			if c > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%.6g", g.Cell[r][c])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

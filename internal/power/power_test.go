@@ -1,0 +1,163 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"operon/internal/geom"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := DefaultElectricalModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	muts := []func(*ElectricalModel){
+		func(m *ElectricalModel) { m.SwitchingFactor = 0 },
+		func(m *ElectricalModel) { m.SwitchingFactor = 1.5 },
+		func(m *ElectricalModel) { m.FrequencyGHz = -1 },
+		func(m *ElectricalModel) { m.VoltageV = 0 },
+		func(m *ElectricalModel) { m.UnitCapPFPerCM = 0 },
+	}
+	for i, mut := range muts {
+		m := DefaultElectricalModel()
+		mut(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestWirePower(t *testing.T) {
+	m := ElectricalModel{SwitchingFactor: 0.5, FrequencyGHz: 2, VoltageV: 1, UnitCapPFPerCM: 2}
+	// 0.5 · 2 GHz · 1 V² · 2 pF/cm · 3 cm = 6 mW.
+	if got := m.WirePowerMW(3); math.Abs(got-6) > 1e-12 {
+		t.Errorf("WirePowerMW = %v, want 6", got)
+	}
+	if got := m.BusPowerMW(3, 4); math.Abs(got-24) > 1e-12 {
+		t.Errorf("BusPowerMW = %v, want 24", got)
+	}
+}
+
+func TestWirePowerLinearity(t *testing.T) {
+	m := DefaultElectricalModel()
+	f := func(a, b float64) bool {
+		a = math.Abs(math.Mod(a, 10))
+		b = math.Abs(math.Mod(b, 10))
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		sum := m.WirePowerMW(a) + m.WirePowerMW(b)
+		return math.Abs(m.WirePowerMW(a+b)-sum) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func die() geom.Rect { return geom.Rect{Hi: geom.Point{X: 4, Y: 4}} }
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(die(), 0, 4); err == nil {
+		t.Error("zero rows accepted")
+	}
+	if _, err := NewGrid(geom.Rect{}, 4, 4); err == nil {
+		t.Error("zero-area die accepted")
+	}
+}
+
+func TestGridPointDeposit(t *testing.T) {
+	g, err := NewGrid(die(), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddPoint(geom.Point{X: 0.5, Y: 0.5}, 2) // cell (0,0)
+	g.AddPoint(geom.Point{X: 3.9, Y: 3.9}, 3) // cell (3,3)
+	g.AddPoint(geom.Point{X: -1, Y: 99}, 1)   // clamped to (3,0)
+	if g.Cell[0][0] != 2 || g.Cell[3][3] != 3 || g.Cell[3][0] != 1 {
+		t.Fatalf("deposits wrong: %+v", g.Cell)
+	}
+	if math.Abs(g.Total()-6) > 1e-12 {
+		t.Errorf("Total = %v, want 6", g.Total())
+	}
+	if g.Max() != 3 {
+		t.Errorf("Max = %v, want 3", g.Max())
+	}
+}
+
+func TestGridSegmentConservesPower(t *testing.T) {
+	g, _ := NewGrid(die(), 8, 8)
+	g.AddSegment(geom.Segment{A: geom.Point{X: 0.2, Y: 0.2}, B: geom.Point{X: 3.8, Y: 3.1}}, 5)
+	if math.Abs(g.Total()-5) > 1e-9 {
+		t.Errorf("segment deposit total = %v, want 5", g.Total())
+	}
+}
+
+func TestGridSegmentSpreads(t *testing.T) {
+	g, _ := NewGrid(die(), 1, 4)
+	// Horizontal wire across the full die: all 4 columns should receive power.
+	g.AddSegment(geom.Segment{A: geom.Point{X: 0.1, Y: 2}, B: geom.Point{X: 3.9, Y: 2}}, 4)
+	for c := 0; c < 4; c++ {
+		if g.Cell[0][c] <= 0 {
+			t.Errorf("column %d received no power", c)
+		}
+	}
+}
+
+func TestGridDegenerateSegment(t *testing.T) {
+	g, _ := NewGrid(die(), 4, 4)
+	g.AddSegment(geom.Segment{A: geom.Point{X: 1, Y: 1}, B: geom.Point{X: 1, Y: 1}}, 7)
+	if math.Abs(g.Total()-7) > 1e-12 {
+		t.Errorf("degenerate segment total = %v", g.Total())
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	g, _ := NewGrid(die(), 2, 2)
+	g.Cell[0][0] = 2
+	g.Cell[1][1] = 8
+	n := g.Normalized()
+	if n.Cell[1][1] != 1 || math.Abs(n.Cell[0][0]-0.25) > 1e-12 {
+		t.Fatalf("Normalized = %+v", n.Cell)
+	}
+	// Zero grid normalises to zero, not NaN.
+	z, _ := NewGrid(die(), 2, 2)
+	nz := z.Normalized()
+	if nz.Max() != 0 {
+		t.Errorf("zero grid normalised to %v", nz.Max())
+	}
+}
+
+func TestRender(t *testing.T) {
+	g, _ := NewGrid(die(), 2, 3)
+	g.Cell[1][2] = 10
+	out := g.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 || len(lines[0]) != 3 {
+		t.Fatalf("Render shape wrong: %q", out)
+	}
+	// Hottest cell renders as the densest ramp character '@', and it is in
+	// the top row because row 1 is rendered first.
+	if lines[0][2] != '@' {
+		t.Errorf("hot cell rendered as %q", lines[0][2])
+	}
+	if lines[1][0] != ' ' {
+		t.Errorf("cold cell rendered as %q", lines[1][0])
+	}
+}
+
+func TestCSV(t *testing.T) {
+	g, _ := NewGrid(die(), 2, 2)
+	g.Cell[0][1] = 1.5
+	out := g.CSV()
+	if !strings.Contains(out, "0,1.5") {
+		t.Errorf("CSV missing value: %q", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Errorf("CSV rows = %d, want 2", lines)
+	}
+}

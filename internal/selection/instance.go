@@ -1,0 +1,275 @@
+// Package selection implements OPERON's solution-determination stage: given
+// the per-hyper-net candidate sets produced by internal/codesign, it picks
+// exactly one candidate per hyper net so that total power is minimised and
+// every optical detection path meets the loss budget, accounting for the
+// crossing loss selected candidates inflict on each other.
+//
+// Two solvers are provided, mirroring the paper: SolveILP builds the exact
+// quadratic 0-1 programme of §3.3 (linearised exactly) and solves it by
+// branch and bound; SolveLR runs the Lagrangian-relaxation iteration of
+// §3.4, trading a little quality for orders of magnitude less runtime.
+package selection
+
+import (
+	"fmt"
+	"math"
+
+	"operon/internal/codesign"
+	"operon/internal/geom"
+	"operon/internal/optics"
+)
+
+// Net is one hyper net with its candidate solutions. The last candidate is
+// expected to be the pure-electrical fallback a_ie (as produced by
+// codesign.Generate), guaranteeing feasibility.
+type Net struct {
+	Bits  int
+	Cands []codesign.Candidate
+}
+
+// ElectricalIndex returns the index of the electrical fallback candidate,
+// or -1 if the net has none.
+func (n Net) ElectricalIndex() int {
+	for j := len(n.Cands) - 1; j >= 0; j-- {
+		if n.Cands[j].AllElectrical {
+			return j
+		}
+	}
+	return -1
+}
+
+// Instance is a complete selection problem.
+type Instance struct {
+	Nets []Net
+	Lib  optics.Library
+
+	// candBox[i][j] is the bounding box of candidate (i,j)'s optical
+	// segments; hasOpt[i][j] reports whether it has any.
+	candBox [][]geom.Rect
+	hasOpt  [][]bool
+	// crossCache memoises per-path crossing loss between candidate pairs.
+	crossCache map[pairKey][]float64
+	// interactCache memoises InteractingNets results.
+	interactCache [][]int
+}
+
+type pairKey struct{ i, j, m, n int }
+
+// NewInstance validates the nets and prepares interaction bookkeeping.
+func NewInstance(nets []Net, lib optics.Library) (*Instance, error) {
+	if len(nets) == 0 {
+		return nil, fmt.Errorf("selection: no nets")
+	}
+	if err := lib.Validate(); err != nil {
+		return nil, err
+	}
+	inst := &Instance{
+		Nets:       nets,
+		Lib:        lib,
+		crossCache: make(map[pairKey][]float64),
+	}
+	inst.candBox = make([][]geom.Rect, len(nets))
+	inst.hasOpt = make([][]bool, len(nets))
+	for i, n := range nets {
+		if len(n.Cands) == 0 {
+			return nil, fmt.Errorf("selection: net %d has no candidates", i)
+		}
+		if n.ElectricalIndex() < 0 {
+			return nil, fmt.Errorf("selection: net %d lacks an electrical fallback", i)
+		}
+		inst.candBox[i] = make([]geom.Rect, len(n.Cands))
+		inst.hasOpt[i] = make([]bool, len(n.Cands))
+		for j, c := range n.Cands {
+			if len(c.OpticalSegs) == 0 {
+				continue
+			}
+			inst.hasOpt[i][j] = true
+			box := c.OpticalSegs[0].BBox()
+			for _, s := range c.OpticalSegs[1:] {
+				box = box.Union(s.BBox())
+			}
+			inst.candBox[i][j] = box
+		}
+	}
+	return inst, nil
+}
+
+// CrossLossDB returns, for each path of candidate (i,j), the crossing loss
+// in dB inflicted by candidate (m,n)'s waveguides. Results are memoised.
+func (inst *Instance) CrossLossDB(i, j, m, n int) []float64 {
+	key := pairKey{i, j, m, n}
+	if v, ok := inst.crossCache[key]; ok {
+		return v
+	}
+	ci := inst.Nets[i].Cands[j]
+	out := make([]float64, len(ci.Paths))
+	if i != m && inst.hasOpt[i][j] && inst.hasOpt[m][n] &&
+		inst.candBox[i][j].Overlaps(inst.candBox[m][n]) {
+		other := inst.Nets[m].Cands[n].OpticalSegs
+		for p, path := range ci.Paths {
+			crossings := geom.CountCrossings(path.Segs, other)
+			out[p] = inst.Lib.CrossingLossDB(crossings)
+		}
+	}
+	inst.crossCache[key] = out
+	return out
+}
+
+// InteractingNets returns, for net i, the other nets whose candidate
+// bounding boxes overlap any of net i's — the §3.3 speed-up that drops
+// crossing variables between non-overlapping hyper nets.
+func (inst *Instance) InteractingNets(i int) []int {
+	if inst.interactCache == nil {
+		inst.interactCache = make([][]int, len(inst.Nets))
+	}
+	if inst.interactCache[i] != nil {
+		return inst.interactCache[i]
+	}
+	var netBox geom.Rect
+	has := false
+	for j := range inst.Nets[i].Cands {
+		if inst.hasOpt[i][j] {
+			if !has {
+				netBox = inst.candBox[i][j]
+				has = true
+			} else {
+				netBox = netBox.Union(inst.candBox[i][j])
+			}
+		}
+	}
+	out := []int{}
+	if has {
+		for m := range inst.Nets {
+			if m == i {
+				continue
+			}
+			for n := range inst.Nets[m].Cands {
+				if inst.hasOpt[m][n] && netBox.Overlaps(inst.candBox[m][n]) {
+					out = append(out, m)
+					break
+				}
+			}
+		}
+	}
+	inst.interactCache[i] = out
+	return out
+}
+
+// Selection is a complete assignment of one candidate per net.
+type Selection struct {
+	// Choice[i] indexes the chosen candidate of net i.
+	Choice []int
+	// PowerMW is the total power of the chosen candidates.
+	PowerMW float64
+	// Violations counts detection-constraint violations under exact
+	// pairwise crossing loss.
+	Violations int
+	// MaxViolationDB is the largest amount by which a path exceeds the
+	// budget.
+	MaxViolationDB float64
+}
+
+// Evaluate computes the exact power and loss legality of a choice vector.
+func (inst *Instance) Evaluate(choice []int) (Selection, error) {
+	if len(choice) != len(inst.Nets) {
+		return Selection{}, fmt.Errorf("selection: choice length %d for %d nets",
+			len(choice), len(inst.Nets))
+	}
+	sel := Selection{Choice: append([]int(nil), choice...)}
+	for i, j := range choice {
+		if j < 0 || j >= len(inst.Nets[i].Cands) {
+			return Selection{}, fmt.Errorf("selection: net %d choice %d out of range", i, j)
+		}
+		sel.PowerMW += inst.Nets[i].Cands[j].PowerMW
+	}
+	for i, j := range choice {
+		cand := inst.Nets[i].Cands[j]
+		if len(cand.Paths) == 0 {
+			continue
+		}
+		extra := make([]float64, len(cand.Paths))
+		for _, m := range inst.InteractingNets(i) {
+			lx := inst.CrossLossDB(i, j, m, choice[m])
+			for p := range extra {
+				extra[p] += lx[p]
+			}
+		}
+		for p, path := range cand.Paths {
+			loss := path.FixedLossDB + extra[p]
+			if !inst.Lib.Detectable(loss) {
+				sel.Violations++
+				if v := loss - inst.Lib.MaxLossDB; v > sel.MaxViolationDB {
+					sel.MaxViolationDB = v
+				}
+			}
+		}
+	}
+	return sel, nil
+}
+
+// Repair demotes nets with violating optical paths to their electrical
+// fallback until the selection is legal. It mirrors the paper's observation
+// that "the residual nets have to be completed through electrical wires".
+func (inst *Instance) Repair(sel Selection) (Selection, error) {
+	cur := sel
+	for cur.Violations > 0 {
+		// Demote the net owning the worst violating path.
+		worstNet, worstViol := -1, 0.0
+		for i, j := range cur.Choice {
+			cand := inst.Nets[i].Cands[j]
+			if len(cand.Paths) == 0 {
+				continue
+			}
+			for p, path := range cand.Paths {
+				loss := path.FixedLossDB
+				for _, m := range inst.InteractingNets(i) {
+					loss += inst.CrossLossDB(i, j, m, cur.Choice[m])[p]
+				}
+				if v := loss - inst.Lib.MaxLossDB; v > worstViol {
+					worstViol = v
+					worstNet = i
+				}
+			}
+		}
+		if worstNet < 0 {
+			break
+		}
+		cur.Choice[worstNet] = inst.Nets[worstNet].ElectricalIndex()
+		next, err := inst.Evaluate(cur.Choice)
+		if err != nil {
+			return Selection{}, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// GreedyIndependent picks, for every net, its cheapest candidate ignoring
+// interactions, then repairs. It seeds the LR iteration and serves as a
+// baseline.
+func (inst *Instance) GreedyIndependent() (Selection, error) {
+	choice := make([]int, len(inst.Nets))
+	for i, n := range inst.Nets {
+		best, bestP := 0, math.Inf(1)
+		for j, c := range n.Cands {
+			if c.PowerMW < bestP {
+				best, bestP = j, c.PowerMW
+			}
+		}
+		choice[i] = best
+	}
+	sel, err := inst.Evaluate(choice)
+	if err != nil {
+		return Selection{}, err
+	}
+	return inst.Repair(sel)
+}
+
+// AllElectrical returns the selection that routes every net electrically.
+func (inst *Instance) AllElectrical() (Selection, error) {
+	choice := make([]int, len(inst.Nets))
+	for i, n := range inst.Nets {
+		choice[i] = n.ElectricalIndex()
+	}
+	return inst.Evaluate(choice)
+}

@@ -1,0 +1,185 @@
+package selection
+
+import (
+	"time"
+
+	"operon/internal/geom"
+)
+
+// LROptions tunes the Lagrangian-relaxation solver of §3.4.
+type LROptions struct {
+	// MaxIters bounds the multiplier-update iterations; the paper stops at
+	// 10. Defaults to 10 when zero.
+	MaxIters int
+	// ConvergeRatio stops the iteration when both the power decrease and
+	// the violation decrease fall below this relative ratio. Defaults to
+	// 0.01 when zero.
+	ConvergeRatio float64
+	// StepScale scales the sub-gradient step. Defaults to 1 when zero.
+	StepScale float64
+}
+
+// LRResult is the outcome of SolveLR.
+type LRResult struct {
+	Selection
+	Iters   int
+	Elapsed time.Duration
+	// History records (power, violations) after each iteration.
+	History []LRIterate
+}
+
+// LRIterate is one iteration's snapshot.
+type LRIterate struct {
+	PowerMW    float64
+	Violations int
+}
+
+// SolveLR runs Algorithm 1 of the paper: Lagrangian multipliers λ_p per
+// optical path are initialised proportionally to each net's electrical
+// power p_e; every iteration selects, per hyper net, the candidate with the
+// best weight — its own power plus λ-weighted propagation/splitting loss
+// plus the linearised crossing terms of Eq. (5) computed against the
+// previous iteration's selection — then updates the multipliers by a
+// sub-gradient step on the detection violations. The final selection is
+// repaired to legality (violating nets drop to electrical wires).
+func SolveLR(inst *Instance, opt LROptions) (LRResult, error) {
+	start := time.Now()
+	maxIters := opt.MaxIters
+	if maxIters == 0 {
+		maxIters = 10
+	}
+	ratio := opt.ConvergeRatio
+	if ratio == 0 {
+		ratio = 0.01
+	}
+	stepScale := opt.StepScale
+	if stepScale == 0 {
+		stepScale = 1
+	}
+
+	// Multipliers, one per (net, cand, path); initialised proportional to
+	// the net's electrical power (Algorithm 1, line 1) normalised by the
+	// loss budget so that λ·loss is commensurate with power.
+	lambda := make([][][]float64, len(inst.Nets))
+	for i, n := range inst.Nets {
+		ei := n.ElectricalIndex()
+		pe := n.Cands[ei].PowerMW
+		lambda[i] = make([][]float64, len(n.Cands))
+		for j, c := range n.Cands {
+			lambda[i][j] = make([]float64, len(c.Paths))
+			for p := range c.Paths {
+				lambda[i][j][p] = 0.1 * pe / inst.Lib.MaxLossDB
+			}
+		}
+	}
+
+	// Previous selection a'_ij for the Eq. (5) linearisation; start from
+	// the independent greedy choice.
+	prev := make([]int, len(inst.Nets))
+	for i, n := range inst.Nets {
+		best, bestP := 0, n.Cands[0].PowerMW
+		for j, c := range n.Cands {
+			if c.PowerMW < bestP {
+				best, bestP = j, c.PowerMW
+			}
+		}
+		prev[i] = best
+	}
+
+	res := LRResult{}
+	prevPower, prevViol := -1.0, -1
+	choice := append([]int(nil), prev...)
+
+	for iter := 0; iter < maxIters; iter++ {
+		res.Iters = iter + 1
+		// Selection step: per net, the candidate with the best weight.
+		for i, n := range inst.Nets {
+			inter := inst.InteractingNets(i)
+			bestJ, bestW := -1, 0.0
+			for j, c := range n.Cands {
+				w := c.PowerMW
+				// Own paths: λ_p × (propagation + splitting + crossing from
+				// the previous selection).
+				for p, path := range c.Paths {
+					loss := path.FixedLossDB
+					for _, m := range inter {
+						loss += inst.CrossLossDB(i, j, m, prev[m])[p]
+					}
+					w += lambda[i][j][p] * loss
+				}
+				// Symmetric linearised term: crossing loss this candidate
+				// inflicts on the previously selected candidates' paths.
+				for _, m := range inter {
+					mj := prev[m]
+					lx := inst.CrossLossDB(m, mj, i, j)
+					for p := range lx {
+						w += lambda[m][mj][p] * lx[p]
+					}
+				}
+				if bestJ < 0 || w < bestW-geom.Eps {
+					bestJ, bestW = j, w
+				}
+			}
+			choice[i] = bestJ
+		}
+
+		// Violation measurement and sub-gradient multiplier update.
+		sel, err := inst.Evaluate(choice)
+		if err != nil {
+			return LRResult{}, err
+		}
+		step := stepScale / float64(iter+1)
+		for i, n := range inst.Nets {
+			inter := inst.InteractingNets(i)
+			for j, c := range n.Cands {
+				selected := choice[i] == j
+				for p, path := range c.Paths {
+					var g float64
+					if selected {
+						loss := path.FixedLossDB
+						for _, m := range inter {
+							loss += inst.CrossLossDB(i, j, m, choice[m])[p]
+						}
+						g = loss - inst.Lib.MaxLossDB
+					} else {
+						// Constraint (3c) reads 0 <= l_m when a_ij = 0.
+						g = -inst.Lib.MaxLossDB
+					}
+					lambda[i][j][p] += step * g * 0.01 * n.Cands[n.ElectricalIndex()].PowerMW /
+						inst.Lib.MaxLossDB
+					if lambda[i][j][p] < 0 {
+						lambda[i][j][p] = 0
+					}
+				}
+			}
+		}
+
+		res.History = append(res.History, LRIterate{PowerMW: sel.PowerMW, Violations: sel.Violations})
+		copy(prev, choice)
+
+		// Convergence: both power and violations stopped improving.
+		if prevPower >= 0 {
+			powerImproves := sel.PowerMW < prevPower*(1-ratio)
+			violImproves := sel.Violations < prevViol
+			if !powerImproves && !violImproves && sel.Violations == 0 {
+				break
+			}
+			if !powerImproves && !violImproves && iter >= 2 {
+				break
+			}
+		}
+		prevPower, prevViol = sel.PowerMW, sel.Violations
+	}
+
+	sel, err := inst.Evaluate(choice)
+	if err != nil {
+		return LRResult{}, err
+	}
+	sel, err = inst.Repair(sel)
+	if err != nil {
+		return LRResult{}, err
+	}
+	res.Selection = sel
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

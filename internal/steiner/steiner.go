@@ -1,0 +1,553 @@
+// Package steiner builds the routing topologies OPERON starts from: minimum
+// spanning trees, Hanan-grid candidate Steiner points, and the Batched
+// Iterated 1-Steiner (BI1S) heuristic, in both the rectilinear metric
+// (electrical Manhattan wires, RSMT estimation per Streak/Eq. 6) and the
+// Euclidean metric (optical waveguides, which "allow routing in any
+// direction", paper §2.3).
+//
+// Per §3.2 the co-design stage wants several baseline topologies per hyper
+// net; Baselines produces them by steering BI1S with different Steiner-point
+// cost orderings (propagation-only vs propagation+bending).
+package steiner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"operon/internal/geom"
+)
+
+// Metric selects the distance function a tree is built under.
+type Metric int
+
+const (
+	// Rectilinear is the Manhattan metric of electrical routing.
+	Rectilinear Metric = iota
+	// Euclidean is the any-direction metric of optical routing.
+	Euclidean
+)
+
+// Dist returns the distance between two points under the metric.
+func (m Metric) Dist(a, b geom.Point) float64 {
+	if m == Rectilinear {
+		return a.ManhattanDist(b)
+	}
+	return a.Dist(b)
+}
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	if m == Rectilinear {
+		return "rectilinear"
+	}
+	return "euclidean"
+}
+
+// Node is a tree vertex: either one of the original terminals or an added
+// Steiner point.
+type Node struct {
+	Pt geom.Point
+	// Terminal is the index of the terminal this node represents, or -1
+	// for a Steiner point.
+	Terminal int
+}
+
+// IsSteiner reports whether the node is an added Steiner point.
+func (n Node) IsSteiner() bool { return n.Terminal < 0 }
+
+// Edge connects two node indices.
+type Edge struct {
+	U, V int
+}
+
+// Tree is an undirected spanning topology over a terminal set. Node 0 is
+// always terminal 0 (the routing source by convention).
+type Tree struct {
+	Metric Metric
+	Nodes  []Node
+	Edges  []Edge
+}
+
+// Length returns the total edge length of the tree under its metric.
+func (t Tree) Length() float64 {
+	var sum float64
+	for _, e := range t.Edges {
+		sum += t.Metric.Dist(t.Nodes[e.U].Pt, t.Nodes[e.V].Pt)
+	}
+	return sum
+}
+
+// EuclideanLength returns the total edge length under the Euclidean metric
+// regardless of the tree's native metric.
+func (t Tree) EuclideanLength() float64 {
+	var sum float64
+	for _, e := range t.Edges {
+		sum += t.Nodes[e.U].Pt.Dist(t.Nodes[e.V].Pt)
+	}
+	return sum
+}
+
+// Segments returns the tree edges as geometric segments.
+func (t Tree) Segments() []geom.Segment {
+	out := make([]geom.Segment, len(t.Edges))
+	for i, e := range t.Edges {
+		out[i] = geom.Segment{A: t.Nodes[e.U].Pt, B: t.Nodes[e.V].Pt}
+	}
+	return out
+}
+
+// Adjacency returns the adjacency lists of the tree.
+func (t Tree) Adjacency() [][]int {
+	adj := make([][]int, len(t.Nodes))
+	for _, e := range t.Edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	return adj
+}
+
+// Validate checks structural soundness: spanning, connected, acyclic.
+func (t Tree) Validate() error {
+	n := len(t.Nodes)
+	if n == 0 {
+		return fmt.Errorf("steiner: empty tree")
+	}
+	if len(t.Edges) != n-1 {
+		return fmt.Errorf("steiner: %d nodes but %d edges", n, len(t.Edges))
+	}
+	adj := t.Adjacency()
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	if count != n {
+		return fmt.Errorf("steiner: tree is disconnected (%d of %d reachable)", count, n)
+	}
+	return nil
+}
+
+// Bends returns the number of direction changes summed over the tree's
+// internal nodes, the "bending cost" used to rank Steiner candidates.
+// For each node with degree >= 2 we count pairs of incident edges whose
+// directions differ.
+func (t Tree) Bends() int {
+	adj := t.Adjacency()
+	bends := 0
+	for u, neigh := range adj {
+		if len(neigh) < 2 {
+			continue
+		}
+		for i := 0; i < len(neigh); i++ {
+			for j := i + 1; j < len(neigh); j++ {
+				a := t.Nodes[neigh[i]].Pt.Sub(t.Nodes[u].Pt)
+				b := t.Nodes[neigh[j]].Pt.Sub(t.Nodes[u].Pt)
+				// Straight-through means the two incident directions are
+				// opposite: cross ≈ 0 and dot < 0.
+				crossz := a.X*b.Y - a.Y*b.X
+				dot := a.X*b.X + a.Y*b.Y
+				if math.Abs(crossz) > geom.Eps || dot > 0 {
+					bends++
+				}
+			}
+		}
+	}
+	return bends
+}
+
+// MST builds the minimum spanning tree over the terminals with Prim's
+// algorithm in O(n²). It panics on an empty terminal set.
+func MST(terminals []geom.Point, metric Metric) Tree {
+	n := len(terminals)
+	if n == 0 {
+		panic("steiner: MST over empty terminal set")
+	}
+	t := Tree{Metric: metric, Nodes: make([]Node, n)}
+	for i, p := range terminals {
+		t.Nodes[i] = Node{Pt: p, Terminal: i}
+	}
+	if n == 1 {
+		return t
+	}
+	inTree := make([]bool, n)
+	bestDist := make([]float64, n)
+	bestFrom := make([]int, n)
+	for i := range bestDist {
+		bestDist[i] = math.Inf(1)
+	}
+	inTree[0] = true
+	for i := 1; i < n; i++ {
+		bestDist[i] = metric.Dist(terminals[0], terminals[i])
+		bestFrom[i] = 0
+	}
+	for added := 1; added < n; added++ {
+		u, best := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !inTree[i] && bestDist[i] < best {
+				u, best = i, bestDist[i]
+			}
+		}
+		inTree[u] = true
+		t.Edges = append(t.Edges, Edge{U: bestFrom[u], V: u})
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := metric.Dist(terminals[u], terminals[i]); d < bestDist[i] {
+					bestDist[i] = d
+					bestFrom[i] = u
+				}
+			}
+		}
+	}
+	return t
+}
+
+// mstLength computes the MST length over a point set without materialising
+// the tree, used for fast 1-Steiner gain evaluation.
+func mstLength(pts []geom.Point, metric Metric) float64 {
+	n := len(pts)
+	if n <= 1 {
+		return 0
+	}
+	inTree := make([]bool, n)
+	bestDist := make([]float64, n)
+	inTree[0] = true
+	for i := 1; i < n; i++ {
+		bestDist[i] = metric.Dist(pts[0], pts[i])
+	}
+	var total float64
+	for added := 1; added < n; added++ {
+		u, best := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !inTree[i] && bestDist[i] < best {
+				u, best = i, bestDist[i]
+			}
+		}
+		inTree[u] = true
+		total += best
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := metric.Dist(pts[u], pts[i]); d < bestDist[i] {
+					bestDist[i] = d
+				}
+			}
+		}
+	}
+	return total
+}
+
+// HananGrid returns the Hanan-grid points of the terminal set (all
+// intersections of horizontal and vertical lines through terminals),
+// excluding the terminals themselves.
+func HananGrid(terminals []geom.Point) []geom.Point {
+	xs := uniqueCoords(terminals, func(p geom.Point) float64 { return p.X })
+	ys := uniqueCoords(terminals, func(p geom.Point) float64 { return p.Y })
+	isTerminal := map[geom.Point]bool{}
+	for _, t := range terminals {
+		isTerminal[t] = true
+	}
+	var out []geom.Point
+	for _, x := range xs {
+		for _, y := range ys {
+			p := geom.Point{X: x, Y: y}
+			if !isTerminal[p] {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+func uniqueCoords(pts []geom.Point, get func(geom.Point) float64) []float64 {
+	vals := make([]float64, 0, len(pts))
+	for _, p := range pts {
+		vals = append(vals, get(p))
+	}
+	sort.Float64s(vals)
+	out := vals[:0]
+	for i, v := range vals {
+		if i == 0 || v > out[len(out)-1]+geom.Eps {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// fermatPoints returns approximate Fermat (Torricelli) points of terminal
+// triples, the natural Steiner candidates in the Euclidean metric. To bound
+// the candidate count only triples of mutually-nearest terminals are used.
+func fermatPoints(terminals []geom.Point) []geom.Point {
+	n := len(terminals)
+	if n < 3 {
+		return nil
+	}
+	var out []geom.Point
+	limit := n
+	if limit > 12 {
+		limit = 12
+	}
+	for i := 0; i < limit; i++ {
+		for j := i + 1; j < limit; j++ {
+			for k := j + 1; k < limit; k++ {
+				out = append(out, fermatPoint(terminals[i], terminals[j], terminals[k]))
+			}
+		}
+	}
+	return out
+}
+
+// fermatPoint computes the geometric median of three points via Weiszfeld
+// iteration, which converges to the Fermat point for non-degenerate
+// triangles.
+func fermatPoint(a, b, c geom.Point) geom.Point {
+	p := geom.Point{X: (a.X + b.X + c.X) / 3, Y: (a.Y + b.Y + c.Y) / 3}
+	for iter := 0; iter < 50; iter++ {
+		var wx, wy, wsum float64
+		for _, q := range []geom.Point{a, b, c} {
+			d := p.Dist(q)
+			if d < geom.Eps {
+				return q // median coincides with a vertex
+			}
+			w := 1 / d
+			wx += q.X * w
+			wy += q.Y * w
+			wsum += w
+		}
+		next := geom.Point{X: wx / wsum, Y: wy / wsum}
+		if next.Dist(p) < 1e-12 {
+			return next
+		}
+		p = next
+	}
+	return p
+}
+
+// BI1SConfig tunes the Batched Iterated 1-Steiner heuristic.
+type BI1SConfig struct {
+	// BendWeight penalises candidates by BendWeight × the bending cost of
+	// the tree they induce, steering baseline diversity (§3.2: "sorting the
+	// Steiner points with the induced propagation and bending cost").
+	BendWeight float64
+	// MaxRounds bounds the batched iterations. Defaults to 8 when zero.
+	MaxRounds int
+}
+
+// BI1S runs Batched Iterated 1-Steiner over the terminals: in each round
+// every candidate Steiner point is scored by the MST-length reduction it
+// yields, the candidates are sorted by gain (minus the bending penalty), and
+// a batch of still-profitable candidates is accepted greedily; degree-<=2
+// Steiner points are cleaned up at the end. The result spans all terminals.
+func BI1S(terminals []geom.Point, metric Metric, cfg BI1SConfig) Tree {
+	n := len(terminals)
+	if n <= 2 {
+		return MST(terminals, metric)
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 8
+	}
+
+	pts := append([]geom.Point(nil), terminals...)
+	base := mstLength(pts, metric)
+
+	for round := 0; round < maxRounds; round++ {
+		cands := HananGrid(pts)
+		if metric == Euclidean {
+			cands = append(cands, fermatPoints(pts)...)
+		}
+		type scored struct {
+			p    geom.Point
+			gain float64
+		}
+		var pool []scored
+		for _, c := range cands {
+			g := base - mstLength(append(pts, c), metric)
+			if g > geom.Eps {
+				pool = append(pool, scored{p: c, gain: g})
+			}
+		}
+		if len(pool) == 0 {
+			break
+		}
+		if cfg.BendWeight > 0 {
+			for i := range pool {
+				tr := treeOver(append(pts, pool[i].p), terminals, metric)
+				pool[i].gain -= cfg.BendWeight * float64(tr.Bends()) * 1e-3
+			}
+		}
+		sort.Slice(pool, func(i, j int) bool {
+			if pool[i].gain != pool[j].gain {
+				return pool[i].gain > pool[j].gain
+			}
+			pi, pj := pool[i].p, pool[j].p
+			if pi.X != pj.X {
+				return pi.X < pj.X
+			}
+			return pi.Y < pj.Y
+		})
+		accepted := 0
+		for _, s := range pool {
+			g := base - mstLength(append(pts, s.p), metric)
+			if g > geom.Eps {
+				pts = append(pts, s.p)
+				base -= g
+				accepted++
+			}
+		}
+		if accepted == 0 {
+			break
+		}
+	}
+	return cleanup(treeOver(pts, terminals, metric))
+}
+
+// treeOver builds the MST over pts, marking the first len(terminals) points
+// as terminals and the rest as Steiner points.
+func treeOver(pts []geom.Point, terminals []geom.Point, metric Metric) Tree {
+	t := MST(pts, metric)
+	for i := range t.Nodes {
+		if i < len(terminals) {
+			t.Nodes[i].Terminal = i
+		} else {
+			t.Nodes[i].Terminal = -1
+		}
+	}
+	return t
+}
+
+// cleanup removes useless Steiner points: degree-1 Steiner leaves are
+// dropped, and degree-2 Steiner pass-throughs are spliced out.
+func cleanup(t Tree) Tree {
+	for {
+		adj := t.Adjacency()
+		removed := -1
+		doSplice := false
+		var splice [2]int
+		for i, nd := range t.Nodes {
+			if !nd.IsSteiner() {
+				continue
+			}
+			switch len(adj[i]) {
+			case 0, 1:
+				removed = i
+			case 2:
+				removed = i
+				doSplice = true
+				splice = [2]int{adj[i][0], adj[i][1]}
+			}
+			if removed >= 0 {
+				break
+			}
+		}
+		if removed < 0 {
+			return t
+		}
+		var edges []Edge
+		for _, e := range t.Edges {
+			if e.U != removed && e.V != removed {
+				edges = append(edges, e)
+			}
+		}
+		if doSplice {
+			edges = append(edges, Edge{U: splice[0], V: splice[1]})
+		}
+		// Reindex nodes after dropping `removed`.
+		nodes := make([]Node, 0, len(t.Nodes)-1)
+		remap := make([]int, len(t.Nodes))
+		for i, nd := range t.Nodes {
+			if i == removed {
+				remap[i] = -1
+				continue
+			}
+			remap[i] = len(nodes)
+			nodes = append(nodes, nd)
+		}
+		for i := range edges {
+			edges[i].U = remap[edges[i].U]
+			edges[i].V = remap[edges[i].V]
+		}
+		t = Tree{Metric: t.Metric, Nodes: nodes, Edges: edges}
+	}
+}
+
+// Subdivide splits every edge longer than maxSegLen into equal chunks by
+// inserting degree-2 Steiner nodes. The co-design stage labels each chunk
+// independently, which lets a route switch between optical and electrical
+// mid-edge (partial-optical routes and optical relays). Geometry and total
+// length are unchanged.
+func Subdivide(t Tree, maxSegLen float64) Tree {
+	if maxSegLen <= 0 {
+		return t
+	}
+	out := Tree{Metric: t.Metric, Nodes: append([]Node(nil), t.Nodes...)}
+	for _, e := range t.Edges {
+		a, b := t.Nodes[e.U].Pt, t.Nodes[e.V].Pt
+		n := int(math.Ceil(a.Dist(b)/maxSegLen - geom.Eps))
+		if n < 1 {
+			n = 1
+		}
+		prev := e.U
+		for k := 1; k < n; k++ {
+			frac := float64(k) / float64(n)
+			mid := geom.Point{
+				X: a.X + frac*(b.X-a.X),
+				Y: a.Y + frac*(b.Y-a.Y),
+			}
+			out.Nodes = append(out.Nodes, Node{Pt: mid, Terminal: -1})
+			idx := len(out.Nodes) - 1
+			out.Edges = append(out.Edges, Edge{U: prev, V: idx})
+			prev = idx
+		}
+		out.Edges = append(out.Edges, Edge{U: prev, V: e.V})
+	}
+	return out
+}
+
+// RSMTLength estimates the rectilinear Steiner minimal tree length of the
+// terminals, the wirelength model Streak-style electrical power uses.
+func RSMTLength(terminals []geom.Point) float64 {
+	if len(terminals) <= 1 {
+		return 0
+	}
+	return BI1S(terminals, Rectilinear, BI1SConfig{}).Length()
+}
+
+// Baselines generates up to max distinct baseline topologies for the
+// terminal set under the given metric: the plain MST plus BI1S variants
+// under different bending-cost weights. Duplicate topologies (same length
+// and node count) are removed. At least one topology is always returned.
+func Baselines(terminals []geom.Point, metric Metric, max int) []Tree {
+	if max <= 0 {
+		max = 3
+	}
+	var out []Tree
+	add := func(t Tree) {
+		for _, prev := range out {
+			if len(prev.Nodes) == len(t.Nodes) && math.Abs(prev.Length()-t.Length()) < geom.Eps {
+				return
+			}
+		}
+		out = append(out, t)
+	}
+	add(BI1S(terminals, metric, BI1SConfig{}))
+	if len(out) < max {
+		add(MST(terminals, metric))
+	}
+	for _, w := range []float64{0.5, 2.0, 8.0} {
+		if len(out) >= max {
+			break
+		}
+		add(BI1S(terminals, metric, BI1SConfig{BendWeight: w}))
+	}
+	return out
+}

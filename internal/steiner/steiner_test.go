@@ -1,0 +1,449 @@
+package steiner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"operon/internal/geom"
+)
+
+func randTerminals(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * 4, Y: rng.Float64() * 4}
+	}
+	return pts
+}
+
+func TestMetricDist(t *testing.T) {
+	a, b := geom.Point{X: 0, Y: 0}, geom.Point{X: 3, Y: 4}
+	if d := Rectilinear.Dist(a, b); math.Abs(d-7) > 1e-12 {
+		t.Errorf("rect dist = %v", d)
+	}
+	if d := Euclidean.Dist(a, b); math.Abs(d-5) > 1e-12 {
+		t.Errorf("euclid dist = %v", d)
+	}
+	if Rectilinear.String() == Euclidean.String() {
+		t.Error("metric names collide")
+	}
+}
+
+func TestMSTTwoPoints(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}
+	tr := MST(pts, Euclidean)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.Length()-math.Sqrt2) > 1e-12 {
+		t.Errorf("Length = %v", tr.Length())
+	}
+}
+
+func TestMSTSingle(t *testing.T) {
+	tr := MST([]geom.Point{{X: 1, Y: 1}}, Rectilinear)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Edges) != 0 {
+		t.Errorf("single-node MST has %d edges", len(tr.Edges))
+	}
+}
+
+func TestMSTKnownCase(t *testing.T) {
+	// Unit square in the Euclidean metric: MST length 3.
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 1}}
+	tr := MST(pts, Euclidean)
+	if math.Abs(tr.Length()-3) > 1e-9 {
+		t.Errorf("square MST = %v, want 3", tr.Length())
+	}
+}
+
+func TestMSTMatchesBruteForce(t *testing.T) {
+	// Compare Prim against exhaustive enumeration over all spanning trees
+	// of 5 points (via brute-force Kruskal on all edge subsets is overkill;
+	// instead compare against a second independent implementation:
+	// Kruskal with union-find).
+	for seed := int64(0); seed < 20; seed++ {
+		pts := randTerminals(5, seed)
+		for _, m := range []Metric{Rectilinear, Euclidean} {
+			want := kruskalLength(pts, m)
+			got := MST(pts, m).Length()
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("seed %d %v: Prim %v vs Kruskal %v", seed, m, got, want)
+			}
+		}
+	}
+}
+
+func kruskalLength(pts []geom.Point, m Metric) float64 {
+	type edge struct {
+		u, v int
+		d    float64
+	}
+	var edges []edge
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			edges = append(edges, edge{i, j, m.Dist(pts[i], pts[j])})
+		}
+	}
+	for i := range edges {
+		for j := i + 1; j < len(edges); j++ {
+			if edges[j].d < edges[i].d {
+				edges[i], edges[j] = edges[j], edges[i]
+			}
+		}
+	}
+	parent := make([]int, len(pts))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	var total float64
+	for _, e := range edges {
+		ru, rv := find(e.u), find(e.v)
+		if ru != rv {
+			parent[ru] = rv
+			total += e.d
+		}
+	}
+	return total
+}
+
+func TestHananGrid(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 2, Y: 1}, {X: 1, Y: 3}}
+	grid := HananGrid(pts)
+	// 3x3 grid points minus the 3 terminals = 6.
+	if len(grid) != 6 {
+		t.Fatalf("Hanan grid size = %d, want 6", len(grid))
+	}
+	for _, g := range grid {
+		for _, p := range pts {
+			if g.Eq(p) {
+				t.Errorf("grid contains terminal %v", p)
+			}
+		}
+	}
+}
+
+func TestHananGridCollinear(t *testing.T) {
+	// Collinear terminals: the Hanan grid is the terminals themselves.
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}}
+	if grid := HananGrid(pts); len(grid) != 0 {
+		t.Errorf("collinear Hanan grid = %v, want empty", grid)
+	}
+}
+
+func TestFermatPointEquilateral(t *testing.T) {
+	// Equilateral triangle: the Fermat point is the centroid.
+	a := geom.Point{X: 0, Y: 0}
+	b := geom.Point{X: 1, Y: 0}
+	c := geom.Point{X: 0.5, Y: math.Sqrt(3) / 2}
+	f := fermatPoint(a, b, c)
+	cent := geom.Point{X: 0.5, Y: math.Sqrt(3) / 6}
+	if f.Dist(cent) > 1e-6 {
+		t.Errorf("Fermat point = %v, want %v", f, cent)
+	}
+}
+
+func TestFermatPointObtuse(t *testing.T) {
+	// For a very obtuse triangle (angle >= 120°) the Fermat point is the
+	// obtuse vertex.
+	a := geom.Point{X: 0, Y: 0}
+	b := geom.Point{X: 10, Y: 0.1}
+	c := geom.Point{X: -10, Y: 0.1}
+	f := fermatPoint(a, b, c)
+	if f.Dist(a) > 0.05 {
+		t.Errorf("obtuse Fermat point = %v, want near %v", f, a)
+	}
+}
+
+func TestBI1SImprovesOrMatchesMST(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		for _, n := range []int{3, 4, 6, 9} {
+			pts := randTerminals(n, seed*31+int64(n))
+			for _, m := range []Metric{Rectilinear, Euclidean} {
+				mst := MST(pts, m).Length()
+				tr := BI1S(pts, m, BI1SConfig{})
+				if err := tr.Validate(); err != nil {
+					t.Fatalf("seed %d n %d %v: invalid tree: %v", seed, n, m, err)
+				}
+				if tr.Length() > mst+1e-9 {
+					t.Errorf("seed %d n %d %v: BI1S %.6f worse than MST %.6f",
+						seed, n, m, tr.Length(), mst)
+				}
+				checkTerminalsPresent(t, tr, pts)
+			}
+		}
+	}
+}
+
+func checkTerminalsPresent(t *testing.T, tr Tree, pts []geom.Point) {
+	t.Helper()
+	found := make([]bool, len(pts))
+	for _, nd := range tr.Nodes {
+		if nd.Terminal >= 0 {
+			if nd.Terminal >= len(pts) {
+				t.Fatalf("terminal index %d out of range", nd.Terminal)
+			}
+			if !nd.Pt.Eq(pts[nd.Terminal]) {
+				t.Fatalf("terminal %d moved: %v vs %v", nd.Terminal, nd.Pt, pts[nd.Terminal])
+			}
+			found[nd.Terminal] = true
+		}
+	}
+	for i, ok := range found {
+		if !ok {
+			t.Fatalf("terminal %d missing from tree", i)
+		}
+	}
+}
+
+func TestBI1SCross(t *testing.T) {
+	// Four corners of a plus sign: the rectilinear Steiner tree uses the
+	// centre, total length 4; MST is 6.
+	pts := []geom.Point{{X: 1, Y: 0}, {X: -1, Y: 0}, {X: 0, Y: 1}, {X: 0, Y: -1}}
+	tr := BI1S(pts, Rectilinear, BI1SConfig{})
+	if math.Abs(tr.Length()-4) > 1e-9 {
+		t.Errorf("plus-sign RSMT = %v, want 4", tr.Length())
+	}
+}
+
+func TestBI1SEuclideanSteinerGain(t *testing.T) {
+	// Equilateral triangle with unit side: MST = 2, Steiner tree = sqrt(3).
+	pts := []geom.Point{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0.5, Y: math.Sqrt(3) / 2},
+	}
+	tr := BI1S(pts, Euclidean, BI1SConfig{})
+	want := math.Sqrt(3)
+	if tr.Length() > want+0.01 {
+		t.Errorf("equilateral Steiner = %v, want ≈%v", tr.Length(), want)
+	}
+}
+
+func TestSteinerRatioProperty(t *testing.T) {
+	// Property: BI1S result is between the Steiner lower bound
+	// (sqrt(3)/2 of MST for Euclidean, 2/3 for rectilinear) and the MST.
+	f := func(nn uint8, seed int64) bool {
+		n := int(nn)%8 + 2
+		pts := randTerminals(n, seed)
+		for _, m := range []Metric{Rectilinear, Euclidean} {
+			mst := MST(pts, m).Length()
+			st := BI1S(pts, m, BI1SConfig{}).Length()
+			lb := mst * 0.5 // loose lower bound, catches gross errors
+			if st < lb-1e-9 || st > mst+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCleanupRemovesUselessSteiner(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		pts := randTerminals(7, seed)
+		tr := BI1S(pts, Rectilinear, BI1SConfig{})
+		adj := tr.Adjacency()
+		for i, nd := range tr.Nodes {
+			if nd.IsSteiner() && len(adj[i]) <= 2 {
+				t.Fatalf("seed %d: Steiner node %d has degree %d", seed, i, len(adj[i]))
+			}
+		}
+	}
+}
+
+func TestRSMTLength(t *testing.T) {
+	if RSMTLength(nil) != 0 || RSMTLength([]geom.Point{{X: 1, Y: 1}}) != 0 {
+		t.Error("degenerate RSMT length should be 0")
+	}
+	// Two points: RSMT = Manhattan distance.
+	got := RSMTLength([]geom.Point{{X: 0, Y: 0}, {X: 2, Y: 3}})
+	if math.Abs(got-5) > 1e-12 {
+		t.Errorf("2-pin RSMT = %v, want 5", got)
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	pts := randTerminals(6, 9)
+	bs := Baselines(pts, Euclidean, 3)
+	if len(bs) == 0 {
+		t.Fatal("no baselines")
+	}
+	if len(bs) > 3 {
+		t.Fatalf("too many baselines: %d", len(bs))
+	}
+	for i, b := range bs {
+		if err := b.Validate(); err != nil {
+			t.Fatalf("baseline %d invalid: %v", i, err)
+		}
+		checkTerminalsPresent(t, b, pts)
+	}
+	// Distinctness: no two baselines share identical length and size.
+	for i := 0; i < len(bs); i++ {
+		for j := i + 1; j < len(bs); j++ {
+			if len(bs[i].Nodes) == len(bs[j].Nodes) &&
+				math.Abs(bs[i].Length()-bs[j].Length()) < 1e-12 {
+				t.Errorf("baselines %d and %d look identical", i, j)
+			}
+		}
+	}
+}
+
+func TestBaselinesTwoPin(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 2}}
+	bs := Baselines(pts, Euclidean, 3)
+	if len(bs) != 1 {
+		t.Fatalf("two-pin baselines = %d, want 1", len(bs))
+	}
+}
+
+func TestTreeBends(t *testing.T) {
+	// A straight path has no bends.
+	straight := Tree{
+		Metric: Euclidean,
+		Nodes: []Node{
+			{Pt: geom.Point{X: 0, Y: 0}, Terminal: 0},
+			{Pt: geom.Point{X: 1, Y: 0}, Terminal: -1},
+			{Pt: geom.Point{X: 2, Y: 0}, Terminal: 1},
+		},
+		Edges: []Edge{{0, 1}, {1, 2}},
+	}
+	if got := straight.Bends(); got != 0 {
+		t.Errorf("straight path bends = %d, want 0", got)
+	}
+	// An L has one bend.
+	ell := Tree{
+		Metric: Euclidean,
+		Nodes: []Node{
+			{Pt: geom.Point{X: 0, Y: 0}, Terminal: 0},
+			{Pt: geom.Point{X: 1, Y: 0}, Terminal: -1},
+			{Pt: geom.Point{X: 1, Y: 1}, Terminal: 1},
+		},
+		Edges: []Edge{{0, 1}, {1, 2}},
+	}
+	if got := ell.Bends(); got != 1 {
+		t.Errorf("L path bends = %d, want 1", got)
+	}
+}
+
+func TestValidateCatchesBadTrees(t *testing.T) {
+	if err := (Tree{}).Validate(); err == nil {
+		t.Error("empty tree accepted")
+	}
+	disconnected := Tree{
+		Nodes: []Node{{}, {}, {}, {}},
+		Edges: []Edge{{0, 1}, {0, 1}, {2, 3}},
+	}
+	if err := disconnected.Validate(); err == nil {
+		t.Error("disconnected tree accepted")
+	}
+	wrongCount := Tree{Nodes: []Node{{}, {}}, Edges: nil}
+	if err := wrongCount.Validate(); err == nil {
+		t.Error("edge-count mismatch accepted")
+	}
+}
+
+func TestSegmentsMatchEdges(t *testing.T) {
+	pts := randTerminals(5, 3)
+	tr := MST(pts, Euclidean)
+	segs := tr.Segments()
+	if len(segs) != len(tr.Edges) {
+		t.Fatalf("%d segments for %d edges", len(segs), len(tr.Edges))
+	}
+	var sum float64
+	for _, s := range segs {
+		sum += s.Length()
+	}
+	if math.Abs(sum-tr.EuclideanLength()) > 1e-9 {
+		t.Errorf("segment length sum %v != tree length %v", sum, tr.EuclideanLength())
+	}
+}
+
+func TestSubdivideNoOp(t *testing.T) {
+	pts := randTerminals(4, 5)
+	tr := BI1S(pts, Euclidean, BI1SConfig{})
+	if got := Subdivide(tr, 0); len(got.Edges) != len(tr.Edges) {
+		t.Errorf("maxLen 0 changed the tree")
+	}
+	// A huge max length keeps every edge whole.
+	if got := Subdivide(tr, 1e9); len(got.Edges) != len(tr.Edges) {
+		t.Errorf("huge maxLen changed the tree")
+	}
+}
+
+func TestSubdividePreservesGeometry(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		pts := randTerminals(5, seed)
+		tr := BI1S(pts, Euclidean, BI1SConfig{})
+		sub := Subdivide(tr, 0.35)
+		if err := sub.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid subdivided tree: %v", seed, err)
+		}
+		if math.Abs(sub.EuclideanLength()-tr.EuclideanLength()) > 1e-9 {
+			t.Errorf("seed %d: length changed: %v vs %v",
+				seed, sub.EuclideanLength(), tr.EuclideanLength())
+		}
+		// Every chunk respects the bound.
+		for _, s := range sub.Segments() {
+			if s.Length() > 0.35+1e-9 {
+				t.Errorf("seed %d: chunk length %v exceeds 0.35", seed, s.Length())
+			}
+		}
+		// Terminals survive with their indices.
+		checkTerminalsPresent(t, sub, pts)
+		// New nodes are Steiner points.
+		for i := len(tr.Nodes); i < len(sub.Nodes); i++ {
+			if !sub.Nodes[i].IsSteiner() {
+				t.Errorf("seed %d: inserted node %d is not Steiner", seed, i)
+			}
+		}
+	}
+}
+
+func TestSubdivideChunkCount(t *testing.T) {
+	// A 1.0 edge at maxLen 0.35 must split into 3 chunks.
+	tr := Tree{
+		Metric: Euclidean,
+		Nodes: []Node{
+			{Pt: geom.Point{X: 0, Y: 0}, Terminal: 0},
+			{Pt: geom.Point{X: 1, Y: 0}, Terminal: 1},
+		},
+		Edges: []Edge{{0, 1}},
+	}
+	sub := Subdivide(tr, 0.35)
+	if len(sub.Edges) != 3 {
+		t.Fatalf("chunks = %d, want 3", len(sub.Edges))
+	}
+}
+
+func BenchmarkBI1SEuclidean(b *testing.B) {
+	pts := randTerminals(8, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := BI1S(pts, Euclidean, BI1SConfig{})
+		if len(tr.Nodes) == 0 {
+			b.Fatal("empty tree")
+		}
+	}
+}
+
+func BenchmarkRSMT(b *testing.B) {
+	pts := randTerminals(8, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if RSMTLength(pts) <= 0 {
+			b.Fatal("zero RSMT")
+		}
+	}
+}

@@ -1,0 +1,314 @@
+// Package wdm implements OPERON's WDM stage (paper §4): the sweep placement
+// that initialises waveguide locations under capacity and proximity bounds
+// (§4.1) and the min-cost max-flow re-assignment that consolidates optical
+// connections onto fewer WDMs (§4.2).
+//
+// Optical connections are classified by dominant orientation; horizontal
+// and vertical WDMs are placed and assigned independently with the same
+// procedure. Costs in the assignment network follow the paper: connection→
+// WDM edges carry the (normalised) perpendicular displacement, WDM→sink
+// edges carry usage costs, deliberately scaled to dominate displacement so
+// the flow consolidates ("we normalize the costs of edges from VC to VW so
+// that the WDMs' usages are emphasized").
+package wdm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"operon/internal/geom"
+	"operon/internal/mcmf"
+)
+
+// Connection is one point-to-point optical link of a routed hyper net.
+type Connection struct {
+	Seg geom.Segment
+	// Bits is the number of wavelength channels the connection needs.
+	Bits int
+	// Net identifies the owning hyper net (for reporting only).
+	Net int
+}
+
+// Horizontal reports the connection's dominant orientation.
+func (c Connection) Horizontal() bool { return c.Seg.Horizontal() }
+
+// coord returns the placement coordinate: the midpoint's y for horizontal
+// connections, x for vertical ones.
+func (c Connection) coord() float64 {
+	if c.Horizontal() {
+		return c.Seg.Midpoint().Y
+	}
+	return c.Seg.Midpoint().X
+}
+
+// Config carries the WDM parameters.
+type Config struct {
+	// Capacity is the channel capacity of one WDM waveguide.
+	Capacity int
+	// MinSpacingCM is dis_l: minimum spacing between adjacent WDMs
+	// (crosstalk bound); placement legalises to it.
+	MinSpacingCM float64
+	// MaxAssignDistCM is dis_u: the maximum displacement allowed when
+	// assigning a connection to a WDM.
+	MaxAssignDistCM float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Capacity <= 0:
+		return fmt.Errorf("wdm: capacity %d must be positive", c.Capacity)
+	case c.MinSpacingCM < 0 || c.MaxAssignDistCM <= 0:
+		return fmt.Errorf("wdm: invalid distance bounds")
+	case c.MinSpacingCM > c.MaxAssignDistCM:
+		return fmt.Errorf("wdm: dis_l %v exceeds dis_u %v", c.MinSpacingCM, c.MaxAssignDistCM)
+	}
+	return nil
+}
+
+// WDM is one placed waveguide.
+type WDM struct {
+	Horizontal bool
+	// CoordCM is the waveguide's fixed coordinate (y if horizontal).
+	CoordCM float64
+	// InitialLoad is the channel load after the sweep placement.
+	InitialLoad int
+}
+
+// Placement is the §4.1 result.
+type Placement struct {
+	WDMs []WDM
+	// InitialAssign maps each connection (by input index) to its WDM.
+	InitialAssign []int
+}
+
+// Place runs the sweep placement: connections of each orientation are
+// sorted by coordinate and greedily packed onto the current WDM while both
+// the capacity and the dis_u proximity bound hold; otherwise a new WDM is
+// opened at the connection's coordinate. Adjacent WDMs closer than dis_l
+// are then legalised by shifting.
+func Place(conns []Connection, cfg Config) (Placement, error) {
+	if err := cfg.Validate(); err != nil {
+		return Placement{}, err
+	}
+	for i, c := range conns {
+		if c.Bits <= 0 {
+			return Placement{}, fmt.Errorf("wdm: connection %d has %d bits", i, c.Bits)
+		}
+		if c.Bits > cfg.Capacity {
+			return Placement{}, fmt.Errorf("wdm: connection %d needs %d bits > capacity %d",
+				i, c.Bits, cfg.Capacity)
+		}
+	}
+	pl := Placement{InitialAssign: make([]int, len(conns))}
+	for _, horizontal := range []bool{true, false} {
+		idxs := make([]int, 0, len(conns))
+		for i, c := range conns {
+			if c.Horizontal() == horizontal {
+				idxs = append(idxs, i)
+			}
+		}
+		sort.SliceStable(idxs, func(a, b int) bool {
+			return conns[idxs[a]].coord() < conns[idxs[b]].coord()
+		})
+		cur := -1
+		for _, ci := range idxs {
+			c := conns[ci]
+			if cur >= 0 &&
+				pl.WDMs[cur].InitialLoad+c.Bits <= cfg.Capacity &&
+				math.Abs(c.coord()-pl.WDMs[cur].CoordCM) <= cfg.MaxAssignDistCM {
+				pl.WDMs[cur].InitialLoad += c.Bits
+				pl.InitialAssign[ci] = cur
+				continue
+			}
+			pl.WDMs = append(pl.WDMs, WDM{
+				Horizontal:  horizontal,
+				CoordCM:     c.coord(),
+				InitialLoad: c.Bits,
+			})
+			cur = len(pl.WDMs) - 1
+			pl.InitialAssign[ci] = cur
+		}
+		legalize(pl.WDMs, horizontal, cfg.MinSpacingCM)
+	}
+	return pl, nil
+}
+
+// legalize shifts WDMs of one orientation so that adjacent coordinates are
+// at least minSpacing apart, sweeping in coordinate order.
+func legalize(wdms []WDM, horizontal bool, minSpacing float64) {
+	if minSpacing <= 0 {
+		return
+	}
+	idxs := make([]int, 0, len(wdms))
+	for i, w := range wdms {
+		if w.Horizontal == horizontal {
+			idxs = append(idxs, i)
+		}
+	}
+	sort.SliceStable(idxs, func(a, b int) bool {
+		return wdms[idxs[a]].CoordCM < wdms[idxs[b]].CoordCM
+	})
+	for k := 1; k < len(idxs); k++ {
+		prev, cur := idxs[k-1], idxs[k]
+		if wdms[cur].CoordCM-wdms[prev].CoordCM < minSpacing {
+			wdms[cur].CoordCM = wdms[prev].CoordCM + minSpacing
+		}
+	}
+}
+
+// Share is a portion of a connection routed on one WDM. The network model
+// allows a connection's bits to split across waveguides (§4.2's edge
+// capacities are bit counts).
+type Share struct {
+	WDM  int
+	Bits int
+}
+
+// Assignment is the §4.2 result.
+type Assignment struct {
+	// Shares[i] lists the WDM shares of connection i.
+	Shares [][]Share
+	// UsedWDMs lists the WDM indices that carry flow after re-assignment.
+	UsedWDMs []int
+	// DisplacedBitCM is the total |displacement|·bits moved, a measure of
+	// how much the routing result was disturbed.
+	DisplacedBitCM float64
+}
+
+// Used returns the number of WDMs carrying at least one bit.
+func (a Assignment) Used() int { return len(a.UsedWDMs) }
+
+// Assign re-allocates the placed connections with a min-cost max-flow per
+// orientation: source→connection edges (capacity = bits), connection→WDM
+// edges within dis_u (cost = normalised displacement), WDM→sink edges
+// (capacity = WDM capacity, cost = usage, growing with WDM order so the
+// flow consolidates onto fewer waveguides). WDMs left idle are dropped.
+func Assign(conns []Connection, pl Placement, cfg Config) (Assignment, error) {
+	if err := cfg.Validate(); err != nil {
+		return Assignment{}, err
+	}
+	if len(pl.InitialAssign) != len(conns) {
+		return Assignment{}, fmt.Errorf("wdm: placement covers %d of %d connections",
+			len(pl.InitialAssign), len(conns))
+	}
+	out := Assignment{Shares: make([][]Share, len(conns))}
+	usedSet := map[int]bool{}
+
+	for _, horizontal := range []bool{true, false} {
+		var connIdx, wdmIdx []int
+		totalBits := 0
+		for i, c := range conns {
+			if c.Horizontal() == horizontal {
+				connIdx = append(connIdx, i)
+				totalBits += c.Bits
+			}
+		}
+		for w, wd := range pl.WDMs {
+			if wd.Horizontal == horizontal {
+				wdmIdx = append(wdmIdx, w)
+			}
+		}
+		if len(connIdx) == 0 {
+			continue
+		}
+		// Node layout: 0 source, 1..C connections, C+1..C+W WDMs, last sink.
+		g := mcmf.New(len(connIdx) + len(wdmIdx) + 2)
+		src, snk := 0, len(connIdx)+len(wdmIdx)+1
+		for k, ci := range connIdx {
+			g.AddEdge(src, 1+k, conns[ci].Bits, 0)
+		}
+		// Costs are integers for exact flow arithmetic: displacement is
+		// quantised to dispScale steps of dis_u; usage costs dominate —
+		// one usage step exceeds any total displacement cost.
+		const dispScale = 1000
+		usageUnit := int64(totalBits)*dispScale + 1
+		for q := range wdmIdx {
+			g.AddEdge(1+len(connIdx)+q, snk, cfg.Capacity, usageUnit*int64(q+1))
+		}
+		type connArc struct {
+			id     int
+			conn   int // index into conns
+			wdm    int // index into pl.WDMs
+			distCM float64
+		}
+		var arcs []connArc
+		for k, ci := range connIdx {
+			c := conns[ci]
+			reachable := false
+			for q, w := range wdmIdx {
+				d := math.Abs(c.coord() - pl.WDMs[w].CoordCM)
+				if d <= cfg.MaxAssignDistCM+geom.Eps || w == pl.InitialAssign[ci] {
+					cost := int64(d / cfg.MaxAssignDistCM * dispScale)
+					if cost > dispScale {
+						cost = dispScale
+					}
+					id := g.AddEdge(1+k, 1+len(connIdx)+q, c.Bits, cost)
+					arcs = append(arcs, connArc{id: id, conn: ci, wdm: w, distCM: d})
+					reachable = true
+				}
+			}
+			if !reachable {
+				return Assignment{}, fmt.Errorf("wdm: connection %d reaches no WDM", ci)
+			}
+		}
+		res, err := g.MaxFlow(src, snk)
+		if err != nil {
+			return Assignment{}, err
+		}
+		if res.Flow != totalBits {
+			return Assignment{}, fmt.Errorf("wdm: assignment routed %d of %d bits",
+				res.Flow, totalBits)
+		}
+		for _, a := range arcs {
+			if f := g.Flow(a.id); f > 0 {
+				out.Shares[a.conn] = append(out.Shares[a.conn], Share{WDM: a.wdm, Bits: f})
+				out.DisplacedBitCM += a.distCM * float64(f)
+				usedSet[a.wdm] = true
+			}
+		}
+	}
+	for w := range pl.WDMs {
+		if usedSet[w] {
+			out.UsedWDMs = append(out.UsedWDMs, w)
+		}
+	}
+	sort.Ints(out.UsedWDMs)
+	return out, nil
+}
+
+// Stats summarises the WDM pipeline for one design: the three bars of the
+// paper's Fig. 8.
+type Stats struct {
+	Connections int
+	InitialWDMs int
+	FinalWDMs   int
+}
+
+// Reduction returns the fractional WDM saving of the assignment over the
+// placement (the paper reports 8.9% on average).
+func (s Stats) Reduction() float64 {
+	if s.InitialWDMs == 0 {
+		return 0
+	}
+	return 1 - float64(s.FinalWDMs)/float64(s.InitialWDMs)
+}
+
+// Run executes placement followed by assignment and returns everything.
+func Run(conns []Connection, cfg Config) (Placement, Assignment, Stats, error) {
+	pl, err := Place(conns, cfg)
+	if err != nil {
+		return Placement{}, Assignment{}, Stats{}, err
+	}
+	as, err := Assign(conns, pl, cfg)
+	if err != nil {
+		return Placement{}, Assignment{}, Stats{}, err
+	}
+	st := Stats{
+		Connections: len(conns),
+		InitialWDMs: len(pl.WDMs),
+		FinalWDMs:   as.Used(),
+	}
+	return pl, as, st, nil
+}

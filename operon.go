@@ -1,0 +1,586 @@
+// Package operon is a from-scratch reproduction of OPERON (Liu et al.,
+// DAC 2018): optical-electrical power-efficient route synthesis for on-chip
+// signals.
+//
+// The flow follows the paper's Fig. 2: signal processing clusters raw
+// signal groups into hyper nets with hyper pins (§3.1); optical-electrical
+// co-design derives candidate routes per hyper net over BI1S baseline
+// topologies (§3.2); a selection stage picks one candidate per net under
+// the detection constraints, either exactly by ILP (§3.3) or quickly by
+// Lagrangian relaxation (§3.4); finally the optical connections are placed
+// on and assigned to shared WDM waveguides by a min-cost max-flow (§4).
+//
+// Quick start:
+//
+//	design, _ := benchgen.Generate(spec)      // or build a signal.Design
+//	res, err := operon.Run(design, operon.DefaultConfig())
+//	fmt.Println(res.PowerMW, res.WDMStats)
+//
+// The two published baselines are available as RunElectrical (Streak-style
+// all-electrical RSMT routing) and RunOptical (GLOW-style all-optical
+// routing with electrical fallback on loss violations).
+package operon
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"operon/internal/codesign"
+	"operon/internal/geom"
+	"operon/internal/optics"
+	"operon/internal/power"
+	"operon/internal/selection"
+	"operon/internal/signal"
+	"operon/internal/steiner"
+	"operon/internal/wdm"
+)
+
+// Mode selects the solution-determination algorithm.
+type Mode int
+
+const (
+	// ModeLR uses the Lagrangian-relaxation algorithm of §3.4 (fast).
+	ModeLR Mode = iota
+	// ModeILP uses the exact branch-and-bound ILP of §3.3 (slow, optimal
+	// within the time limit).
+	ModeILP
+	// ModeGreedy selects each net's cheapest candidate independently and
+	// repairs violations; a cheap lower baseline used in ablations.
+	ModeGreedy
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeILP:
+		return "ilp"
+	case ModeGreedy:
+		return "greedy"
+	default:
+		return "lr"
+	}
+}
+
+// Config collects every tunable of the flow. Obtain defaults from
+// DefaultConfig and override as needed.
+type Config struct {
+	// Lib is the optical device and loss library.
+	Lib optics.Library
+	// Elec is the electrical wire power model.
+	Elec power.ElectricalModel
+	// PinMergeThresholdCM is the hyper-pin agglomeration distance (§3.1.2).
+	PinMergeThresholdCM float64
+	// MaxBaselines bounds the baseline topologies per hyper net (§3.2).
+	MaxBaselines int
+	// SubdivideCM splits baseline edges longer than this before co-design
+	// labelling, enabling partial-optical routes and optical relays along
+	// long connections (0 disables subdivision).
+	SubdivideCM float64
+	// MaxCandidates caps the co-design DP option lists.
+	MaxCandidates int
+	// MaxCandidatesPerNet caps the merged candidate set handed to the
+	// selection stage (the electrical fallback always survives). Small
+	// caps keep the ILP tractable, as the paper's per-net candidate lists
+	// are short (Fig. 5(c) shows four).
+	MaxCandidatesPerNet int
+	// Mode picks the selection algorithm.
+	Mode Mode
+	// ILPTimeLimit bounds the ILP solve (the paper used 3000 s).
+	ILPTimeLimit time.Duration
+	// ILPMaxNodes bounds branch-and-bound nodes (0 = library default).
+	ILPMaxNodes int
+	// LR tunes the Lagrangian solver when Mode is ModeLR.
+	LR selection.LROptions
+	// Seed drives the deterministic clustering.
+	Seed int64
+	// SkipWDM disables the WDM placement/assignment stage.
+	SkipWDM bool
+	// Workers bounds candidate-generation parallelism (0 = NumCPU).
+	Workers int
+}
+
+// DefaultConfig returns the paper's experimental setup.
+func DefaultConfig() Config {
+	return Config{
+		Lib:                 optics.DefaultLibrary(),
+		Elec:                power.DefaultElectricalModel(),
+		PinMergeThresholdCM: 0.1,
+		MaxBaselines:        3,
+		SubdivideCM:         0.35,
+		MaxCandidates:       24,
+		MaxCandidatesPerNet: 6,
+		Mode:                ModeLR,
+		ILPTimeLimit:        60 * time.Second,
+	}
+}
+
+// StageTimes records per-stage wall-clock durations.
+type StageTimes struct {
+	Process    time.Duration
+	Candidates time.Duration
+	Selection  time.Duration
+	WDM        time.Duration
+}
+
+// Total returns the summed stage time.
+func (s StageTimes) Total() time.Duration {
+	return s.Process + s.Candidates + s.Selection + s.WDM
+}
+
+// Result is the outcome of one flow run.
+type Result struct {
+	Design    string
+	Flow      string // "operon-lr", "operon-ilp", "electrical", "optical", ...
+	HyperNets []signal.HyperNet
+	Nets      []selection.Net
+	Selection selection.Selection
+	// PowerMW is the total power of the selected routes.
+	PowerMW float64
+	// ILP and LR carry solver diagnostics when the respective mode ran.
+	ILP *selection.ILPResult
+	LR  *selection.LRResult
+	// WDM results (empty when SkipWDM or no optical connections).
+	Connections []wdm.Connection
+	Placement   wdm.Placement
+	Assignment  wdm.Assignment
+	WDMStats    wdm.Stats
+	Times       StageTimes
+}
+
+// Stats returns the hyper-net statistics of the run (Table 1's #HNet and
+// #HPin columns).
+func (r *Result) Stats() signal.Stats { return signal.Summarize(r.HyperNets) }
+
+// Run executes the full OPERON flow on a design.
+func Run(d signal.Design, cfg Config) (*Result, error) {
+	res := &Result{Design: d.Name, Flow: "operon-" + cfg.Mode.String()}
+	hnets, elapsed, err := process(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.HyperNets = hnets
+	res.Times.Process = elapsed
+
+	start := time.Now()
+	nets, err := buildCoDesignNets(hnets, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Nets = nets
+	res.Times.Candidates = time.Since(start)
+
+	inst, err := selection.NewInstance(nets, cfg.Lib)
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	switch cfg.Mode {
+	case ModeILP:
+		ir, err := selection.SolveILP(inst, selection.ILPOptions{
+			TimeLimit: cfg.ILPTimeLimit, MaxNodes: cfg.ILPMaxNodes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.ILP = &ir
+		res.Selection = ir.Selection
+	case ModeGreedy:
+		sel, err := inst.GreedyIndependent()
+		if err != nil {
+			return nil, err
+		}
+		res.Selection = sel
+	default:
+		lr, err := selection.SolveLR(inst, cfg.LR)
+		if err != nil {
+			return nil, err
+		}
+		res.LR = &lr
+		res.Selection = lr.Selection
+	}
+	res.Times.Selection = time.Since(start)
+	res.PowerMW = res.Selection.PowerMW
+
+	if !cfg.SkipWDM {
+		start = time.Now()
+		if err := res.assignWDMs(cfg); err != nil {
+			return nil, err
+		}
+		res.Times.WDM = time.Since(start)
+	}
+	return res, nil
+}
+
+// RunElectrical is the Streak-style baseline [14]: every hyper net is
+// routed with an electrical rectilinear Steiner tree; power follows Eq. (6).
+func RunElectrical(d signal.Design, cfg Config) (*Result, error) {
+	res := &Result{Design: d.Name, Flow: "electrical"}
+	hnets, elapsed, err := process(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.HyperNets = hnets
+	res.Times.Process = elapsed
+
+	start := time.Now()
+	nets := make([]selection.Net, len(hnets))
+	if err := eachNet(len(hnets), cfg.Workers, func(i int) error {
+		cand, err := electricalCandidate(hnets[i], cfg)
+		if err != nil {
+			return err
+		}
+		nets[i] = selection.Net{Bits: hnets[i].BitCount(), Cands: []codesign.Candidate{cand}}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	res.Nets = nets
+	res.Times.Candidates = time.Since(start)
+
+	inst, err := selection.NewInstance(nets, cfg.Lib)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := inst.AllElectrical()
+	if err != nil {
+		return nil, err
+	}
+	res.Selection = sel
+	res.PowerMW = sel.PowerMW
+	return res, nil
+}
+
+// RunOptical is the GLOW-style baseline [4]: every hyper net is routed
+// fully optically on its Steiner baseline; nets that cannot meet the loss
+// budget fall back to electrical wires. No optical-electrical mixing.
+func RunOptical(d signal.Design, cfg Config) (*Result, error) {
+	res := &Result{Design: d.Name, Flow: "optical"}
+	hnets, elapsed, err := process(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.HyperNets = hnets
+	res.Times.Process = elapsed
+
+	start := time.Now()
+	trees := baselineTrees(hnets, cfg)
+	envs := buildEnvs(hnets, trees)
+	nets := make([]selection.Net, len(hnets))
+	if err := eachNet(len(hnets), cfg.Workers, func(i int) error {
+		in := codesign.Input{
+			Tree: trees[i][0],
+			Bits: hnets[i].BitCount(),
+			Lib:  cfg.Lib,
+			Elec: cfg.Elec,
+			Env:  envs[i],
+		}
+		allO := make([]codesign.Label, len(trees[i][0].Edges))
+		for e := range allO {
+			allO[e] = codesign.Optical
+		}
+		var cands []codesign.Candidate
+		if cand, feasible := codesign.Evaluate(in, allO); feasible {
+			cands = append(cands, cand)
+		}
+		fallback, err := electricalCandidate(hnets[i], cfg)
+		if err != nil {
+			return err
+		}
+		cands = append(cands, fallback)
+		nets[i] = selection.Net{Bits: hnets[i].BitCount(), Cands: cands}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	res.Nets = nets
+	res.Times.Candidates = time.Since(start)
+
+	inst, err := selection.NewInstance(nets, cfg.Lib)
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	// GLOW semantics: optical wherever feasible (candidate 0), electrical
+	// only on loss violation (Repair demotes the violators).
+	choice := make([]int, len(nets))
+	sel, err := inst.Evaluate(choice)
+	if err != nil {
+		return nil, err
+	}
+	sel, err = inst.Repair(sel)
+	if err != nil {
+		return nil, err
+	}
+	res.Selection = sel
+	res.PowerMW = sel.PowerMW
+	res.Times.Selection = time.Since(start)
+
+	if !cfg.SkipWDM {
+		start = time.Now()
+		if err := res.assignWDMs(cfg); err != nil {
+			return nil, err
+		}
+		res.Times.WDM = time.Since(start)
+	}
+	return res, nil
+}
+
+// process runs signal processing with timing.
+func process(d signal.Design, cfg Config) ([]signal.HyperNet, time.Duration, error) {
+	if err := cfg.Lib.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if err := cfg.Elec.Validate(); err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	hnets, err := signal.Process(d, signal.ProcessConfig{
+		WDMCapacity:         cfg.Lib.WDMCapacity,
+		PinMergeThresholdCM: cfg.PinMergeThresholdCM,
+		Seed:                cfg.Seed,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(hnets) == 0 {
+		return nil, 0, fmt.Errorf("operon: design %q produced no hyper nets", d.Name)
+	}
+	return hnets, time.Since(start), nil
+}
+
+// baselineTrees builds the optical baseline topologies per hyper net.
+func baselineTrees(hnets []signal.HyperNet, cfg Config) [][]steiner.Tree {
+	max := cfg.MaxBaselines
+	if max <= 0 {
+		max = 3
+	}
+	trees := make([][]steiner.Tree, len(hnets))
+	_ = eachNet(len(hnets), cfg.Workers, func(i int) error {
+		trees[i] = steiner.Baselines(hnets[i].Terminals(), steiner.Euclidean, max)
+		return nil
+	})
+	return trees
+}
+
+// buildEnvs collects, for every hyper net, the primary-baseline optical
+// segments of the other hyper nets whose bounding boxes overlap — the
+// crossing-estimation environment for the co-design DP.
+func buildEnvs(hnets []signal.HyperNet, trees [][]steiner.Tree) [][]geom.Segment {
+	type netGeom struct {
+		segs []geom.Segment
+		box  geom.Rect
+	}
+	geoms := make([]netGeom, len(hnets))
+	for i := range hnets {
+		segs := trees[i][0].Segments()
+		g := netGeom{segs: segs}
+		if len(segs) > 0 {
+			g.box = segs[0].BBox()
+			for _, s := range segs[1:] {
+				g.box = g.box.Union(s.BBox())
+			}
+		}
+		geoms[i] = g
+	}
+	envs := make([][]geom.Segment, len(hnets))
+	for i := range hnets {
+		for j := range hnets {
+			if i == j || len(geoms[j].segs) == 0 || len(geoms[i].segs) == 0 {
+				continue
+			}
+			if geoms[i].box.Overlaps(geoms[j].box) {
+				envs[i] = append(envs[i], geoms[j].segs...)
+			}
+		}
+	}
+	return envs
+}
+
+// buildCoDesignNets generates the full OPERON candidate sets.
+func buildCoDesignNets(hnets []signal.HyperNet, cfg Config) ([]selection.Net, error) {
+	trees := baselineTrees(hnets, cfg)
+	envs := buildEnvs(hnets, trees)
+	nets := make([]selection.Net, len(hnets))
+	err := eachNet(len(hnets), cfg.Workers, func(i int) error {
+		bits := hnets[i].BitCount()
+		var cands []codesign.Candidate
+		for _, tr := range trees[i] {
+			// Subdivide only loss-pressed topologies: relays and partial-
+			// optical routes pay off when the detection budget binds, and
+			// unconditional subdivision inflates every net's candidate set
+			// (and with it the ILP).
+			if cfg.SubdivideCM > 0 && lossPressed(tr, envs[i], cfg.Lib, len(hnets[i].Pins)-1) {
+				tr = steiner.Subdivide(tr, cfg.SubdivideCM)
+			}
+			cs, err := codesign.Generate(codesign.Input{
+				Tree:       tr,
+				Bits:       bits,
+				Lib:        cfg.Lib,
+				Elec:       cfg.Elec,
+				Env:        envs[i],
+				MaxOptions: cfg.MaxCandidates,
+			})
+			if err != nil {
+				return fmt.Errorf("operon: net %d: %w", i, err)
+			}
+			cands = append(cands, cs...)
+		}
+		// Replace the per-tree electrical fallbacks with a single RSMT-based
+		// one (proper rectilinear Steiner tree, not the Euclidean baseline
+		// re-measured in the Manhattan metric).
+		kept := cands[:0]
+		for _, c := range cands {
+			if !c.AllElectrical {
+				kept = append(kept, c)
+			}
+		}
+		fallback, err := electricalCandidate(hnets[i], cfg)
+		if err != nil {
+			return err
+		}
+		kept = thinCandidates(kept, cfg.MaxCandidatesPerNet-1)
+		nets[i] = selection.Net{Bits: bits, Cands: append(kept, fallback)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return nets, nil
+}
+
+// lossPressed estimates whether an all-optical implementation of the tree
+// would approach the detection budget: propagation over the whole tree,
+// crossing loss against the environment, and a single splitting stage per
+// sink. Nets above 70%% of l_m get subdivided topologies.
+func lossPressed(tr steiner.Tree, env []geom.Segment, lib optics.Library, sinks int) bool {
+	loss := lib.PropagationLossDB(tr.EuclideanLength())
+	for _, s := range tr.Segments() {
+		loss += lib.CrossingLossDB(geom.CrossingsWithSegment(s, env))
+	}
+	loss += optics.SplittingLossDB(sinks)
+	return loss > 0.7*lib.MaxLossDB
+}
+
+// thinCandidates reduces a merged candidate list to at most max entries:
+// dominated candidates (in power and worst fixed loss) are dropped first,
+// then the Pareto front is subsampled evenly along its power ordering so
+// loss diversity survives. max <= 0 keeps everything.
+func thinCandidates(cands []codesign.Candidate, max int) []codesign.Candidate {
+	if max <= 0 || len(cands) <= max {
+		return cands
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].PowerMW < cands[j].PowerMW })
+	var front []codesign.Candidate
+	bestLoss := math.Inf(1)
+	for _, c := range cands {
+		// Power-ascending scan: keep only candidates that strictly improve
+		// the best loss seen so far (the Pareto front).
+		if c.MaxFixedLossDB < bestLoss-1e-12 || len(front) == 0 {
+			front = append(front, c)
+			if c.MaxFixedLossDB < bestLoss {
+				bestLoss = c.MaxFixedLossDB
+			}
+		}
+	}
+	if len(front) <= max {
+		return front
+	}
+	if max == 1 {
+		return front[:1] // the minimum-power candidate
+	}
+	out := make([]codesign.Candidate, 0, max)
+	for k := 0; k < max; k++ {
+		idx := k * (len(front) - 1) / (max - 1)
+		out = append(out, front[idx])
+	}
+	return out
+}
+
+// electricalCandidate builds the a_ie fallback: an all-electrical RSMT
+// route evaluated under Eq. (6).
+func electricalCandidate(hn signal.HyperNet, cfg Config) (codesign.Candidate, error) {
+	tree := steiner.BI1S(hn.Terminals(), steiner.Rectilinear, steiner.BI1SConfig{})
+	in := codesign.Input{Tree: tree, Bits: hn.BitCount(), Lib: cfg.Lib, Elec: cfg.Elec}
+	cand, _ := codesign.Evaluate(in, make([]codesign.Label, len(tree.Edges)))
+	if !cand.AllElectrical {
+		return codesign.Candidate{}, fmt.Errorf("operon: electrical fallback is not all-electrical")
+	}
+	return cand, nil
+}
+
+// assignWDMs extracts the optical connections of the selection and runs
+// the §4 WDM pipeline.
+func (r *Result) assignWDMs(cfg Config) error {
+	for i, j := range r.Selection.Choice {
+		cand := r.Nets[i].Cands[j]
+		// Consecutive collinear optical chunks (from edge subdivision) are
+		// one physical waveguide.
+		for _, seg := range geom.MergeCollinear(cand.OpticalSegs) {
+			r.Connections = append(r.Connections, wdm.Connection{
+				Seg: seg, Bits: r.Nets[i].Bits, Net: i,
+			})
+		}
+	}
+	pl, as, st, err := wdm.Run(r.Connections, wdm.Config{
+		Capacity:        cfg.Lib.WDMCapacity,
+		MinSpacingCM:    cfg.Lib.CrosstalkMinDistCM,
+		MaxAssignDistCM: cfg.Lib.AssignMaxDistCM,
+	})
+	if err != nil {
+		return err
+	}
+	r.Placement = pl
+	r.Assignment = as
+	r.WDMStats = st
+	return nil
+}
+
+// eachNet runs fn(i) for i in [0,n) on a bounded worker pool, collecting
+// the first error.
+func eachNet(n, workers int, fn func(int) error) error {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}

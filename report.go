@@ -1,0 +1,95 @@
+package operon
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RouteClass summarises how a hyper net was implemented.
+type RouteClass int
+
+const (
+	// RouteElectrical is a pure copper route (the a_ie fallback).
+	RouteElectrical RouteClass = iota
+	// RouteOptical is a fully optical route.
+	RouteOptical
+	// RouteMixed combines optical segments with electrical ones
+	// (partial-optical tails or relays).
+	RouteMixed
+)
+
+// String implements fmt.Stringer.
+func (c RouteClass) String() string {
+	switch c {
+	case RouteOptical:
+		return "optical"
+	case RouteMixed:
+		return "mixed"
+	default:
+		return "electrical"
+	}
+}
+
+// Classify returns the route class of net i's chosen candidate.
+func (r *Result) Classify(i int) RouteClass {
+	cand := r.Nets[i].Cands[r.Selection.Choice[i]]
+	switch {
+	case cand.AllElectrical:
+		return RouteElectrical
+	case len(cand.ElecSegs) == 0:
+		return RouteOptical
+	default:
+		return RouteMixed
+	}
+}
+
+// Report renders a human-readable per-net routing report: class, power,
+// conversions and worst optical loss per hyper net, followed by aggregate
+// counts. Nets are listed in descending power order, truncated to maxNets
+// rows (0 = all).
+func (r *Result) Report(maxNets int) string {
+	if len(r.Nets) == 0 || len(r.Selection.Choice) != len(r.Nets) {
+		return "no complete selection\n"
+	}
+	type row struct {
+		net   int
+		class RouteClass
+		power float64
+		mods  int
+		dets  int
+		loss  float64
+	}
+	rows := make([]row, len(r.Nets))
+	counts := map[RouteClass]int{}
+	for i := range r.Nets {
+		cand := r.Nets[i].Cands[r.Selection.Choice[i]]
+		rows[i] = row{
+			net:   i,
+			class: r.Classify(i),
+			power: cand.PowerMW,
+			mods:  cand.NumMod,
+			dets:  cand.NumDet,
+			loss:  cand.MaxFixedLossDB,
+		}
+		counts[rows[i].class]++
+	}
+	sort.SliceStable(rows, func(a, b int) bool { return rows[a].power > rows[b].power })
+	if maxNets > 0 && len(rows) > maxNets {
+		rows = rows[:maxNets]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "route report: %s via %s\n", r.Design, r.Flow)
+	fmt.Fprintf(&b, "  %5s %11s %6s %12s %5s %5s %10s\n",
+		"net", "class", "bits", "power (mW)", "mods", "dets", "loss (dB)")
+	for _, rw := range rows {
+		fmt.Fprintf(&b, "  %5d %11s %6d %12.3f %5d %5d %10.2f\n",
+			rw.net, rw.class, r.Nets[rw.net].Bits, rw.power, rw.mods, rw.dets, rw.loss)
+	}
+	if maxNets > 0 && len(r.Nets) > maxNets {
+		fmt.Fprintf(&b, "  ... %d more nets\n", len(r.Nets)-maxNets)
+	}
+	fmt.Fprintf(&b, "  totals: %d optical, %d mixed, %d electrical; %.2f mW\n",
+		counts[RouteOptical], counts[RouteMixed], counts[RouteElectrical], r.PowerMW)
+	return b.String()
+}

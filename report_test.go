@@ -1,0 +1,68 @@
+package operon
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReport(t *testing.T) {
+	res := verifyDesign(t)
+	out := res.Report(5)
+	for _, want := range []string{"route report", "class", "totals:", "mW"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Truncation marker appears when nets exceed the cap.
+	if len(res.Nets) > 5 && !strings.Contains(out, "more nets") {
+		t.Error("report not truncated")
+	}
+	// Full report lists every net.
+	full := res.Report(0)
+	if strings.Contains(full, "more nets") {
+		t.Error("untruncated report claims truncation")
+	}
+	lines := strings.Count(full, "\n")
+	if lines < len(res.Nets)+3 {
+		t.Errorf("full report has %d lines for %d nets", lines, len(res.Nets))
+	}
+}
+
+func TestClassify(t *testing.T) {
+	res := verifyDesign(t)
+	counts := map[RouteClass]int{}
+	for i := range res.Nets {
+		c := res.Classify(i)
+		counts[c]++
+		cand := res.Nets[i].Cands[res.Selection.Choice[i]]
+		switch c {
+		case RouteElectrical:
+			if len(cand.OpticalSegs) != 0 {
+				t.Errorf("net %d: electrical class with optical segments", i)
+			}
+		case RouteOptical:
+			if len(cand.OpticalSegs) == 0 || len(cand.ElecSegs) != 0 {
+				t.Errorf("net %d: optical class with wrong segments", i)
+			}
+		case RouteMixed:
+			if len(cand.OpticalSegs) == 0 || len(cand.ElecSegs) == 0 {
+				t.Errorf("net %d: mixed class with missing segments", i)
+			}
+		}
+	}
+	if counts[RouteOptical] == 0 {
+		t.Error("no optical routes in the verify design")
+	}
+	for _, c := range []RouteClass{RouteElectrical, RouteOptical, RouteMixed} {
+		if c.String() == "" {
+			t.Error("empty class name")
+		}
+	}
+}
+
+func TestReportEmpty(t *testing.T) {
+	var r Result
+	if out := r.Report(3); !strings.Contains(out, "no complete selection") {
+		t.Errorf("empty report: %q", out)
+	}
+}

@@ -1,0 +1,124 @@
+package operon
+
+import (
+	"fmt"
+	"io"
+
+	"operon/internal/geom"
+)
+
+// svgScalePxPerCM fixes the rendering scale of WriteSVG.
+const svgScalePxPerCM = 200.0
+
+// WriteSVG renders a routed result as an SVG layout: the die outline, the
+// electrical wires (implemented as L-shaped Manhattan routes), the optical
+// waveguide segments, the shared WDM waveguides of the assignment stage,
+// and the EO/OE conversion sites. The drawing is deterministic, so golden
+// comparisons are stable.
+func WriteSVG(w io.Writer, res *Result, die geom.Rect, cfg Config) error {
+	if res == nil || len(res.Nets) == 0 || len(res.Selection.Choice) != len(res.Nets) {
+		return fmt.Errorf("operon: result has no complete selection")
+	}
+	if die.Width() <= 0 || die.Height() <= 0 {
+		return fmt.Errorf("operon: die %v has no area", die)
+	}
+	s := svgWriter{w: w, die: die}
+	s.printf(`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		die.Width()*svgScalePxPerCM, die.Height()*svgScalePxPerCM,
+		die.Width()*svgScalePxPerCM, die.Height()*svgScalePxPerCM)
+	s.printf(`<rect x="0" y="0" width="%.0f" height="%.0f" fill="#fcfcf8" stroke="#333" stroke-width="2"/>`+"\n",
+		die.Width()*svgScalePxPerCM, die.Height()*svgScalePxPerCM)
+
+	// Shared WDM waveguides (under the routes).
+	s.printf(`<g id="wdms" stroke="#9fd4ff" stroke-width="5" opacity="0.5">` + "\n")
+	used := map[int]bool{}
+	for _, shares := range res.Assignment.Shares {
+		for _, sh := range shares {
+			used[sh.WDM] = true
+		}
+	}
+	for wi, wd := range res.Placement.WDMs {
+		if !used[wi] {
+			continue
+		}
+		if wd.Horizontal {
+			a := geom.Point{X: die.Lo.X, Y: wd.CoordCM}
+			b := geom.Point{X: die.Hi.X, Y: wd.CoordCM}
+			s.line(a, b)
+		} else {
+			a := geom.Point{X: wd.CoordCM, Y: die.Lo.Y}
+			b := geom.Point{X: wd.CoordCM, Y: die.Hi.Y}
+			s.line(a, b)
+		}
+	}
+	s.printf("</g>\n")
+
+	// Electrical wires as L-shaped Manhattan routes.
+	s.printf(`<g id="electrical" stroke="#e08214" stroke-width="1.5" fill="none">` + "\n")
+	for i, j := range res.Selection.Choice {
+		for _, seg := range res.Nets[i].Cands[j].ElecSegs {
+			corner := geom.Point{X: seg.B.X, Y: seg.A.Y}
+			s.line(seg.A, corner)
+			s.line(corner, seg.B)
+		}
+	}
+	s.printf("</g>\n")
+
+	// Optical waveguide segments.
+	s.printf(`<g id="optical" stroke="#2166ac" stroke-width="2" fill="none">` + "\n")
+	for i, j := range res.Selection.Choice {
+		for _, seg := range geom.MergeCollinear(res.Nets[i].Cands[j].OpticalSegs) {
+			s.line(seg.A, seg.B)
+		}
+	}
+	s.printf("</g>\n")
+
+	// Conversion sites.
+	s.printf(`<g id="modulators" fill="#1a9850" stroke="none">` + "\n")
+	for i, j := range res.Selection.Choice {
+		for _, p := range res.Nets[i].Cands[j].ModSites {
+			s.circle(p, 4)
+		}
+	}
+	s.printf("</g>\n")
+	s.printf(`<g id="detectors" fill="#d73027" stroke="none">` + "\n")
+	for i, j := range res.Selection.Choice {
+		for _, p := range res.Nets[i].Cands[j].DetSites {
+			s.circle(p, 4)
+		}
+	}
+	s.printf("</g>\n")
+	s.printf("</svg>\n")
+	return s.err
+}
+
+// svgWriter accumulates the first write error so call sites stay linear.
+type svgWriter struct {
+	w   io.Writer
+	die geom.Rect
+	err error
+}
+
+func (s *svgWriter) printf(format string, args ...interface{}) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = fmt.Fprintf(s.w, format, args...)
+}
+
+// px maps a die coordinate to SVG pixels (y axis flipped: SVG grows down).
+func (s *svgWriter) px(p geom.Point) (float64, float64) {
+	return (p.X - s.die.Lo.X) * svgScalePxPerCM,
+		(s.die.Hi.Y - p.Y) * svgScalePxPerCM
+}
+
+func (s *svgWriter) line(a, b geom.Point) {
+	x1, y1 := s.px(a)
+	x2, y2 := s.px(b)
+	s.printf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/>`+"\n", x1, y1, x2, y2)
+}
+
+func (s *svgWriter) circle(p geom.Point, r float64) {
+	x, y := s.px(p)
+	s.printf(`<circle cx="%.1f" cy="%.1f" r="%.1f"/>`+"\n", x, y, r)
+}

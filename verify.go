@@ -1,0 +1,158 @@
+package operon
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"operon/internal/geom"
+)
+
+// Issue is one design-rule violation found by Verify.
+type Issue struct {
+	// Rule names the violated check (e.g. "loss-budget", "wdm-capacity").
+	Rule string
+	// Net is the offending hyper net index, or -1 for global issues.
+	Net int
+	// Detail describes the violation.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (i Issue) String() string {
+	if i.Net >= 0 {
+		return fmt.Sprintf("%s (net %d): %s", i.Rule, i.Net, i.Detail)
+	}
+	return fmt.Sprintf("%s: %s", i.Rule, i.Detail)
+}
+
+// Verify re-checks a flow result against the design rules, independently of
+// the algorithms that produced it:
+//
+//   - every hyper net has exactly one chosen candidate;
+//   - every optical detection path meets the loss budget, including the
+//     exact pairwise crossing loss of the other selected candidates;
+//   - conversion-site counts are consistent with the candidate's record;
+//   - WDM shares cover every connection's bits exactly, never exceed the
+//     waveguide capacity, never mix orientations, and respect the dis_u
+//     displacement bound;
+//   - adjacent same-orientation WDMs respect the dis_l crosstalk spacing.
+//
+// It returns all violations found (empty = clean). Verify is the
+// independent auditor used by tests and `cmd/operon -verify`.
+func Verify(res *Result, cfg Config) []Issue {
+	var issues []Issue
+	if res == nil || len(res.Nets) == 0 {
+		return []Issue{{Rule: "result", Net: -1, Detail: "empty result"}}
+	}
+	if len(res.Selection.Choice) != len(res.Nets) {
+		return []Issue{{Rule: "selection", Net: -1, Detail: fmt.Sprintf(
+			"choice covers %d of %d nets", len(res.Selection.Choice), len(res.Nets))}}
+	}
+
+	// Per-net candidate sanity and loss budget under exact crossing loss.
+	for i, j := range res.Selection.Choice {
+		if j < 0 || j >= len(res.Nets[i].Cands) {
+			issues = append(issues, Issue{Rule: "selection", Net: i,
+				Detail: fmt.Sprintf("candidate index %d out of range", j)})
+			continue
+		}
+		cand := res.Nets[i].Cands[j]
+		if len(cand.ModSites) != cand.NumMod || len(cand.DetSites) != cand.NumDet {
+			issues = append(issues, Issue{Rule: "conversion-sites", Net: i,
+				Detail: fmt.Sprintf("%d/%d sites for %d/%d conversions",
+					len(cand.ModSites), len(cand.DetSites), cand.NumMod, cand.NumDet)})
+		}
+		for p, path := range cand.Paths {
+			loss := path.FixedLossDB
+			for m, n := range res.Selection.Choice {
+				if m == i || n < 0 || n >= len(res.Nets[m].Cands) {
+					continue // invalid choices are reported separately
+				}
+				other := res.Nets[m].Cands[n].OpticalSegs
+				if len(other) == 0 {
+					continue
+				}
+				loss += cfg.Lib.CrossingLossDB(geom.CountCrossings(path.Segs, other))
+			}
+			if !cfg.Lib.Detectable(loss) {
+				issues = append(issues, Issue{Rule: "loss-budget", Net: i,
+					Detail: fmt.Sprintf("path %d: %.2f dB > l_m %.2f dB",
+						p, loss, cfg.Lib.MaxLossDB)})
+			}
+		}
+	}
+
+	issues = append(issues, verifyWDM(res, cfg)...)
+	return issues
+}
+
+// verifyWDM audits the WDM placement and assignment of a result.
+func verifyWDM(res *Result, cfg Config) []Issue {
+	var issues []Issue
+	if len(res.Connections) == 0 {
+		return nil
+	}
+	if len(res.Assignment.Shares) != len(res.Connections) {
+		return []Issue{{Rule: "wdm-shares", Net: -1, Detail: fmt.Sprintf(
+			"shares cover %d of %d connections",
+			len(res.Assignment.Shares), len(res.Connections))}}
+	}
+	load := make(map[int]int)
+	for ci, conn := range res.Connections {
+		covered := 0
+		for _, sh := range res.Assignment.Shares[ci] {
+			if sh.WDM < 0 || sh.WDM >= len(res.Placement.WDMs) {
+				issues = append(issues, Issue{Rule: "wdm-shares", Net: conn.Net,
+					Detail: fmt.Sprintf("connection %d references WDM %d", ci, sh.WDM)})
+				continue
+			}
+			w := res.Placement.WDMs[sh.WDM]
+			if w.Horizontal != conn.Horizontal() {
+				issues = append(issues, Issue{Rule: "wdm-orientation", Net: conn.Net,
+					Detail: fmt.Sprintf("connection %d assigned across orientations", ci)})
+			}
+			coord := conn.Seg.Midpoint().Y
+			if !conn.Horizontal() {
+				coord = conn.Seg.Midpoint().X
+			}
+			d := math.Abs(coord - w.CoordCM)
+			if d > cfg.Lib.AssignMaxDistCM+1e-9 && sh.WDM != res.Placement.InitialAssign[ci] {
+				issues = append(issues, Issue{Rule: "wdm-displacement", Net: conn.Net,
+					Detail: fmt.Sprintf("connection %d displaced %.4f cm > dis_u", ci, d)})
+			}
+			covered += sh.Bits
+			load[sh.WDM] += sh.Bits
+		}
+		if covered != conn.Bits {
+			issues = append(issues, Issue{Rule: "wdm-coverage", Net: conn.Net,
+				Detail: fmt.Sprintf("connection %d: %d of %d bits assigned",
+					ci, covered, conn.Bits)})
+		}
+	}
+	for w, l := range load {
+		if l > cfg.Lib.WDMCapacity {
+			issues = append(issues, Issue{Rule: "wdm-capacity", Net: -1,
+				Detail: fmt.Sprintf("WDM %d carries %d > capacity %d",
+					w, l, cfg.Lib.WDMCapacity)})
+		}
+	}
+	// dis_l spacing between loaded same-orientation WDMs.
+	for _, horizontal := range []bool{true, false} {
+		var coords []float64
+		for w := range load {
+			if res.Placement.WDMs[w].Horizontal == horizontal {
+				coords = append(coords, res.Placement.WDMs[w].CoordCM)
+			}
+		}
+		sort.Float64s(coords)
+		for k := 1; k < len(coords); k++ {
+			if coords[k]-coords[k-1] < cfg.Lib.CrosstalkMinDistCM-1e-12 {
+				issues = append(issues, Issue{Rule: "wdm-spacing", Net: -1,
+					Detail: fmt.Sprintf("WDMs at %.4f and %.4f closer than dis_l",
+						coords[k-1], coords[k])})
+			}
+		}
+	}
+	return issues
+}
