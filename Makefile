@@ -1,0 +1,24 @@
+GO ?= go
+
+# Packages with parallel stages or shared caches; `make check` runs these
+# under the race detector in addition to the normal test sweep.
+RACE_PKGS = ./internal/parallel ./internal/selection ./internal/signal \
+            ./internal/wdm ./internal/optics/bpm .
+
+.PHONY: check test race vet bench
+
+check: vet test race
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 $(RACE_PKGS)
+
+# Emit the machine-readable benchmark report (BENCH_<date>.json).
+bench:
+	$(GO) run ./cmd/bench

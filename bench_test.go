@@ -3,19 +3,29 @@
 //
 //   - BenchmarkTable1/* time the four Table-1 flows (Electrical [14],
 //     Optical [4], OPERON-LR per case, OPERON-ILP on a reduced case);
-//   - BenchmarkFig3b times the FD-BPM Y-branch cascade simulation;
+//   - BenchmarkFig3b times the FD-BPM Y-branch cascade simulation (the
+//     uncached solver; BenchmarkFig3bCached measures the memoized path);
 //   - BenchmarkFig8 times the WDM placement + min-cost-flow assignment;
-//   - BenchmarkFig9 times the hotspot-map computation.
+//   - BenchmarkFig9 times the hotspot-map computation;
+//   - BenchmarkLRPricing times the Lagrangian selection stage alone;
+//   - BenchmarkBI1S times the incremental Batched Iterated 1-Steiner.
+//
+// cmd/bench runs the same workloads programmatically and emits a
+// machine-readable BENCH_<date>.json for the perf trajectory.
 package operon_test
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
 	operon "operon"
 	"operon/internal/benchgen"
+	"operon/internal/geom"
 	"operon/internal/optics/bpm"
+	"operon/internal/selection"
 	"operon/internal/signal"
+	"operon/internal/steiner"
 	"operon/internal/wdm"
 )
 
@@ -102,6 +112,24 @@ func BenchmarkTable1(b *testing.B) {
 
 func BenchmarkFig3b(b *testing.B) {
 	cfg := bpm.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bpm.SimulateUncached(cfg, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.ArmPowers) != 4 {
+			b.Fatal("unexpected arm count")
+		}
+	}
+}
+
+func BenchmarkFig3bCached(b *testing.B) {
+	// The memoized path most callers hit: one propagation per process, then
+	// cache hits (a deep copy of the small Result).
+	cfg := bpm.DefaultConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := bpm.Simulate(cfg, 2)
@@ -141,6 +169,68 @@ func BenchmarkFig8(b *testing.B) {
 		if _, _, _, err := wdm.Run(conns, wcfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// lrInstance builds a selection instance from the I2 candidate sets so the
+// pricing stage can be benchmarked in isolation.
+func lrInstance(b *testing.B) *selection.Instance {
+	b.Helper()
+	d := design(b, "I2")
+	cfg := operon.DefaultConfig()
+	cfg.SkipWDM = true
+	res, err := operon.Run(d, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := selection.NewInstance(res.Nets, cfg.Lib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the cross-loss cache so worker-count variants compare fairly.
+	if _, err := selection.SolveLR(inst, selection.LROptions{}); err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+func BenchmarkLRPricing(b *testing.B) {
+	inst := lrInstance(b)
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{{"Workers1", 1}, {"WorkersN", 0}} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				lr, err := selection.SolveLR(inst, selection.LROptions{Workers: bench.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if lr.Selection.Violations != 0 {
+					b.Fatal("unrepaired violations")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBI1S(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	terms := make([]geom.Point, 24)
+	for i := range terms {
+		terms[i] = geom.Point{X: rng.Float64() * 4, Y: rng.Float64() * 4}
+	}
+	for _, metric := range []steiner.Metric{steiner.Rectilinear, steiner.Euclidean} {
+		b.Run(metric.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tr := steiner.BI1S(terms, metric, steiner.BI1SConfig{})
+				if err := tr.Validate(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

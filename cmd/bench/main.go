@@ -1,0 +1,274 @@
+// Command bench is the benchmark-regression harness: it runs the
+// Table-1 / Fig-3(b) / Fig-8 workloads plus the per-stage benchmarks
+// (Lagrangian pricing, BI1S) programmatically and emits a machine-readable
+// BENCH_<date>.json with ns/op, allocs/op, bytes/op, and the wall-clock
+// speedups of the parallel and memoized paths against their sequential /
+// uncached baselines. Committed outputs establish the performance
+// trajectory across PRs.
+//
+// Usage:
+//
+//	go run ./cmd/bench [-case I2] [-out BENCH_2006-01-02.json] [-quick]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	operon "operon"
+	"operon/internal/benchgen"
+	"operon/internal/geom"
+	"operon/internal/optics/bpm"
+	"operon/internal/selection"
+	"operon/internal/signal"
+	"operon/internal/steiner"
+	"operon/internal/wdm"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the JSON document cmd/bench emits.
+type Report struct {
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	CPUs       int     `json:"cpus"`
+	Case       string  `json:"case"`
+	Benchmarks []Entry `json:"benchmarks"`
+	// Speedups relate pairs of benchmark entries: parallel vs sequential
+	// and memoized vs uncached. Values > 1 are faster. Parallel-stage
+	// speedups scale with the core count of the runner (CPUs above).
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+func main() {
+	testing.Init() // registers test.benchtime before flag.Parse
+	caseName := flag.String("case", "I2", "Table-1 case for the flow benchmarks")
+	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	quick := flag.Bool("quick", false, "single-iteration run (smoke test, noisy numbers)")
+	flag.Parse()
+
+	if *quick {
+		// testing.Benchmark honours -test.benchtime via the flag package.
+		if err := flag.Set("test.benchtime", "1x"); err != nil {
+			fatal(err)
+		}
+	}
+
+	rep := Report{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Case:      *caseName,
+		Speedups:  map[string]float64{},
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", rep.Date)
+	}
+	// Fail on an unwritable output path now, not after minutes of benchmarks.
+	if f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644); err != nil {
+		fatal(err)
+	} else {
+		f.Close()
+	}
+
+	d := mustDesign(*caseName)
+	cfg := operon.DefaultConfig()
+
+	record := func(name string, fn func(b *testing.B)) Entry {
+		fmt.Fprintf(os.Stderr, "bench: %s\n", name)
+		r := testing.Benchmark(fn)
+		e := Entry{
+			Name:        name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+		return e
+	}
+	runFlow := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			c := cfg
+			c.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := operon.Run(d, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	// Table 1: the OPERON-LR flow, sequential vs worker-pool.
+	seq := record("Table1/OPERON-LR/"+*caseName+"/Workers1", runFlow(1))
+	par := record("Table1/OPERON-LR/"+*caseName+"/WorkersN", runFlow(0))
+	rep.Speedups["operon-lr workersN vs workers1"] = seq.NsPerOp / par.NsPerOp
+
+	record("Table1/Electrical/"+*caseName, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := operon.RunElectrical(d, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	record("Table1/Optical/"+*caseName, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := operon.RunOptical(d, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Fig 3(b): the FD-BPM cascade, uncached solver vs process-wide cache.
+	bcfg := bpm.DefaultConfig()
+	uncached := record("Fig3b/Uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bpm.SimulateUncached(bcfg, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	cached := record("Fig3b/Cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bpm.Simulate(bcfg, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Speedups["fig3b cached vs uncached"] = uncached.NsPerOp / cached.NsPerOp
+
+	// Fig 8: the WDM placement + min-cost-flow assignment.
+	conns, wcfg := wdmInputs(d, cfg)
+	record("Fig8/WDM", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := wdm.Run(conns, wcfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// LR pricing in isolation, sequential vs worker-pool.
+	inst := mustInstance(d, cfg)
+	runLR := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := selection.SolveLR(inst, selection.LROptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	lrSeq := record("LRPricing/Workers1", runLR(1))
+	lrPar := record("LRPricing/WorkersN", runLR(0))
+	rep.Speedups["lr-pricing workersN vs workers1"] = lrSeq.NsPerOp / lrPar.NsPerOp
+
+	// BI1S with the incremental MST evaluation.
+	rng := rand.New(rand.NewSource(11))
+	terms := make([]geom.Point, 24)
+	for i := range terms {
+		terms[i] = geom.Point{X: rng.Float64() * 4, Y: rng.Float64() * 4}
+	}
+	for _, metric := range []steiner.Metric{steiner.Rectilinear, steiner.Euclidean} {
+		record("BI1S/"+metric.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				steiner.BI1S(terms, metric, steiner.BI1SConfig{})
+			}
+		})
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks, %d CPUs)\n", path, len(rep.Benchmarks), rep.CPUs)
+}
+
+func mustDesign(name string) signal.Design {
+	spec, err := benchgen.SpecByName(name)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := benchgen.Generate(spec)
+	if err != nil {
+		fatal(err)
+	}
+	return d
+}
+
+// mustInstance reproduces the selection instance of the case so SolveLR can
+// be measured without the earlier stages.
+func mustInstance(d signal.Design, cfg operon.Config) *selection.Instance {
+	c := cfg
+	c.SkipWDM = true
+	res, err := operon.Run(d, c)
+	if err != nil {
+		fatal(err)
+	}
+	inst, err := selection.NewInstance(res.Nets, cfg.Lib)
+	if err != nil {
+		fatal(err)
+	}
+	// Warm the instance's cross-loss cache so the Workers1/WorkersN
+	// comparison measures the pricing loops, not who fills the cache first.
+	if _, err := selection.SolveLR(inst, selection.LROptions{}); err != nil {
+		fatal(err)
+	}
+	return inst
+}
+
+// wdmInputs extracts the optical connections of the case for the Fig-8
+// benchmark.
+func wdmInputs(d signal.Design, cfg operon.Config) ([]wdm.Connection, wdm.Config) {
+	c := cfg
+	c.SkipWDM = true
+	res, err := operon.Run(d, c)
+	if err != nil {
+		fatal(err)
+	}
+	var conns []wdm.Connection
+	for i, j := range res.Selection.Choice {
+		for _, seg := range res.Nets[i].Cands[j].OpticalSegs {
+			conns = append(conns, wdm.Connection{Seg: seg, Bits: res.Nets[i].Bits, Net: i})
+		}
+	}
+	return conns, wdm.Config{
+		Capacity:        cfg.Lib.WDMCapacity,
+		MinSpacingCM:    cfg.Lib.CrosstalkMinDistCM,
+		MaxAssignDistCM: cfg.Lib.AssignMaxDistCM,
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -38,6 +38,7 @@ func main() {
 		verify     = flag.Bool("verify", false, "re-check the result against the design rules")
 		svgPath    = flag.String("svg", "", "write the routed layout as SVG to this file")
 		report     = flag.Int("report", 0, "print a per-net route report (top N nets; -1 = all)")
+		workers    = flag.Int("workers", 0, "worker pool size for the parallel stages (0 = all CPUs, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 
 	cfg := operon.DefaultConfig()
 	cfg.ILPTimeLimit = *ilpLimit
+	cfg.Workers = *workers
 	if *lossBudget > 0 {
 		cfg.Lib.MaxLossDB = *lossBudget
 	}

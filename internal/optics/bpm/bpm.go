@@ -87,6 +87,15 @@ type IndexProfile interface {
 	Index(xUM, zUM float64) float64
 }
 
+// ZInvariant is an optional IndexProfile extension: profiles that can
+// report z-invariance over a longitudinal range let Propagate reuse the
+// discretised potentials instead of re-sampling Index at every step.
+type ZInvariant interface {
+	// ZInvariantOver reports whether Index(x, z) is constant in z for every
+	// x over the closed range [z0UM, z1UM].
+	ZInvariantOver(z0UM, z1UM float64) bool
+}
+
 // Field is the complex transverse field envelope at the current z.
 type Field struct {
 	cfg Config
@@ -166,15 +175,31 @@ func (f *Field) Propagate(profile IndexProfile, lengthUM float64) {
 
 	damp := f.absorberMask()
 
+	// The potential at a step's entry plane equals the previous step's exit
+	// plane, so one sampled array is carried across steps (pot) and only
+	// the exit plane is re-sampled (potNext) — and not even that when the
+	// profile declares itself z-invariant over the step.
+	inv, hasInv := profile.(ZInvariant)
+	fillPot := func(z float64, dst []complex128) {
+		for i := 0; i < n; i++ {
+			dst[i] = potential(profile.Index(cfg.x(i), z), cfg, k0, dx)
+		}
+	}
+	pot := make([]complex128, n)
+	potNext := make([]complex128, n)
+	fillPot(f.Z, pot)
+
 	for s := 0; s < steps; s++ {
 		z1 := f.Z
 		z2 := f.Z + dz
+		if hasInv && inv.ZInvariantOver(z1, z2) {
+			copy(potNext, pot)
+		} else {
+			fillPot(z2, potNext)
+		}
 		for i := 0; i < n; i++ {
-			x := cfg.x(i)
-			d1 := potential(profile.Index(x, z1), cfg, k0, dx)
-			d2 := potential(profile.Index(x, z2), cfg, k0, dx)
-			diag1[i] = 1 + coef*d1
-			diag2[i] = 1 - coef*d2
+			diag1[i] = 1 + coef*pot[i]
+			diag2[i] = 1 - coef*potNext[i]
 		}
 		// rhs = (I + i dz/2 Ĥ₁) E with Dirichlet edges.
 		for i := 0; i < n; i++ {
@@ -198,6 +223,7 @@ func (f *Field) Propagate(profile IndexProfile, lengthUM float64) {
 			f.E[i] *= complex(damp[i], 0)
 		}
 		f.Z = z2
+		pot, potNext = potNext, pot
 	}
 }
 
@@ -267,6 +293,9 @@ func (s Straight) Index(x, _ float64) float64 {
 	}
 	return s.Cfg.NClad
 }
+
+// ZInvariantOver implements ZInvariant: a straight guide never varies in z.
+func (s Straight) ZInvariantOver(_, _ float64) bool { return true }
 
 // guidePath is one branch arm: a core centre moving linearly in z.
 type guidePath struct {
@@ -378,6 +407,22 @@ func (c *Cascade) Index(x, z float64) float64 {
 	return c.Cfg.NClad
 }
 
+// ZInvariantOver implements ZInvariant: the profile is constant in z over
+// [z0, z1] when every arm active somewhere in the range is straight
+// (c0 == c1) — true throughout the output runway, which is a third to a
+// quarter of the device length.
+func (c *Cascade) ZInvariantOver(z0, z1 float64) bool {
+	for _, g := range c.paths {
+		if z1 < g.z0-1e-9 || z0 > g.z1+1e-9 {
+			continue
+		}
+		if g.c0 != g.c1 {
+			return false
+		}
+	}
+	return true
+}
+
 // Result summarises a cascade simulation (the paper's Fig. 3(b)).
 type Result struct {
 	// ArmPowers holds each output arm's power, input-normalised.
@@ -390,9 +435,17 @@ type Result struct {
 	IdealPerArmLossDB float64
 }
 
-// Simulate runs the fundamental mode through the cascade and measures the
-// output power split.
+// Simulate returns the cascade simulation result for (cfg, stages),
+// propagating at most once per process: results are memoised in a
+// package-level cache keyed by the full numerical configuration and the
+// stage count (see cache.go). Use SimulateUncached to force a propagation.
 func Simulate(cfg Config, stages int) (Result, error) {
+	return simCached(cfg, stages)
+}
+
+// SimulateUncached runs the fundamental mode through the cascade and
+// measures the output power split, bypassing the process-wide cache.
+func SimulateUncached(cfg Config, stages int) (Result, error) {
 	cas, err := NewCascade(cfg, stages)
 	if err != nil {
 		return Result{}, err

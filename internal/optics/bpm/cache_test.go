@@ -1,0 +1,102 @@
+package bpm
+
+import (
+	"math"
+	"testing"
+)
+
+// hideInvariance wraps a profile so Propagate cannot see its ZInvariant
+// implementation, forcing the full per-step Index resampling.
+type hideInvariance struct{ p IndexProfile }
+
+func (h hideInvariance) Index(x, z float64) float64 { return h.p.Index(x, z) }
+
+// TestPropagateInvarianceBitIdentical checks the z-invariant potential
+// reuse is exact: propagating through a cascade with and without the
+// ZInvariant fast path must give bit-identical fields.
+func TestPropagateInvarianceBitIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NX = 200
+	cfg.WindowUM = 40
+	cas, err := NewCascade(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	launch := func() *Field {
+		f, err := NewGaussian(cfg, 0, cfg.CoreWidthUM*0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	fast := launch()
+	fast.Propagate(cas, cas.TotalLengthUM())
+	slow := launch()
+	slow.Propagate(hideInvariance{p: cas}, cas.TotalLengthUM())
+	for i := range fast.E {
+		if fast.E[i] != slow.E[i] {
+			t.Fatalf("field differs at %d: %v vs %v", i, fast.E[i], slow.E[i])
+		}
+	}
+}
+
+func TestCascadeZInvariantOver(t *testing.T) {
+	cfg := DefaultConfig()
+	cas, err := NewCascade(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Branching stages taper, so they are not invariant.
+	if cas.ZInvariantOver(10, 11) {
+		t.Error("taper stage reported z-invariant")
+	}
+	// The output runway is straight arms only.
+	z0 := float64(cas.Stages)*cas.StageLenUM + 1
+	if !cas.ZInvariantOver(z0, z0+1) {
+		t.Error("runway not reported z-invariant")
+	}
+	if !(Straight{Cfg: cfg}).ZInvariantOver(0, 1e9) {
+		t.Error("straight guide not z-invariant")
+	}
+}
+
+// TestSimulateCacheMatchesUncached checks the process-wide memoization is
+// transparent: cached results equal a fresh propagation exactly, and the
+// returned slices are caller-owned copies.
+func TestSimulateCacheMatchesUncached(t *testing.T) {
+	ResetSimulationCache()
+	cfg := DefaultConfig()
+	cfg.NX = 160
+	cfg.WindowUM = 40
+
+	fresh, err := SimulateUncached(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Simulate(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Simulate(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fresh.ArmPowers {
+		if fresh.ArmPowers[i] != first.ArmPowers[i] || first.ArmPowers[i] != second.ArmPowers[i] {
+			t.Fatalf("arm %d: cached %v/%v vs fresh %v",
+				i, first.ArmPowers[i], second.ArmPowers[i], fresh.ArmPowers[i])
+		}
+	}
+	if fresh.TotalOut != first.TotalOut || math.IsNaN(first.TotalOut) {
+		t.Fatalf("TotalOut cached %v vs fresh %v", first.TotalOut, fresh.TotalOut)
+	}
+	// Mutating a returned slice must not poison the cache.
+	first.ArmPowers[0] = -1
+	third, err := Simulate(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.ArmPowers[0] != fresh.ArmPowers[0] {
+		t.Fatal("cache entry was mutated through a returned slice")
+	}
+}

@@ -1,0 +1,115 @@
+// Package parallel provides the shared bounded worker pool every
+// independent-per-item stage of the flow runs on: candidate generation,
+// per-group signal processing, Lagrangian pricing, and WDM arc costing.
+//
+// The pool guarantees deterministic behaviour regardless of worker count:
+// callers write results by item index (never by completion order), and on
+// failure ForEach always returns the error of the lowest-indexed failing
+// item — exactly what a sequential loop would have returned — while
+// cancelling all not-yet-dispatched work.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count knob: non-positive means one worker per
+// CPU, and the count is clamped to the item count n.
+func Workers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ForEach runs fn(i) for every i in [0,n) on a bounded worker pool.
+// See ForEachContext.
+func ForEach(n, workers int, fn func(int) error) error {
+	return ForEachContext(context.Background(), n, workers, fn)
+}
+
+// ForEachContext runs fn(i) for every i in [0,n) on at most Workers(workers,
+// n) goroutines. The first error short-circuits: no new items are
+// dispatched, in-flight calls finish, and the error of the lowest failing
+// index is returned (deterministic across worker counts). Cancelling ctx
+// likewise stops dispatch and returns ctx.Err() unless an item error takes
+// precedence.
+//
+// fn must confine its writes to per-index state (results[i]); the pool
+// provides a happens-before edge between every fn call and ForEachContext's
+// return, so no further synchronisation is needed for such writes.
+func ForEachContext(ctx context.Context, n int, workers int, fn func(int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		mu       sync.Mutex
+		errIdx   = -1
+		firstErr error
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return errIdx >= 0
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					fail(i, err)
+				}
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		if failed() {
+			break
+		}
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

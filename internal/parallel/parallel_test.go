@@ -1,0 +1,128 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 237
+		seen := make([]int32, n)
+		if err := ForEach(n, workers, func(i int) error {
+			atomic.AddInt32(&seen[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachDeterministicResults(t *testing.T) {
+	n := 100
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 3, 16} {
+		got := make([]int, n)
+		if err := ForEach(n, workers, func(i int) error {
+			got[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: got[%d]=%d", workers, i, got[i])
+			}
+		}
+	}
+}
+
+// TestForEachShortCircuits is the regression test for the old eachNet
+// behaviour, which kept draining every remaining item after the first
+// error: a poisoned item must cancel the outstanding work.
+func TestForEachShortCircuits(t *testing.T) {
+	const n = 10000
+	for _, workers := range []int{1, 4} {
+		var calls int32
+		err := ForEach(n, workers, func(i int) error {
+			atomic.AddInt32(&calls, 1)
+			if i == 10 {
+				return fmt.Errorf("poisoned net %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "poisoned net 10" {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		// In-flight items may finish, but the bulk of the 10k items must
+		// never have been dispatched.
+		if c := atomic.LoadInt32(&calls); c > n/10 {
+			t.Fatalf("workers=%d: %d of %d items ran after poisoning", workers, c, n)
+		}
+	}
+}
+
+// TestForEachLowestIndexError checks the error is deterministic across
+// worker counts: always the lowest failing index, as a sequential loop
+// would report.
+func TestForEachLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		for trial := 0; trial < 20; trial++ {
+			err := ForEach(500, workers, func(i int) error {
+				if i == 41 || i == 42 || i == 400 {
+					return fmt.Errorf("fail %d", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "fail 41" {
+				t.Fatalf("workers=%d: err = %v, want fail 41", workers, err)
+			}
+		}
+	}
+}
+
+func TestForEachContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls int32
+	err := ForEachContext(ctx, 100000, 2, func(i int) error {
+		if atomic.AddInt32(&calls, 1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c := atomic.LoadInt32(&calls); c > 1000 {
+		t.Fatalf("%d items ran after cancellation", c)
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(4, 2); w != 2 {
+		t.Errorf("Workers(4,2) = %d", w)
+	}
+	if w := Workers(2, 100); w != 2 {
+		t.Errorf("Workers(2,100) = %d", w)
+	}
+	if w := Workers(0, 100); w < 1 {
+		t.Errorf("Workers(0,100) = %d", w)
+	}
+}

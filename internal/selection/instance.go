@@ -13,6 +13,7 @@ package selection
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"operon/internal/codesign"
 	"operon/internal/geom"
@@ -48,9 +49,14 @@ type Instance struct {
 	candBox [][]geom.Rect
 	hasOpt  [][]bool
 	// crossCache memoises per-path crossing loss between candidate pairs.
+	// Guarded by crossMu: the LR pricing step queries it from many workers.
+	// Values are pure functions of the instance, so a racing recompute
+	// stores the same slice contents either way.
+	crossMu    sync.RWMutex
 	crossCache map[pairKey][]float64
-	// interactCache memoises InteractingNets results.
-	interactCache [][]int
+	// interactions[i] lists the nets whose candidate boxes overlap net i's;
+	// precomputed in NewInstance so concurrent readers need no locking.
+	interactions [][]int
 }
 
 type pairKey struct{ i, j, m, n int }
@@ -91,14 +97,59 @@ func NewInstance(nets []Net, lib optics.Library) (*Instance, error) {
 			inst.candBox[i][j] = box
 		}
 	}
+	inst.precomputeInteractions()
 	return inst, nil
 }
 
+// precomputeInteractions fills interactions[i] for every net: the §3.3
+// bounding-box pruning that drops crossing terms between non-overlapping
+// hyper nets. Doing it eagerly keeps InteractingNets a lock-free read for
+// the parallel pricing step.
+func (inst *Instance) precomputeInteractions() {
+	n := len(inst.Nets)
+	netBox := make([]geom.Rect, n)
+	netHas := make([]bool, n)
+	for i := range inst.Nets {
+		for j := range inst.Nets[i].Cands {
+			if inst.hasOpt[i][j] {
+				if !netHas[i] {
+					netBox[i] = inst.candBox[i][j]
+					netHas[i] = true
+				} else {
+					netBox[i] = netBox[i].Union(inst.candBox[i][j])
+				}
+			}
+		}
+	}
+	inst.interactions = make([][]int, n)
+	for i := 0; i < n; i++ {
+		out := []int{}
+		if netHas[i] {
+			for m := 0; m < n; m++ {
+				if m == i {
+					continue
+				}
+				for j := range inst.Nets[m].Cands {
+					if inst.hasOpt[m][j] && netBox[i].Overlaps(inst.candBox[m][j]) {
+						out = append(out, m)
+						break
+					}
+				}
+			}
+		}
+		inst.interactions[i] = out
+	}
+}
+
 // CrossLossDB returns, for each path of candidate (i,j), the crossing loss
-// in dB inflicted by candidate (m,n)'s waveguides. Results are memoised.
+// in dB inflicted by candidate (m,n)'s waveguides. Results are memoised;
+// the cache is safe for concurrent use.
 func (inst *Instance) CrossLossDB(i, j, m, n int) []float64 {
 	key := pairKey{i, j, m, n}
-	if v, ok := inst.crossCache[key]; ok {
+	inst.crossMu.RLock()
+	v, ok := inst.crossCache[key]
+	inst.crossMu.RUnlock()
+	if ok {
 		return v
 	}
 	ci := inst.Nets[i].Cands[j]
@@ -111,48 +162,18 @@ func (inst *Instance) CrossLossDB(i, j, m, n int) []float64 {
 			out[p] = inst.Lib.CrossingLossDB(crossings)
 		}
 	}
+	inst.crossMu.Lock()
 	inst.crossCache[key] = out
+	inst.crossMu.Unlock()
 	return out
 }
 
 // InteractingNets returns, for net i, the other nets whose candidate
 // bounding boxes overlap any of net i's — the §3.3 speed-up that drops
-// crossing variables between non-overlapping hyper nets.
+// crossing variables between non-overlapping hyper nets. The lists are
+// precomputed, so this is a lock-free read.
 func (inst *Instance) InteractingNets(i int) []int {
-	if inst.interactCache == nil {
-		inst.interactCache = make([][]int, len(inst.Nets))
-	}
-	if inst.interactCache[i] != nil {
-		return inst.interactCache[i]
-	}
-	var netBox geom.Rect
-	has := false
-	for j := range inst.Nets[i].Cands {
-		if inst.hasOpt[i][j] {
-			if !has {
-				netBox = inst.candBox[i][j]
-				has = true
-			} else {
-				netBox = netBox.Union(inst.candBox[i][j])
-			}
-		}
-	}
-	out := []int{}
-	if has {
-		for m := range inst.Nets {
-			if m == i {
-				continue
-			}
-			for n := range inst.Nets[m].Cands {
-				if inst.hasOpt[m][n] && netBox.Overlaps(inst.candBox[m][n]) {
-					out = append(out, m)
-					break
-				}
-			}
-		}
-	}
-	inst.interactCache[i] = out
-	return out
+	return inst.interactions[i]
 }
 
 // Selection is a complete assignment of one candidate per net.

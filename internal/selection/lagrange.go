@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"operon/internal/geom"
+	"operon/internal/parallel"
 )
 
 // LROptions tunes the Lagrangian-relaxation solver of §3.4.
@@ -17,6 +18,11 @@ type LROptions struct {
 	ConvergeRatio float64
 	// StepScale scales the sub-gradient step. Defaults to 1 when zero.
 	StepScale float64
+	// Workers bounds the per-net parallelism of the pricing and
+	// multiplier-update steps (0 = NumCPU). Given fixed multipliers and the
+	// previous iteration's selection, nets are independent, so the result
+	// is bit-identical for every worker count.
+	Workers int
 }
 
 // LRResult is the outcome of SolveLR.
@@ -92,8 +98,12 @@ func SolveLR(inst *Instance, opt LROptions) (LRResult, error) {
 
 	for iter := 0; iter < maxIters; iter++ {
 		res.Iters = iter + 1
-		// Selection step: per net, the candidate with the best weight.
-		for i, n := range inst.Nets {
+		// Pricing step: per net, the candidate with the best weight. Nets
+		// are independent given the fixed multipliers and the previous
+		// iteration's selection, so they are priced in parallel; each
+		// worker only writes choice[i].
+		_ = parallel.ForEach(len(inst.Nets), opt.Workers, func(i int) error {
+			n := inst.Nets[i]
 			inter := inst.InteractingNets(i)
 			bestJ, bestW := -1, 0.0
 			for j, c := range n.Cands {
@@ -121,7 +131,8 @@ func SolveLR(inst *Instance, opt LROptions) (LRResult, error) {
 				}
 			}
 			choice[i] = bestJ
-		}
+			return nil
+		})
 
 		// Violation measurement and sub-gradient multiplier update.
 		sel, err := inst.Evaluate(choice)
@@ -129,7 +140,10 @@ func SolveLR(inst *Instance, opt LROptions) (LRResult, error) {
 			return LRResult{}, err
 		}
 		step := stepScale / float64(iter+1)
-		for i, n := range inst.Nets {
+		// The sub-gradient update is likewise independent per net: worker i
+		// writes only lambda[i] and reads the now-fixed choice vector.
+		_ = parallel.ForEach(len(inst.Nets), opt.Workers, func(i int) error {
+			n := inst.Nets[i]
 			inter := inst.InteractingNets(i)
 			for j, c := range n.Cands {
 				selected := choice[i] == j
@@ -152,7 +166,8 @@ func SolveLR(inst *Instance, opt LROptions) (LRResult, error) {
 					}
 				}
 			}
-		}
+			return nil
+		})
 
 		res.History = append(res.History, LRIterate{PowerMW: sel.PowerMW, Violations: sel.Violations})
 		copy(prev, choice)

@@ -16,6 +16,7 @@ import (
 
 	"operon/internal/cluster"
 	"operon/internal/geom"
+	"operon/internal/parallel"
 )
 
 // Bit is a single signal bit: a multi-pin net with one driver and at least
@@ -155,6 +156,9 @@ type ProcessConfig struct {
 	PinMergeThresholdCM float64
 	// Seed drives the deterministic K-Means initialisation.
 	Seed int64
+	// Workers bounds the per-group clustering parallelism (0 = NumCPU).
+	// Groups are independent, so the result does not depend on the count.
+	Workers int
 }
 
 // Process runs the full signal-processing stage over a design and returns
@@ -168,8 +172,11 @@ func Process(d Design, cfg ProcessConfig) ([]HyperNet, error) {
 	if cfg.WDMCapacity <= 0 {
 		return nil, fmt.Errorf("signal: WDM capacity %d must be positive", cfg.WDMCapacity)
 	}
-	var nets []HyperNet
-	for gi, g := range d.Groups {
+	// Groups are processed in parallel; perGroup[gi] keeps the hyper nets in
+	// group order so the concatenated result is independent of scheduling.
+	perGroup := make([][]HyperNet, len(d.Groups))
+	err := parallel.ForEach(len(d.Groups), cfg.Workers, func(gi int) error {
+		g := d.Groups[gi]
 		centroids := make([]geom.Point, len(g.Bits))
 		for i, b := range g.Bits {
 			centroids[i] = b.Centroid()
@@ -179,15 +186,23 @@ func Process(d Design, cfg ProcessConfig) ([]HyperNet, error) {
 			Seed:     cfg.Seed + int64(gi),
 		})
 		if err != nil {
-			return nil, fmt.Errorf("signal: group %q: %w", g.Name, err)
+			return fmt.Errorf("signal: group %q: %w", g.Name, err)
 		}
 		for _, members := range clusters {
 			hn, err := buildHyperNet(g, members, cfg.PinMergeThresholdCM)
 			if err != nil {
-				return nil, fmt.Errorf("signal: group %q: %w", g.Name, err)
+				return fmt.Errorf("signal: group %q: %w", g.Name, err)
 			}
-			nets = append(nets, hn)
+			perGroup[gi] = append(perGroup[gi], hn)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var nets []HyperNet
+	for _, g := range perGroup {
+		nets = append(nets, g...)
 	}
 	return nets, nil
 }

@@ -246,6 +246,139 @@ func mstLength(pts []geom.Point, metric Metric) float64 {
 	return total
 }
 
+// wedge is a weighted candidate edge for the incremental Kruskal.
+type wedge struct {
+	u, v int
+	w    float64
+}
+
+// incrMST maintains the MST over a growing point set and scores 1-Steiner
+// candidate points incrementally. It exploits the classic property
+// MST(P ∪ {c}) ⊆ MST(P) ∪ {(c,p) : p ∈ P}: instead of re-running Prim over
+// all |P|² pairs for every candidate (the old mstLength path), each trial
+// is a Kruskal over just 2|P|−1 edges — the current tree plus the
+// candidate's star — dropping a BI1S round from O(k·n²) to O(k·n log n)
+// distance evaluations for k candidates.
+type incrMST struct {
+	metric Metric
+	pts    []geom.Point
+	tree   []wedge // current MST edges with weights
+	base   float64 // current MST length
+
+	// Scratch buffers reused across trials to keep allocations flat.
+	cand   []wedge
+	sel    []wedge
+	parent []int
+}
+
+// newIncrMST seeds the structure with the Prim MST over pts, so base is
+// identical to what mstLength(pts, metric) returns.
+func newIncrMST(pts []geom.Point, metric Metric) *incrMST {
+	m := &incrMST{metric: metric, pts: append([]geom.Point(nil), pts...)}
+	n := len(pts)
+	if n <= 1 {
+		return m
+	}
+	inTree := make([]bool, n)
+	bestDist := make([]float64, n)
+	bestFrom := make([]int, n)
+	inTree[0] = true
+	for i := 1; i < n; i++ {
+		bestDist[i] = metric.Dist(pts[0], pts[i])
+	}
+	for added := 1; added < n; added++ {
+		u, best := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !inTree[i] && bestDist[i] < best {
+				u, best = i, bestDist[i]
+			}
+		}
+		inTree[u] = true
+		m.base += best
+		m.tree = append(m.tree, wedge{u: bestFrom[u], v: u, w: best})
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := metric.Dist(pts[u], pts[i]); d < bestDist[i] {
+					bestDist[i] = d
+					bestFrom[i] = u
+				}
+			}
+		}
+	}
+	return m
+}
+
+// find is path-halving union-find lookup over m.parent.
+func (m *incrMST) find(x int) int {
+	for m.parent[x] != x {
+		m.parent[x] = m.parent[m.parent[x]]
+		x = m.parent[x]
+	}
+	return x
+}
+
+// kruskalWith computes the MST length of pts ∪ {c} from the current tree
+// plus c's star. When keep is set the selected edges are retained in m.sel
+// for a subsequent commit.
+func (m *incrMST) kruskalWith(c geom.Point, keep bool) float64 {
+	n := len(m.pts)
+	m.cand = append(m.cand[:0], m.tree...)
+	for i := 0; i < n; i++ {
+		m.cand = append(m.cand, wedge{u: i, v: n, w: m.metric.Dist(m.pts[i], c)})
+	}
+	// Deterministic order: ties broken by endpoint indices (the MST total
+	// is unique either way; this fixes the edge set too).
+	sort.Slice(m.cand, func(a, b int) bool {
+		ea, eb := m.cand[a], m.cand[b]
+		if ea.w != eb.w {
+			return ea.w < eb.w
+		}
+		if ea.u != eb.u {
+			return ea.u < eb.u
+		}
+		return ea.v < eb.v
+	})
+	if cap(m.parent) < n+1 {
+		m.parent = make([]int, n+1)
+	}
+	m.parent = m.parent[:n+1]
+	for i := range m.parent {
+		m.parent[i] = i
+	}
+	if keep {
+		m.sel = m.sel[:0]
+	}
+	var total float64
+	taken := 0
+	for _, e := range m.cand {
+		ru, rv := m.find(e.u), m.find(e.v)
+		if ru == rv {
+			continue
+		}
+		m.parent[ru] = rv
+		total += e.w
+		if keep {
+			m.sel = append(m.sel, e)
+		}
+		taken++
+		if taken == n { // spanning n+1 nodes
+			break
+		}
+	}
+	return total
+}
+
+// lengthWith returns the MST length of pts ∪ {c} without mutating state.
+func (m *incrMST) lengthWith(c geom.Point) float64 { return m.kruskalWith(c, false) }
+
+// accept commits candidate c: the point joins the set and the tree/base
+// are updated to the MST computed by the trial.
+func (m *incrMST) accept(c geom.Point) {
+	m.base = m.kruskalWith(c, true)
+	m.pts = append(m.pts, c)
+	m.tree = append(m.tree[:0], m.sel...)
+}
+
 // HananGrid returns the Hanan-grid points of the terminal set (all
 // intersections of horizontal and vertical lines through terminals),
 // excluding the terminals themselves.
@@ -357,13 +490,12 @@ func BI1S(terminals []geom.Point, metric Metric, cfg BI1SConfig) Tree {
 		maxRounds = 8
 	}
 
-	pts := append([]geom.Point(nil), terminals...)
-	base := mstLength(pts, metric)
+	inc := newIncrMST(terminals, metric)
 
 	for round := 0; round < maxRounds; round++ {
-		cands := HananGrid(pts)
+		cands := HananGrid(inc.pts)
 		if metric == Euclidean {
-			cands = append(cands, fermatPoints(pts)...)
+			cands = append(cands, fermatPoints(inc.pts)...)
 		}
 		type scored struct {
 			p    geom.Point
@@ -371,7 +503,7 @@ func BI1S(terminals []geom.Point, metric Metric, cfg BI1SConfig) Tree {
 		}
 		var pool []scored
 		for _, c := range cands {
-			g := base - mstLength(append(pts, c), metric)
+			g := inc.base - inc.lengthWith(c)
 			if g > geom.Eps {
 				pool = append(pool, scored{p: c, gain: g})
 			}
@@ -381,7 +513,7 @@ func BI1S(terminals []geom.Point, metric Metric, cfg BI1SConfig) Tree {
 		}
 		if cfg.BendWeight > 0 {
 			for i := range pool {
-				tr := treeOver(append(pts, pool[i].p), terminals, metric)
+				tr := treeOver(append(inc.pts[:len(inc.pts):len(inc.pts)], pool[i].p), terminals, metric)
 				pool[i].gain -= cfg.BendWeight * float64(tr.Bends()) * 1e-3
 			}
 		}
@@ -397,10 +529,9 @@ func BI1S(terminals []geom.Point, metric Metric, cfg BI1SConfig) Tree {
 		})
 		accepted := 0
 		for _, s := range pool {
-			g := base - mstLength(append(pts, s.p), metric)
-			if g > geom.Eps {
-				pts = append(pts, s.p)
-				base -= g
+			// Re-score against the tree as accepted points accumulate.
+			if inc.base-inc.lengthWith(s.p) > geom.Eps {
+				inc.accept(s.p)
 				accepted++
 			}
 		}
@@ -408,7 +539,7 @@ func BI1S(terminals []geom.Point, metric Metric, cfg BI1SConfig) Tree {
 			break
 		}
 	}
-	return cleanup(treeOver(pts, terminals, metric))
+	return cleanup(treeOver(inc.pts, terminals, metric))
 }
 
 // treeOver builds the MST over pts, marking the first len(terminals) points

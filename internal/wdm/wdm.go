@@ -19,6 +19,7 @@ import (
 
 	"operon/internal/geom"
 	"operon/internal/mcmf"
+	"operon/internal/parallel"
 )
 
 // Connection is one point-to-point optical link of a routed hyper net.
@@ -52,6 +53,10 @@ type Config struct {
 	// MaxAssignDistCM is dis_u: the maximum displacement allowed when
 	// assigning a connection to a WDM.
 	MaxAssignDistCM float64
+	// Workers bounds the per-connection candidate-costing parallelism in
+	// Assign (0 = NumCPU). Arc order, and therefore the flow result, does
+	// not depend on the worker count.
+	Workers int
 }
 
 // Validate reports whether the configuration is usable.
@@ -227,6 +232,38 @@ func Assign(conns []Connection, pl Placement, cfg Config) (Assignment, error) {
 		for q := range wdmIdx {
 			g.AddEdge(1+len(connIdx)+q, snk, cfg.Capacity, usageUnit*int64(q+1))
 		}
+		// Candidate costing per connection (distance + quantised cost against
+		// every WDM) is the O(C·W) part; connections are independent, so it
+		// runs on the worker pool. Edges are then added sequentially in
+		// (connection, WDM) order so the network — and the min-cost flow it
+		// yields — is identical for every worker count.
+		type arcCand struct {
+			q      int // index into wdmIdx
+			cost   int64
+			distCM float64
+		}
+		cands := make([][]arcCand, len(connIdx))
+		err := parallel.ForEach(len(connIdx), cfg.Workers, func(k int) error {
+			ci := connIdx[k]
+			c := conns[ci]
+			for q, w := range wdmIdx {
+				d := math.Abs(c.coord() - pl.WDMs[w].CoordCM)
+				if d <= cfg.MaxAssignDistCM+geom.Eps || w == pl.InitialAssign[ci] {
+					cost := int64(d / cfg.MaxAssignDistCM * dispScale)
+					if cost > dispScale {
+						cost = dispScale
+					}
+					cands[k] = append(cands[k], arcCand{q: q, cost: cost, distCM: d})
+				}
+			}
+			if len(cands[k]) == 0 {
+				return fmt.Errorf("wdm: connection %d reaches no WDM", ci)
+			}
+			return nil
+		})
+		if err != nil {
+			return Assignment{}, err
+		}
 		type connArc struct {
 			id     int
 			conn   int // index into conns
@@ -236,21 +273,9 @@ func Assign(conns []Connection, pl Placement, cfg Config) (Assignment, error) {
 		var arcs []connArc
 		for k, ci := range connIdx {
 			c := conns[ci]
-			reachable := false
-			for q, w := range wdmIdx {
-				d := math.Abs(c.coord() - pl.WDMs[w].CoordCM)
-				if d <= cfg.MaxAssignDistCM+geom.Eps || w == pl.InitialAssign[ci] {
-					cost := int64(d / cfg.MaxAssignDistCM * dispScale)
-					if cost > dispScale {
-						cost = dispScale
-					}
-					id := g.AddEdge(1+k, 1+len(connIdx)+q, c.Bits, cost)
-					arcs = append(arcs, connArc{id: id, conn: ci, wdm: w, distCM: d})
-					reachable = true
-				}
-			}
-			if !reachable {
-				return Assignment{}, fmt.Errorf("wdm: connection %d reaches no WDM", ci)
+			for _, a := range cands[k] {
+				id := g.AddEdge(1+k, 1+len(connIdx)+a.q, c.Bits, a.cost)
+				arcs = append(arcs, connArc{id: id, conn: ci, wdm: wdmIdx[a.q], distCM: a.distCM})
 			}
 		}
 		res, err := g.MaxFlow(src, snk)

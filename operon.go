@@ -24,14 +24,13 @@ package operon
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"operon/internal/codesign"
 	"operon/internal/geom"
 	"operon/internal/optics"
+	"operon/internal/parallel"
 	"operon/internal/power"
 	"operon/internal/selection"
 	"operon/internal/signal"
@@ -99,7 +98,10 @@ type Config struct {
 	Seed int64
 	// SkipWDM disables the WDM placement/assignment stage.
 	SkipWDM bool
-	// Workers bounds candidate-generation parallelism (0 = NumCPU).
+	// Workers bounds the worker pool shared by every parallel stage of the
+	// flow — per-group signal processing, baseline construction, candidate
+	// generation, Lagrangian pricing, and WDM arc costing (0 = NumCPU).
+	// Results are bit-identical regardless of the worker count.
 	Workers int
 }
 
@@ -195,7 +197,11 @@ func Run(d signal.Design, cfg Config) (*Result, error) {
 		}
 		res.Selection = sel
 	default:
-		lr, err := selection.SolveLR(inst, cfg.LR)
+		lrOpt := cfg.LR
+		if lrOpt.Workers == 0 {
+			lrOpt.Workers = cfg.Workers
+		}
+		lr, err := selection.SolveLR(inst, lrOpt)
 		if err != nil {
 			return nil, err
 		}
@@ -228,7 +234,7 @@ func RunElectrical(d signal.Design, cfg Config) (*Result, error) {
 
 	start := time.Now()
 	nets := make([]selection.Net, len(hnets))
-	if err := eachNet(len(hnets), cfg.Workers, func(i int) error {
+	if err := parallel.ForEach(len(hnets), cfg.Workers, func(i int) error {
 		cand, err := electricalCandidate(hnets[i], cfg)
 		if err != nil {
 			return err
@@ -270,7 +276,7 @@ func RunOptical(d signal.Design, cfg Config) (*Result, error) {
 	trees := baselineTrees(hnets, cfg)
 	envs := buildEnvs(hnets, trees)
 	nets := make([]selection.Net, len(hnets))
-	if err := eachNet(len(hnets), cfg.Workers, func(i int) error {
+	if err := parallel.ForEach(len(hnets), cfg.Workers, func(i int) error {
 		in := codesign.Input{
 			Tree: trees[i][0],
 			Bits: hnets[i].BitCount(),
@@ -342,6 +348,7 @@ func process(d signal.Design, cfg Config) ([]signal.HyperNet, time.Duration, err
 		WDMCapacity:         cfg.Lib.WDMCapacity,
 		PinMergeThresholdCM: cfg.PinMergeThresholdCM,
 		Seed:                cfg.Seed,
+		Workers:             cfg.Workers,
 	})
 	if err != nil {
 		return nil, 0, err
@@ -359,7 +366,7 @@ func baselineTrees(hnets []signal.HyperNet, cfg Config) [][]steiner.Tree {
 		max = 3
 	}
 	trees := make([][]steiner.Tree, len(hnets))
-	_ = eachNet(len(hnets), cfg.Workers, func(i int) error {
+	_ = parallel.ForEach(len(hnets), cfg.Workers, func(i int) error {
 		trees[i] = steiner.Baselines(hnets[i].Terminals(), steiner.Euclidean, max)
 		return nil
 	})
@@ -405,7 +412,7 @@ func buildCoDesignNets(hnets []signal.HyperNet, cfg Config) ([]selection.Net, er
 	trees := baselineTrees(hnets, cfg)
 	envs := buildEnvs(hnets, trees)
 	nets := make([]selection.Net, len(hnets))
-	err := eachNet(len(hnets), cfg.Workers, func(i int) error {
+	err := parallel.ForEach(len(hnets), cfg.Workers, func(i int) error {
 		bits := hnets[i].BitCount()
 		var cands []codesign.Candidate
 		for _, tr := range trees[i] {
@@ -529,6 +536,7 @@ func (r *Result) assignWDMs(cfg Config) error {
 		Capacity:        cfg.Lib.WDMCapacity,
 		MinSpacingCM:    cfg.Lib.CrosstalkMinDistCM,
 		MaxAssignDistCM: cfg.Lib.AssignMaxDistCM,
+		Workers:         cfg.Workers,
 	})
 	if err != nil {
 		return err
@@ -537,50 +545,4 @@ func (r *Result) assignWDMs(cfg Config) error {
 	r.Assignment = as
 	r.WDMStats = st
 	return nil
-}
-
-// eachNet runs fn(i) for i in [0,n) on a bounded worker pool, collecting
-// the first error.
-func eachNet(n, workers int, fn func(int) error) error {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return firstErr
 }

@@ -6,37 +6,39 @@ import (
 	"testing"
 
 	"operon/internal/geom"
+	"operon/internal/parallel"
 	"operon/internal/signal"
 )
 
-func TestEachNetParallelMatchesSerial(t *testing.T) {
-	// The worker pool must produce the same results as serial execution.
+func TestWorkerPoolParallelMatchesSerial(t *testing.T) {
+	// The shared worker pool must produce the same results as serial
+	// execution (results are written by index, never by completion order).
 	n := 100
 	serial := make([]int, n)
-	parallel := make([]int, n)
-	if err := eachNet(n, 1, func(i int) error {
+	concurrent := make([]int, n)
+	if err := parallel.ForEach(n, 1, func(i int) error {
 		serial[i] = i * i
 		return nil
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := eachNet(n, 8, func(i int) error {
-		parallel[i] = i * i
+	if err := parallel.ForEach(n, 8, func(i int) error {
+		concurrent[i] = i * i
 		return nil
 	}); err != nil {
 		t.Fatal(err)
 	}
 	for i := range serial {
-		if serial[i] != parallel[i] {
-			t.Fatalf("index %d: %d vs %d", i, serial[i], parallel[i])
+		if serial[i] != concurrent[i] {
+			t.Fatalf("index %d: %d vs %d", i, serial[i], concurrent[i])
 		}
 	}
 }
 
-func TestEachNetPropagatesError(t *testing.T) {
+func TestWorkerPoolPropagatesError(t *testing.T) {
 	sentinel := errors.New("boom")
 	for _, workers := range []int{1, 4} {
-		err := eachNet(50, workers, func(i int) error {
+		err := parallel.ForEach(50, workers, func(i int) error {
 			if i == 37 {
 				return sentinel
 			}
@@ -48,9 +50,9 @@ func TestEachNetPropagatesError(t *testing.T) {
 	}
 }
 
-func TestEachNetZeroItems(t *testing.T) {
+func TestWorkerPoolZeroItems(t *testing.T) {
 	called := false
-	if err := eachNet(0, 4, func(int) error { called = true; return nil }); err != nil {
+	if err := parallel.ForEach(0, 4, func(int) error { called = true; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if called {
