@@ -8,6 +8,8 @@
 //   - BenchmarkFig8 times the WDM placement + min-cost-flow assignment;
 //   - BenchmarkFig9 times the hotspot-map computation;
 //   - BenchmarkLRPricing times the Lagrangian selection stage alone;
+//   - BenchmarkILP times the exact selection solve (branch and bound with
+//     warm-started revised-simplex relaxations) root-to-proven-optimal;
 //   - BenchmarkBI1S times the incremental Batched Iterated 1-Steiner.
 //
 // cmd/bench runs the same workloads programmatically and emits a
@@ -22,6 +24,7 @@ import (
 	operon "operon"
 	"operon/internal/benchgen"
 	"operon/internal/geom"
+	"operon/internal/ilp"
 	"operon/internal/optics/bpm"
 	"operon/internal/selection"
 	"operon/internal/signal"
@@ -108,6 +111,39 @@ func BenchmarkTable1(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkILP isolates the exact selection solve (branch and bound from
+// the root relaxation to proven optimality) on the reduced I3-style case,
+// excluding candidate generation. This is the workload the warm-started
+// revised simplex is built for.
+func BenchmarkILP(b *testing.B) {
+	d := ilpDesign(b)
+	cfg := operon.DefaultConfig()
+	cfg.SkipWDM = true
+	res, err := operon.Run(d, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := selection.NewInstance(res.Nets, cfg.Lib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One throwaway solve warms the cross-loss caches.
+	if _, err := selection.SolveILP(inst, selection.ILPOptions{TimeLimit: 60 * time.Second}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ir, err := selection.SolveILP(inst, selection.ILPOptions{TimeLimit: 60 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ir.TimedOut || ir.Status != ilp.Optimal {
+			b.Fatalf("ILP did not prove optimality (status %v, timedOut %v)", ir.Status, ir.TimedOut)
+		}
+	}
 }
 
 func BenchmarkFig3b(b *testing.B) {

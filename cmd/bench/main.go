@@ -1,10 +1,11 @@
 // Command bench is the benchmark-regression harness: it runs the
 // Table-1 / Fig-3(b) / Fig-8 workloads plus the per-stage benchmarks
-// (Lagrangian pricing, BI1S) programmatically and emits a machine-readable
-// BENCH_<date>.json with ns/op, allocs/op, bytes/op, and the wall-clock
-// speedups of the parallel and memoized paths against their sequential /
-// uncached baselines. Committed outputs establish the performance
-// trajectory across PRs.
+// (Lagrangian pricing, BI1S, the LP engines revised-vs-dense, the exact
+// ILP selection with per-node LP accounting, min-cost max-flow)
+// programmatically and emits a machine-readable BENCH_<date>.json with
+// ns/op, allocs/op, bytes/op, and the wall-clock speedups of the parallel
+// and memoized paths against their sequential / uncached baselines.
+// Committed outputs establish the performance trajectory across PRs.
 //
 // Usage:
 //
@@ -15,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
@@ -24,6 +26,8 @@ import (
 	operon "operon"
 	"operon/internal/benchgen"
 	"operon/internal/geom"
+	"operon/internal/lp"
+	"operon/internal/mcmf"
 	"operon/internal/optics/bpm"
 	"operon/internal/selection"
 	"operon/internal/signal"
@@ -40,6 +44,16 @@ type Entry struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
+// ILPStats describes one exact selection solve: branch-and-bound node
+// count and the LP-engine work behind it (warm-started relaxations).
+type ILPStats struct {
+	Nodes          int     `json:"nodes"`
+	LPSolves       int     `json:"lp_solves"`
+	LPTimeNS       int64   `json:"lp_time_ns"`
+	LPSolvesToNode float64 `json:"lp_solves_per_node"`
+	LPNsPerSolve   float64 `json:"lp_ns_per_solve"`
+}
+
 // Report is the JSON document cmd/bench emits.
 type Report struct {
 	Date       string  `json:"date"`
@@ -49,6 +63,8 @@ type Report struct {
 	CPUs       int     `json:"cpus"`
 	Case       string  `json:"case"`
 	Benchmarks []Entry `json:"benchmarks"`
+	// ILP carries the per-node LP accounting of the ILP/Selection entry.
+	ILP *ILPStats `json:"ilp,omitempty"`
 	// Speedups relate pairs of benchmark entries: parallel vs sequential
 	// and memoized vs uncached. Values > 1 are faster. Parallel-stage
 	// speedups scale with the core count of the runner (CPUs above).
@@ -69,6 +85,13 @@ func main() {
 		}
 	}
 
+	// speedup guards against a zero denominator (possible under -quick when
+	// a fast benchmark rounds to 0 ns/op) so the JSON never carries NaN.
+	speedup := func(rep *Report, name string, num, den float64) {
+		if den > 0 {
+			rep.Speedups[name] = num / den
+		}
+	}
 	rep := Report{
 		Date:      time.Now().Format("2006-01-02"),
 		GoVersion: runtime.Version(),
@@ -121,7 +144,7 @@ func main() {
 	// Table 1: the OPERON-LR flow, sequential vs worker-pool.
 	seq := record("Table1/OPERON-LR/"+*caseName+"/Workers1", runFlow(1))
 	par := record("Table1/OPERON-LR/"+*caseName+"/WorkersN", runFlow(0))
-	rep.Speedups["operon-lr workersN vs workers1"] = seq.NsPerOp / par.NsPerOp
+	speedup(&rep, "operon-lr workersN vs workers1", seq.NsPerOp, par.NsPerOp)
 
 	record("Table1/Electrical/"+*caseName, func(b *testing.B) {
 		b.ReportAllocs()
@@ -158,7 +181,7 @@ func main() {
 			}
 		}
 	})
-	rep.Speedups["fig3b cached vs uncached"] = uncached.NsPerOp / cached.NsPerOp
+	speedup(&rep, "fig3b cached vs uncached", uncached.NsPerOp, cached.NsPerOp)
 
 	// Fig 8: the WDM placement + min-cost-flow assignment.
 	conns, wcfg := wdmInputs(d, cfg)
@@ -185,7 +208,77 @@ func main() {
 	}
 	lrSeq := record("LRPricing/Workers1", runLR(1))
 	lrPar := record("LRPricing/WorkersN", runLR(0))
-	rep.Speedups["lr-pricing workersN vs workers1"] = lrSeq.NsPerOp / lrPar.NsPerOp
+	speedup(&rep, "lr-pricing workersN vs workers1", lrSeq.NsPerOp, lrPar.NsPerOp)
+
+	// LP engines head to head on a selection-shaped relaxation: the revised
+	// simplex with native bounds vs the dense two-phase tableau oracle.
+	lpProb := selectionShapedLP()
+	lpRev := record("LP/Revised", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := lp.Solve(lpProb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s.Status != lp.Optimal {
+				b.Fatalf("revised status %v", s.Status)
+			}
+		}
+	})
+	lpDense := record("LP/Dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := lp.SolveDense(lpProb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s.Status != lp.Optimal {
+				b.Fatalf("dense status %v", s.Status)
+			}
+		}
+	})
+	speedup(&rep, "lp revised vs dense", lpDense.NsPerOp, lpRev.NsPerOp)
+
+	// The exact selection solve (branch and bound, warm-started relaxations)
+	// on the reduced I3-style case, with per-node LP accounting.
+	ilpInst := mustInstance(mustILPDesign(), cfg)
+	record("ILP/Selection", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ir, err := selection.SolveILP(ilpInst, selection.ILPOptions{TimeLimit: 60 * time.Second})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ir.TimedOut {
+				b.Fatal("ILP benchmark case timed out")
+			}
+			if i == 0 {
+				st := ILPStats{Nodes: ir.Nodes, LPSolves: ir.LPSolves, LPTimeNS: ir.LPTime.Nanoseconds()}
+				if ir.Nodes > 0 {
+					st.LPSolvesToNode = float64(ir.LPSolves) / float64(ir.Nodes)
+				}
+				if ir.LPSolves > 0 {
+					st.LPNsPerSolve = float64(ir.LPTime.Nanoseconds()) / float64(ir.LPSolves)
+				}
+				rep.ILP = &st
+			}
+		}
+	})
+
+	// Min-cost max-flow on a WDM-assignment-shaped network (build + solve).
+	mcmfArcs := mcmfNetwork()
+	record("MCMF", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := mcmf.NewWithEdgeHint(mcmfNodes, len(mcmfArcs))
+			for _, a := range mcmfArcs {
+				g.AddEdge(a.u, a.v, a.cap, a.cost)
+			}
+			if _, err := g.MaxFlow(mcmfSrc, mcmfSnk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 
 	// BI1S with the incremental MST evaluation.
 	rng := rand.New(rand.NewSource(11))
@@ -266,6 +359,95 @@ func wdmInputs(d signal.Design, cfg operon.Config) ([]wdm.Connection, wdm.Config
 		MinSpacingCM:    cfg.Lib.CrosstalkMinDistCM,
 		MaxAssignDistCM: cfg.Lib.AssignMaxDistCM,
 	}
+}
+
+// mustILPDesign is the reduced I3-style case on which branch and bound
+// proves optimality quickly — the same spec bench_test.go's BenchmarkILP
+// uses.
+func mustILPDesign() signal.Design {
+	d, err := benchgen.Generate(benchgen.Spec{
+		Name: "I3s", DieCM: 4, Groups: 24, BitsPerGroup: 30, BitsJitter: 1,
+		MinSinkClusters: 1, MaxSinkClusters: 1, LocalFraction: 0.15,
+		LocalSpanCM: 0.15, GlobalSpanCM: 1.9, RegionSpreadCM: 0.02,
+		LanePitchCM: 0.2, Seed: 103,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	return d
+}
+
+// selectionShapedLP builds a deterministic LP with the structure of the
+// Formula-(3) relaxation: assignment equalities over candidate blocks,
+// GE linearisation rows coupling pair variables, LE detection rows, and
+// native [0,1] bounds on the assignment variables.
+func selectionShapedLP() lp.Problem {
+	rng := rand.New(rand.NewSource(29))
+	const nets, cands = 12, 4
+	var obj []float64
+	var upper []float64
+	var rows []lp.Row
+	for i := 0; i < nets; i++ {
+		row := lp.Row{Sense: lp.EQ, RHS: 1}
+		for j := 0; j < cands; j++ {
+			row.Terms = append(row.Terms, lp.Term{Var: i*cands + j, Coeff: 1})
+			obj = append(obj, 1+rng.Float64()*4) // candidate power
+			upper = append(upper, 1)
+		}
+		rows = append(rows, row)
+	}
+	// Pair variables coupling neighbouring nets, y >= a + b - 1.
+	pair := func(a, b int) {
+		v := len(obj)
+		obj = append(obj, 0)
+		upper = append(upper, mathInf)
+		rows = append(rows, lp.Row{
+			Terms: []lp.Term{{Var: v, Coeff: 1}, {Var: a, Coeff: -1}, {Var: b, Coeff: -1}},
+			Sense: lp.GE, RHS: -1,
+		})
+		// Detection row: crossing loss bounded by the budget.
+		rows = append(rows, lp.Row{
+			Terms: []lp.Term{{Var: v, Coeff: 0.5 + rng.Float64()}, {Var: a, Coeff: 0.2}},
+			Sense: lp.LE, RHS: 3,
+		})
+	}
+	for i := 0; i+1 < nets; i++ {
+		for j := 0; j < cands; j++ {
+			pair(i*cands+j, (i+1)*cands+rng.Intn(cands))
+		}
+	}
+	return lp.Problem{NumVars: len(obj), Objective: obj, Rows: rows, Upper: upper}
+}
+
+var mathInf = math.Inf(1)
+
+// mcmfNetwork is the WDM-assignment-shaped flow network of BenchmarkMCMF:
+// 200 connections, 60 WDMs, four candidate arcs per connection.
+type mcmfArc struct {
+	u, v, cap int
+	cost      int64
+}
+
+const (
+	mcmfNodes = 262
+	mcmfSrc   = 0
+	mcmfSnk   = 261
+)
+
+func mcmfNetwork() []mcmfArc {
+	rng := rand.New(rand.NewSource(17))
+	var arcs []mcmfArc
+	nConn, nWDM := 200, 60
+	for c := 0; c < nConn; c++ {
+		arcs = append(arcs, mcmfArc{mcmfSrc, 1 + c, 2 + rng.Intn(20), 0})
+		for w := 0; w < 4; w++ {
+			arcs = append(arcs, mcmfArc{1 + c, 1 + nConn + rng.Intn(nWDM), 32, int64(rng.Intn(1000))})
+		}
+	}
+	for w := 0; w < nWDM; w++ {
+		arcs = append(arcs, mcmfArc{1 + nConn + w, mcmfSnk, 32, int64(1+w) * 5000})
+	}
+	return arcs
 }
 
 func fatal(err error) {

@@ -1,8 +1,14 @@
 // Package ilp solves mixed 0-1 integer linear programmes with best-first
-// branch and bound over the simplex relaxation in internal/lp. It is the
-// stand-in for the commercial ILP solver of the paper's §3.3; like the
-// paper's experiments it supports a wall-clock time limit and reports
+// branch and bound over the revised-simplex relaxation in internal/lp. It
+// is the stand-in for the commercial ILP solver of the paper's §3.3; like
+// the paper's experiments it supports a wall-clock time limit and reports
 // whether the limit was hit (the paper's ">3000 s" entries).
+//
+// Branching never touches the constraint rows: a node tightens one binary
+// variable's bounds (x fixed to 0 or 1), stored as a persistent diff chain
+// back to the root, and each child re-solves from its parent's optimal
+// basis via the solver's dual-simplex warm start. The row set is therefore
+// invariant across the whole tree — a property the tests assert.
 package ilp
 
 import (
@@ -48,7 +54,7 @@ type Options struct {
 	// MaxNodes bounds the number of branch-and-bound nodes; zero means
 	// 200000.
 	MaxNodes int
-	// MaxTableauBytes caps the LP tableau allocation (zero = lp default).
+	// MaxTableauBytes caps the LP solver workspace (zero = lp default).
 	// Oversized relaxations end the solve with TimedOut set.
 	MaxTableauBytes int64
 }
@@ -90,21 +96,35 @@ type Result struct {
 	Nodes     int
 	Elapsed   time.Duration
 	TimedOut  bool
+	// LPSolves counts LP relaxations solved (root, nodes, and rounding
+	// heuristics); LPTime is the wall clock spent inside the LP solver.
+	LPSolves int
+	LPTime   time.Duration
+	// LPRows is the constraint-row count of the relaxation solver; it is
+	// invariant across the branch-and-bound tree because nodes are
+	// expressed purely as variable-bound changes.
+	LPRows int
 }
 
 const intTol = 1e-6
 
-type node struct {
-	bound float64
-	fixed map[int]float64
+// bnode is one branch-and-bound node: a single bound tightening relative
+// to its parent (a persistent diff chain back to the root) plus the
+// parent's optimal basis for the dual-simplex warm start.
+type bnode struct {
+	bound  float64 // parent relaxation objective: lower bound for the subtree
+	v      int     // variable whose bounds this node tightens
+	lo, up float64
+	parent *bnode
+	basis  *lp.Basis // parent's optimal basis (shared by both children)
 }
 
-type nodeQueue []node
+type nodeQueue []*bnode
 
 func (q nodeQueue) Len() int            { return len(q) }
 func (q nodeQueue) Less(i, j int) bool  { return q[i].bound < q[j].bound }
 func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(node)) }
+func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*bnode)) }
 func (q *nodeQueue) Pop() interface{} {
 	old := *q
 	n := len(old)
@@ -127,34 +147,62 @@ func Solve(p Problem, opt Options) (Result, error) {
 	if opt.TimeLimit > 0 {
 		deadline = start.Add(opt.TimeLimit)
 	}
+	lpOpt := lp.Options{Deadline: deadline, MaxTableauBytes: opt.MaxTableauBytes}
 
-	res := Result{Status: Limit, Objective: math.Inf(1)}
-	var incumbent []float64
+	solver, err := lp.NewBoundedSolver(p.LP)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Status: Limit, Objective: math.Inf(1), LPRows: solver.NumRows()}
 
-	relax := func(fixed map[int]float64) (lp.Solution, error) {
-		q := p.LP
-		rows := make([]lp.Row, len(q.Rows), len(q.Rows)+len(fixed)+len(p.Binary))
-		copy(rows, q.Rows)
-		for v, val := range fixed {
-			rows = append(rows, lp.Row{
-				Terms: []lp.Term{{Var: v, Coeff: 1}}, Sense: lp.EQ, RHS: val,
-			})
+	// Root bounds: binaries live in [0,1] natively; continuous variables
+	// keep the problem bounds.
+	n := p.LP.NumVars
+	rootLo := make([]float64, n)
+	rootUp := make([]float64, n)
+	for i := range rootUp {
+		if p.LP.Upper != nil {
+			rootUp[i] = p.LP.Upper[i]
+		} else {
+			rootUp[i] = math.Inf(1)
 		}
-		// Upper bounds x <= 1 for unfixed binaries keep the relaxation tight.
-		for _, v := range p.Binary {
-			if _, ok := fixed[v]; !ok {
-				rows = append(rows, lp.Row{
-					Terms: []lp.Term{{Var: v, Coeff: 1}}, Sense: lp.LE, RHS: 1,
-				})
-			}
+	}
+	for _, v := range p.Binary {
+		if rootUp[v] > 1 {
+			rootUp[v] = 1
 		}
-		q.Rows = rows
-		return lp.SolveWithOptions(q, lp.Options{
-			Deadline:        deadline,
-			MaxTableauBytes: opt.MaxTableauBytes,
-		})
 	}
 
+	// Scratch bound arrays, rebuilt per node from the diff chain.
+	lo := make([]float64, n)
+	up := make([]float64, n)
+	materialize := func(nd *bnode) {
+		copy(lo, rootLo)
+		copy(up, rootUp)
+		// Diffs along a root path touch distinct variables (a fixed binary
+		// is never branched again), so application order is irrelevant.
+		for c := nd; c != nil; c = c.parent {
+			if c.v >= 0 {
+				lo[c.v], up[c.v] = c.lo, c.up
+			}
+		}
+	}
+
+	relax := func(warm *lp.Basis) (lp.Solution, *lp.Basis, error) {
+		t0 := time.Now()
+		sol, basis, err := solver.SolveBounds(lo, up, warm, lpOpt)
+		res.LPSolves++
+		if warm != nil && errors.Is(err, lp.ErrNumerical) {
+			// A warm basis can be numerically hopeless under the child
+			// bounds; retry from the all-slack start before giving up.
+			sol, basis, err = solver.SolveBounds(lo, up, nil, lpOpt)
+			res.LPSolves++
+		}
+		res.LPTime += time.Since(t0)
+		return sol, basis, err
+	}
+
+	var incumbent []float64
 	record := func(x []float64, obj float64) {
 		if obj < res.Objective-1e-9 {
 			incumbent = append(incumbent[:0], x...)
@@ -162,24 +210,54 @@ func Solve(p Problem, opt Options) (Result, error) {
 		}
 	}
 
-	// tryRound fixes every binary to its rounded relaxation value and
-	// re-solves; a feasible result seeds or improves the incumbent.
-	tryRound := func(x []float64) {
-		fixed := make(map[int]float64, len(p.Binary))
+	// fractionalVar returns the most fractional unfixed binary, or -1 when
+	// x is integral on all binaries.
+	fractionalVar := func(x []float64) int {
+		branchVar, frac := -1, 0.0
 		for _, v := range p.Binary {
-			if x[v] >= 0.5 {
-				fixed[v] = 1
-			} else {
-				fixed[v] = 0
+			if lo[v] == up[v] {
+				continue
+			}
+			f := math.Abs(x[v] - math.Round(x[v]))
+			if f > intTol && f > frac {
+				frac = f
+				branchVar = v
 			}
 		}
-		s, err := relax(fixed)
+		return branchVar
+	}
+
+	// tryRound fixes every binary to its rounded relaxation value and
+	// re-solves (warm-started); a feasible result seeds or improves the
+	// incumbent. The current lo/up scratch is saved and restored.
+	savedLo := make([]float64, n)
+	savedUp := make([]float64, n)
+	tryRound := func(x []float64, warm *lp.Basis) error {
+		copy(savedLo, lo)
+		copy(savedUp, up)
+		for _, v := range p.Binary {
+			if x[v] >= 0.5 {
+				lo[v], up[v] = 1, 1
+			} else {
+				lo[v], up[v] = 0, 0
+			}
+		}
+		s, _, err := relax(warm)
+		copy(lo, savedLo)
+		copy(up, savedUp)
 		if err == nil && s.Status == lp.Optimal {
 			record(s.X, s.Objective)
 		}
+		if errors.Is(err, lp.ErrTooLarge) {
+			err = nil
+		}
+		return err
 	}
 
-	rootSol, err := relax(nil)
+	// Root relaxation.
+	copy(lo, rootLo)
+	copy(up, rootUp)
+	rootSol, rootBasis, err := relax(nil)
 	if errors.Is(err, lp.ErrTooLarge) {
 		// The relaxation alone exceeds the memory budget; report a limit so
 		// callers fall back, mirroring the paper's ">3000 s" outcomes.
@@ -190,6 +268,7 @@ func Solve(p Problem, opt Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	res.Nodes = 1
 	switch rootSol.Status {
 	case lp.Infeasible:
 		res.Status = Infeasible
@@ -203,8 +282,38 @@ func Solve(p Problem, opt Options) (Result, error) {
 		return res, nil
 	}
 
-	pq := &nodeQueue{{bound: rootSol.Objective, fixed: nil}}
+	rootBranch := fractionalVar(rootSol.X)
+	if rootBranch < 0 {
+		// Integral root: proven optimal without branching.
+		record(rootSol.X, rootSol.Objective)
+		res.Status = Optimal
+		res.X = incumbent
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	// Round the root relaxation immediately so even a solve that hits its
+	// limit before the first branch completes reports an incumbent when
+	// one is that easy to find (affects how ">limit" rows are reported).
+	if err := tryRound(rootSol.X, rootBasis); err != nil {
+		return Result{}, err
+	}
+
+	pq := &nodeQueue{}
 	heap.Init(pq)
+	pushChildren := func(parent *bnode, sol lp.Solution, basis *lp.Basis, branchVar int) {
+		r := math.Round(sol.X[branchVar])
+		for _, val := range []float64{r, 1 - r} {
+			heap.Push(pq, &bnode{
+				bound:  sol.Objective,
+				v:      branchVar,
+				lo:     val,
+				up:     val,
+				parent: parent,
+				basis:  basis,
+			})
+		}
+	}
+	pushChildren(nil, rootSol, rootBasis, rootBranch)
 
 	for pq.Len() > 0 {
 		res.Nodes++
@@ -216,11 +325,16 @@ func Solve(p Problem, opt Options) (Result, error) {
 			res.TimedOut = true
 			break
 		}
-		nd := heap.Pop(pq).(node)
+		nd := heap.Pop(pq).(*bnode)
 		if nd.bound >= res.Objective-1e-9 {
 			continue // pruned by incumbent
 		}
-		sol, err := relax(nd.fixed)
+		materialize(nd)
+		sol, basis, err := relax(nd.basis)
+		if errors.Is(err, lp.ErrTooLarge) {
+			res.TimedOut = true
+			break
+		}
 		if err != nil {
 			return Result{}, err
 		}
@@ -230,34 +344,18 @@ func Solve(p Problem, opt Options) (Result, error) {
 		if sol.Objective >= res.Objective-1e-9 {
 			continue
 		}
-		// Find the most fractional binary.
-		branchVar, frac := -1, 0.0
-		for _, v := range p.Binary {
-			if _, ok := nd.fixed[v]; ok {
-				continue
-			}
-			f := math.Abs(sol.X[v] - math.Round(sol.X[v]))
-			if f > intTol && f > frac {
-				frac = f
-				branchVar = v
-			}
-		}
+		branchVar := fractionalVar(sol.X)
 		if branchVar < 0 {
 			// Integral: incumbent.
 			record(sol.X, sol.Objective)
 			continue
 		}
 		if incumbent == nil {
-			tryRound(sol.X)
-		}
-		for _, val := range []float64{math.Round(sol.X[branchVar]), 1 - math.Round(sol.X[branchVar])} {
-			child := make(map[int]float64, len(nd.fixed)+1)
-			for k, v := range nd.fixed {
-				child[k] = v
+			if err := tryRound(sol.X, basis); err != nil {
+				return Result{}, err
 			}
-			child[branchVar] = val
-			heap.Push(pq, node{bound: sol.Objective, fixed: child})
 		}
+		pushChildren(nd, sol, basis, branchVar)
 	}
 
 	res.Elapsed = time.Since(start)

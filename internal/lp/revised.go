@@ -1,0 +1,841 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// ErrNumerical reports an unrecoverable numerical breakdown of the revised
+// engine (singular refactorisation); SolveWithOptions falls back to the
+// dense oracle on it.
+var ErrNumerical = errors.New("lp: revised simplex numerical breakdown")
+
+const (
+	// bndTol is the primal feasibility tolerance on variable bounds.
+	bndTol = 1e-7
+	// dualTol is the dual feasibility tolerance on reduced costs.
+	dualTol = 1e-7
+	// refactorEvery bounds the eta-file length before a refactorisation.
+	refactorEvery = 100
+)
+
+// BoundedSolver is a revised primal/dual simplex over the sparse column
+// form of one Problem, with native variable bounds lo <= x <= up. The
+// constraint rows are converted once to equalities with one slack column
+// per row (the slack's bounds encode the sense); branch-and-bound callers
+// re-solve with changed structural bounds and a warm-start basis without
+// ever touching the rows.
+//
+// A BoundedSolver is reusable but not safe for concurrent use.
+type BoundedSolver struct {
+	prob Problem
+	A    csc
+	m    int // rows
+	n    int // structural columns
+	nTot int // n + m (slacks)
+
+	c []float64 // costs, zero on slacks
+	b []float64 // RHS
+
+	// Per-column bounds for the current solve. Structural entries are set
+	// from SolveBounds arguments; slack entries are fixed by row sense:
+	// LE -> [0, +Inf), GE -> (-Inf, 0], EQ -> [0, 0].
+	lo, up []float64
+
+	basic []int32 // row -> basic column
+	pos   []int32 // column -> basis row, or -1 when nonbasic
+	atUp  []bool  // nonbasic column rests at its upper bound
+	xB    []float64
+
+	etas etaFile
+	// etaBase is the eta-file length right after the last refactorisation
+	// (one eta per basis column); only update etas beyond it count against
+	// refactorEvery.
+	etaBase int
+
+	// Dense scratch vectors, length m.
+	dir, rho, y, sigma []float64
+
+	deadline time.Time
+	iter     int
+	maxIter  int
+	stall    int
+	scanAt   int // partial-pricing cursor
+	// numErr records a numerical breakdown inside the pivot loop (singular
+	// refactorisation); SolveBounds surfaces it as ErrNumerical so callers
+	// can fall back to the dense engine.
+	numErr error
+}
+
+// NewBoundedSolver validates p and builds the sparse column storage once.
+func NewBoundedSolver(p Problem) (*BoundedSolver, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := &BoundedSolver{prob: p}
+	s.A = buildCSC(p)
+	s.m = len(p.Rows)
+	s.n = p.NumVars
+	s.nTot = s.A.n
+	s.c = make([]float64, s.nTot)
+	copy(s.c, p.Objective)
+	s.b = make([]float64, s.m)
+	for i, r := range p.Rows {
+		s.b[i] = r.RHS
+	}
+	s.lo = make([]float64, s.nTot)
+	s.up = make([]float64, s.nTot)
+	s.basic = make([]int32, s.m)
+	s.pos = make([]int32, s.nTot)
+	s.atUp = make([]bool, s.nTot)
+	s.xB = make([]float64, s.m)
+	s.dir = make([]float64, s.m)
+	s.rho = make([]float64, s.m)
+	s.y = make([]float64, s.m)
+	s.sigma = make([]float64, s.m)
+	return s, nil
+}
+
+// NumRows returns the constraint-row count of the underlying problem; it is
+// invariant across SolveBounds calls (branch and bound asserts this).
+func (s *BoundedSolver) NumRows() int { return s.m }
+
+// workspaceBytes estimates the revised-simplex working memory.
+func (s *BoundedSolver) workspaceBytes() int64 {
+	return int64(s.A.nnz())*12 + int64(s.nTot)*21 + int64(s.m)*44 +
+		int64(refactorEvery)*16
+}
+
+// SolveBounds solves min cᵀx subject to the problem rows and lo <= x <= up
+// over the structural variables (nil slices mean the Problem defaults:
+// lower 0, upper Problem.Upper or +Inf). A non-nil warm basis — typically
+// the returned Basis of a parent solve with looser bounds — skips phase 1:
+// primal feasibility is restored by dual simplex pivots. The returned
+// Basis snapshot is independent of solver state and safe to retain.
+func (s *BoundedSolver) SolveBounds(lo, up []float64, warm *Basis, opt Options) (Solution, *Basis, error) {
+	maxBytes := opt.MaxTableauBytes
+	if maxBytes == 0 {
+		maxBytes = 3 << 29 // 1.5 GiB
+	}
+	if bytes := s.workspaceBytes(); bytes > maxBytes {
+		return Solution{}, nil, fmt.Errorf("%w: needs %d bytes", ErrTooLarge, bytes)
+	}
+	if lo != nil && len(lo) != s.n {
+		return Solution{}, nil, fmt.Errorf("lp: %d lower bounds for %d variables", len(lo), s.n)
+	}
+	if up != nil && len(up) != s.n {
+		return Solution{}, nil, fmt.Errorf("lp: %d upper bounds for %d variables", len(up), s.n)
+	}
+	s.setBounds(lo, up)
+	s.deadline = opt.Deadline
+	s.iter = 0
+	s.maxIter = 200 * (s.m + s.nTot)
+	s.stall = 0
+	s.scanAt = 0
+	s.numErr = nil
+
+	warmLoaded := s.loadBasis(warm)
+	if err := s.refactor(); err != nil {
+		if !warmLoaded {
+			return Solution{}, nil, err
+		}
+		// A stale warm basis can be singular under the new bounds; restart
+		// cold rather than failing the solve.
+		warmLoaded = false
+		s.loadBasis(nil)
+		if err := s.refactor(); err != nil {
+			return Solution{}, nil, err
+		}
+	}
+	s.computeXB()
+
+	st := s.solveLoaded(warmLoaded)
+	if s.numErr != nil {
+		return Solution{}, nil, s.numErr
+	}
+	sol := Solution{Status: st, Iterations: s.iter}
+	if st == Optimal {
+		sol.X = s.extract()
+		for i, cv := range s.prob.Objective {
+			sol.Objective += cv * sol.X[i]
+		}
+	}
+	return sol, s.snapshot(), nil
+}
+
+// solveLoaded runs the simplex phases on the already-factorised basis.
+func (s *BoundedSolver) solveLoaded(warm bool) Status {
+	if warm && s.dualFeasible() {
+		st, ok := s.dualSimplex()
+		if ok {
+			switch st {
+			case Infeasible, IterLimit:
+				return st
+			}
+			// Primal feasible and dual feasible: phase 2 confirms
+			// optimality (normally zero iterations).
+			return s.primal(phase2)
+		}
+		// Dual simplex bailed on numerics: fall through to the cold path.
+	}
+	st := s.primal(phase1)
+	if st != Optimal {
+		return st
+	}
+	return s.primal(phase2)
+}
+
+// setBounds installs structural bounds and the sense-derived slack bounds.
+func (s *BoundedSolver) setBounds(lo, up []float64) {
+	for j := 0; j < s.n; j++ {
+		if lo != nil {
+			s.lo[j] = lo[j]
+		} else {
+			s.lo[j] = 0
+		}
+		switch {
+		case up != nil:
+			s.up[j] = up[j]
+		case s.prob.Upper != nil:
+			s.up[j] = s.prob.Upper[j]
+		default:
+			s.up[j] = math.Inf(1)
+		}
+	}
+	for i, r := range s.prob.Rows {
+		j := s.n + i
+		switch r.Sense {
+		case LE:
+			s.lo[j], s.up[j] = 0, math.Inf(1)
+		case GE:
+			s.lo[j], s.up[j] = math.Inf(-1), 0
+		case EQ:
+			s.lo[j], s.up[j] = 0, 0
+		}
+	}
+}
+
+// loadBasis installs warm (when structurally valid) or the all-slack basis,
+// reporting whether the warm basis was used.
+func (s *BoundedSolver) loadBasis(warm *Basis) bool {
+	for j := range s.pos {
+		s.pos[j] = -1
+		s.atUp[j] = false
+	}
+	if warm != nil && len(warm.Basic) == s.m && len(warm.AtUpper) == s.nTot {
+		valid := true
+		for r, col := range warm.Basic {
+			if col < 0 || int(col) >= s.nTot || s.pos[col] >= 0 {
+				valid = false
+				break
+			}
+			s.basic[r] = col
+			s.pos[col] = int32(r)
+		}
+		if valid {
+			for j := 0; j < s.nTot; j++ {
+				if s.pos[j] >= 0 {
+					continue
+				}
+				s.atUp[j] = warm.AtUpper[j]
+				// Keep nonbasic columns on a finite bound.
+				if s.atUp[j] && math.IsInf(s.up[j], 1) {
+					s.atUp[j] = false
+				}
+				if !s.atUp[j] && math.IsInf(s.lo[j], -1) {
+					s.atUp[j] = true
+				}
+			}
+			return true
+		}
+		for j := range s.pos {
+			s.pos[j] = -1
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		j := s.n + i
+		s.basic[i] = int32(j)
+		s.pos[j] = int32(i)
+	}
+	// GE slacks are the only columns with an infinite lower bound; they all
+	// start basic, and structural columns start at their (finite) lower.
+	return false
+}
+
+// snapshot exports the current basis for warm starts.
+func (s *BoundedSolver) snapshot() *Basis {
+	b := &Basis{
+		Basic:   make([]int32, s.m),
+		AtUpper: make([]bool, s.nTot),
+	}
+	copy(b.Basic, s.basic)
+	copy(b.AtUpper, s.atUp)
+	return b
+}
+
+// valOf returns the resting value of nonbasic column j.
+func (s *BoundedSolver) valOf(j int) float64 {
+	if s.atUp[j] {
+		if u := s.up[j]; !math.IsInf(u, 1) {
+			return u
+		}
+		return s.lo[j]
+	}
+	if l := s.lo[j]; !math.IsInf(l, -1) {
+		return l
+	}
+	return s.up[j]
+}
+
+// factorOrder computes a fill-reducing elimination order for the current
+// basis. Rows with a single entry across the active columns pivot first
+// (forward triangular: their pivot row never reappears, so the eta is the
+// untouched sparse column), columns with a single active row pivot last
+// (backward triangular — slack columns all land here), and the irreducible
+// bump in between is ordered by a Markowitz-style min-count rule. Without
+// this ordering a product-form refactorisation densifies: each eta's fill
+// feeds the FTRAN of every later column, costing O(m³) on bases this size.
+//
+// Returned are the basis columns in elimination order and a suggested pivot
+// row per column. The rows are hints — the factorisation pass verifies each
+// against a stability threshold and falls back to the largest free pivot.
+func (s *BoundedSolver) factorOrder() (order, hints []int32) {
+	m := s.m
+	order = make([]int32, 0, m)
+	hints = make([]int32, 0, m)
+
+	// Row-wise view of the basis: rowSlot[rowStart[r]:rowStart[r+1]] lists
+	// the basis slots whose column contains row r.
+	rowStart := make([]int32, m+1)
+	colCnt := make([]int32, m)
+	for k := 0; k < m; k++ {
+		ri, _ := s.A.col(int(s.basic[k]))
+		colCnt[k] = int32(len(ri))
+		for _, r := range ri {
+			rowStart[r+1]++
+		}
+	}
+	rowCnt := make([]int32, m)
+	for r := 0; r < m; r++ {
+		rowCnt[r] = rowStart[r+1]
+		rowStart[r+1] += rowStart[r]
+	}
+	rowSlot := make([]int32, rowStart[m])
+	cursor := make([]int32, m)
+	copy(cursor, rowStart[:m])
+	for k := 0; k < m; k++ {
+		ri, _ := s.A.col(int(s.basic[k]))
+		for _, r := range ri {
+			rowSlot[cursor[r]] = int32(k)
+			cursor[r]++
+		}
+	}
+
+	colActive := make([]bool, m)
+	rowActive := make([]bool, m)
+	var rowQ, colQ []int32
+	for k := 0; k < m; k++ {
+		colActive[k] = true
+		rowActive[k] = true
+	}
+	for r := int32(0); r < int32(m); r++ {
+		if rowCnt[r] == 1 {
+			rowQ = append(rowQ, r)
+		}
+	}
+	for k := int32(0); k < int32(m); k++ {
+		if colCnt[k] == 1 {
+			colQ = append(colQ, k)
+		}
+	}
+
+	var backSlots, backRows []int32
+	processed := 0
+	deactivate := func(k, r int32) {
+		colActive[k] = false
+		rowActive[r] = false
+		ri, _ := s.A.col(int(s.basic[k]))
+		for _, rr := range ri {
+			if rowActive[rr] {
+				if rowCnt[rr]--; rowCnt[rr] == 1 {
+					rowQ = append(rowQ, rr)
+				}
+			}
+		}
+		for t := rowStart[r]; t < rowStart[r+1]; t++ {
+			if kk := rowSlot[t]; colActive[kk] {
+				if colCnt[kk]--; colCnt[kk] == 1 {
+					colQ = append(colQ, kk)
+				}
+			}
+		}
+		processed++
+	}
+	for processed < m {
+		if len(rowQ) > 0 {
+			r := rowQ[len(rowQ)-1]
+			rowQ = rowQ[:len(rowQ)-1]
+			if !rowActive[r] || rowCnt[r] != 1 {
+				continue
+			}
+			k := int32(-1)
+			for t := rowStart[r]; t < rowStart[r+1]; t++ {
+				if colActive[rowSlot[t]] {
+					k = rowSlot[t]
+					break
+				}
+			}
+			if k < 0 {
+				rowActive[r] = false
+				continue
+			}
+			order = append(order, k)
+			hints = append(hints, r)
+			deactivate(k, r)
+			continue
+		}
+		if len(colQ) > 0 {
+			k := colQ[len(colQ)-1]
+			colQ = colQ[:len(colQ)-1]
+			if !colActive[k] || colCnt[k] != 1 {
+				continue
+			}
+			r := int32(-1)
+			ri, _ := s.A.col(int(s.basic[k]))
+			for _, rr := range ri {
+				if rowActive[rr] {
+					r = rr
+					break
+				}
+			}
+			if r < 0 {
+				colActive[k] = false
+				continue
+			}
+			backSlots = append(backSlots, k)
+			backRows = append(backRows, r)
+			deactivate(k, r)
+			continue
+		}
+		// Bump: no singleton available. Take the active column with the
+		// fewest active rows (lowest slot on ties, for determinism) and pair
+		// it with its least-populated active row.
+		bk, bc := int32(-1), int32(1<<30)
+		for k := int32(0); k < int32(m); k++ {
+			if colActive[k] && colCnt[k] < bc {
+				bk, bc = k, colCnt[k]
+			}
+		}
+		if bk < 0 {
+			break // remaining rows are uncovered; factor pass reports singular
+		}
+		br, brc := int32(-1), int32(1<<30)
+		ri, _ := s.A.col(int(s.basic[bk]))
+		for _, rr := range ri {
+			if rowActive[rr] && rowCnt[rr] < brc {
+				br, brc = rr, rowCnt[rr]
+			}
+		}
+		if br < 0 {
+			colActive[bk] = false
+			processed++
+			order = append(order, bk)
+			hints = append(hints, -1)
+			continue
+		}
+		order = append(order, bk)
+		hints = append(hints, br)
+		deactivate(bk, br)
+	}
+	for i := len(backSlots) - 1; i >= 0; i-- {
+		order = append(order, backSlots[i])
+		hints = append(hints, backRows[i])
+	}
+	return order, hints
+}
+
+// refactor rebuilds the eta file from the current basic set in the
+// fill-reducing order of factorOrder: each basis column is FTRANed through
+// the file built so far and pivoted on its suggested row when numerically
+// sound, else on the largest-magnitude entry among rows not yet pivoted.
+// The basis is a column set — which row a column pivots on is bookkeeping —
+// so basic/pos are relabelled to the chosen rows; callers recompute xB
+// afterwards. Free row choice makes the factorisation succeed for every
+// nonsingular basis (pinning columns to fixed rows can deadlock on a zero
+// transformed diagonal even when the basis is fine).
+func (s *BoundedSolver) refactor() error {
+	order, hints := s.factorOrder()
+	cols := make([]int32, s.m)
+	copy(cols, s.basic)
+	s.etas.reset()
+	rowTaken := make([]bool, s.m)
+	d := s.dir
+	for t, k := range order {
+		j := cols[k]
+		for i := range d {
+			d[i] = 0
+		}
+		s.A.scatter(d, int(j), 1)
+		s.etas.ftran(d)
+		pivRow, pivAbs := -1, 0.0
+		for r := 0; r < s.m; r++ {
+			if rowTaken[r] {
+				continue
+			}
+			if a := math.Abs(d[r]); a > pivAbs {
+				pivRow, pivAbs = r, a
+			}
+		}
+		if pivRow < 0 || pivAbs < pivTol {
+			return ErrNumerical // column dependent on those already pivoted
+		}
+		// Prefer the fill-reducing hint row when it is within a stability
+		// threshold of the best available pivot.
+		if h := hints[t]; h >= 0 && !rowTaken[h] && int(h) != pivRow {
+			if a := math.Abs(d[h]); a >= pivTol && a >= 0.01*pivAbs {
+				pivRow = int(h)
+			}
+		}
+		rowTaken[pivRow] = true
+		s.etas.push(d, int32(pivRow))
+		s.basic[pivRow] = j
+		s.pos[j] = int32(pivRow)
+	}
+	if len(order) < s.m {
+		return ErrNumerical
+	}
+	s.etaBase = s.etas.len()
+	return nil
+}
+
+// computeXB recomputes basic values xB = B⁻¹(b − Σ_nonbasic A_j·x_j).
+func (s *BoundedSolver) computeXB() {
+	rhs := s.rho
+	copy(rhs, s.b)
+	for j := 0; j < s.nTot; j++ {
+		if s.pos[j] >= 0 {
+			continue
+		}
+		if v := s.valOf(j); v != 0 {
+			s.A.scatter(rhs, j, -v)
+		}
+	}
+	s.etas.ftran(rhs)
+	copy(s.xB, rhs)
+}
+
+// expired reports whether the deadline or iteration budget is exhausted;
+// it increments the shared iteration counter.
+func (s *BoundedSolver) expired() bool {
+	s.iter++
+	if s.iter > s.maxIter {
+		return true
+	}
+	if s.iter%32 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		return true
+	}
+	return false
+}
+
+type phaseKind int
+
+const (
+	phase1 phaseKind = iota
+	phase2
+)
+
+// primal runs bounded primal simplex pivots. In phase 1 the objective is
+// the total bound violation of the basic variables (recomputed gradient per
+// iteration); in phase 2 it is the problem objective over a primal-feasible
+// basis. Returns Optimal (phase 1: feasible), Infeasible (phase 1 only),
+// Unbounded (phase 2 only), or IterLimit.
+func (s *BoundedSolver) primal(kind phaseKind) Status {
+	for {
+		if s.expired() {
+			return IterLimit
+		}
+		var cost []float64
+		if kind == phase1 {
+			if !s.infeasGradient() {
+				return Optimal // primal feasible
+			}
+			copy(s.y, s.sigma)
+		} else {
+			for r := 0; r < s.m; r++ {
+				s.y[r] = s.c[s.basic[r]]
+			}
+		}
+		s.etas.btran(s.y)
+		if kind == phase2 {
+			cost = s.c
+		}
+		enter, dir := s.priceEnter(s.y, cost)
+		if enter < 0 {
+			if kind == phase1 {
+				return Infeasible // violations remain at phase-1 optimum
+			}
+			return Optimal
+		}
+		d := s.dir
+		for i := range d {
+			d[i] = 0
+		}
+		s.A.scatter(d, enter, 1)
+		s.etas.ftran(d)
+
+		var t float64
+		var leave int
+		var leaveAtUp bool
+		if kind == phase1 {
+			t, leave, leaveAtUp = s.ratioPhase1(enter, dir, d)
+		} else {
+			t, leave, leaveAtUp = s.ratioPhase2(enter, dir, d)
+		}
+		if math.IsInf(t, 1) {
+			if kind == phase1 {
+				// The phase-1 objective is bounded below by zero; an
+				// unbounded ray indicates numerical trouble. Refactorise
+				// and retry once per occurrence.
+				if err := s.refactor(); err != nil {
+					s.numErr = err
+					return IterLimit
+				}
+				s.computeXB()
+				continue
+			}
+			return Unbounded
+		}
+		if err := s.applyStep(enter, dir, d, t, leave, leaveAtUp); err != nil {
+			s.numErr = err
+			return IterLimit
+		}
+		if t > tol {
+			s.stall = 0
+		} else {
+			s.stall++
+		}
+	}
+}
+
+// infeasGradient fills sigma with the phase-1 gradient (+1 above upper,
+// −1 below lower, 0 feasible) and reports whether any violation exists.
+func (s *BoundedSolver) infeasGradient() bool {
+	any := false
+	for r := 0; r < s.m; r++ {
+		j := s.basic[r]
+		switch {
+		case s.xB[r] > s.up[j]+bndTol:
+			s.sigma[r] = 1
+			any = true
+		case s.xB[r] < s.lo[j]-bndTol:
+			s.sigma[r] = -1
+			any = true
+		default:
+			s.sigma[r] = 0
+		}
+	}
+	return any
+}
+
+// priceEnter chooses the entering column: partial pricing over cyclic
+// chunks (Dantzig within the first chunk containing a candidate), Bland's
+// lowest-index rule under stall. cost is nil in phase 1 (nonbasic columns
+// have zero infeasibility cost). Returns (-1, 0) at phase optimality,
+// otherwise the column and +1 (enter rising from lower) or −1 (falling
+// from upper).
+func (s *BoundedSolver) priceEnter(y []float64, cost []float64) (int, int) {
+	rcOf := func(j int) float64 {
+		rc := -s.A.dot(y, j)
+		if cost != nil {
+			rc += cost[j]
+		}
+		return rc
+	}
+	eligible := func(j int) (float64, int) {
+		if s.pos[j] >= 0 || s.lo[j] == s.up[j] {
+			return 0, 0
+		}
+		rc := rcOf(j)
+		if !s.atUp[j] && rc < -tol {
+			return rc, 1
+		}
+		if s.atUp[j] && rc > tol {
+			return -rc, -1
+		}
+		return 0, 0
+	}
+	if s.stall >= blandAfter {
+		for j := 0; j < s.nTot; j++ {
+			if _, dir := eligible(j); dir != 0 {
+				return j, dir
+			}
+		}
+		return -1, 0
+	}
+	chunk := s.nTot / 16
+	if chunk < 32 {
+		chunk = 32
+	}
+	scanned := 0
+	for scanned < s.nTot {
+		bestScore := 0.0
+		best, bestDir := -1, 0
+		end := scanned + chunk
+		for ; scanned < end && scanned < s.nTot; scanned++ {
+			j := (s.scanAt + scanned) % s.nTot
+			if score, dir := eligible(j); dir != 0 {
+				// score is negative; more negative is better. Ties take
+				// the lowest column index for determinism.
+				if score < bestScore-tol || (score < bestScore+tol && (best < 0 || j < best)) {
+					bestScore = score
+					best, bestDir = j, dir
+				}
+			}
+		}
+		if best >= 0 {
+			s.scanAt = (s.scanAt + scanned) % s.nTot
+			return best, bestDir
+		}
+	}
+	return -1, 0
+}
+
+// ratioPhase2 finds the blocking step for a primal-feasible basis.
+// dir·d is the rate of decrease of each basic variable per unit of the
+// entering variable's move. leave < 0 with finite t means a bound flip.
+func (s *BoundedSolver) ratioPhase2(enter, dir int, d []float64) (float64, int, bool) {
+	t := s.up[enter] - s.lo[enter] // bound flip distance (may be +Inf)
+	leave := -1
+	leaveAtUp := false
+	for r := 0; r < s.m; r++ {
+		dd := float64(dir) * d[r]
+		j := s.basic[r]
+		var lim float64
+		var hitUp bool
+		if dd > tol {
+			if math.IsInf(s.lo[j], -1) {
+				continue
+			}
+			lim = (s.xB[r] - s.lo[j]) / dd
+		} else if dd < -tol {
+			if math.IsInf(s.up[j], 1) {
+				continue
+			}
+			lim = (s.up[j] - s.xB[r]) / -dd
+			hitUp = true
+		} else {
+			continue
+		}
+		if lim < 0 {
+			lim = 0
+		}
+		if lim < t-tol || (lim < t+tol && (leave < 0 || j < s.basic[leave])) {
+			t = lim
+			leave = r
+			leaveAtUp = hitUp
+		}
+	}
+	return t, leave, leaveAtUp
+}
+
+// ratioPhase1 finds the blocking step while basic variables may be outside
+// their bounds: a feasible basic blocks at the bound it approaches, an
+// infeasible one blocks where it regains feasibility, and a basic moving
+// deeper into infeasibility never blocks (the gradient accounts for it).
+func (s *BoundedSolver) ratioPhase1(enter, dir int, d []float64) (float64, int, bool) {
+	t := s.up[enter] - s.lo[enter]
+	leave := -1
+	leaveAtUp := false
+	for r := 0; r < s.m; r++ {
+		dd := float64(dir) * d[r]
+		j := s.basic[r]
+		var lim float64
+		var hitUp bool
+		if dd > tol { // basic decreasing
+			switch {
+			case s.xB[r] > s.up[j]+bndTol:
+				lim = (s.xB[r] - s.up[j]) / dd
+				hitUp = true
+			case s.xB[r] >= s.lo[j]-bndTol && !math.IsInf(s.lo[j], -1):
+				lim = (s.xB[r] - s.lo[j]) / dd
+			default:
+				continue // below lower and falling: gradient handles it
+			}
+		} else if dd < -tol { // basic increasing
+			switch {
+			case s.xB[r] < s.lo[j]-bndTol:
+				lim = (s.lo[j] - s.xB[r]) / -dd
+			case s.xB[r] <= s.up[j]+bndTol && !math.IsInf(s.up[j], 1):
+				lim = (s.up[j] - s.xB[r]) / -dd
+				hitUp = true
+			default:
+				continue
+			}
+		} else {
+			continue
+		}
+		if lim < 0 {
+			lim = 0
+		}
+		if lim < t-tol || (lim < t+tol && (leave < 0 || j < s.basic[leave])) {
+			t = lim
+			leave = r
+			leaveAtUp = hitUp
+		}
+	}
+	return t, leave, leaveAtUp
+}
+
+// applyStep moves the entering variable by t (in direction dir off its
+// bound), updates the basic values, and pivots (or bound-flips when
+// leave < 0). The eta file grows by one; it is refactorised periodically
+// or when the pivot element is numerically unusable.
+func (s *BoundedSolver) applyStep(enter, dir int, d []float64, t float64, leave int, leaveAtUp bool) error {
+	if t != 0 {
+		step := float64(dir) * t
+		for r := 0; r < s.m; r++ {
+			if d[r] != 0 {
+				s.xB[r] -= step * d[r]
+			}
+		}
+	}
+	if leave < 0 {
+		s.atUp[enter] = !s.atUp[enter]
+		return nil
+	}
+	lv := s.basic[leave]
+	s.pos[lv] = -1
+	s.atUp[lv] = leaveAtUp
+	enterVal := s.valOf(enter) + float64(dir)*t
+	s.basic[leave] = int32(enter)
+	s.pos[enter] = int32(leave)
+	s.xB[leave] = enterVal
+	pushed := s.etas.push(d, int32(leave))
+	if !pushed || s.etas.len()-s.etaBase >= refactorEvery {
+		if err := s.refactor(); err != nil {
+			return err
+		}
+		s.computeXB()
+	}
+	return nil
+}
+
+// extract reads the structural solution.
+func (s *BoundedSolver) extract() []float64 {
+	x := make([]float64, s.n)
+	for j := 0; j < s.n; j++ {
+		if r := s.pos[j]; r >= 0 {
+			x[j] = s.xB[r]
+		} else {
+			x[j] = s.valOf(j)
+		}
+	}
+	for i, v := range x {
+		if v < 0 && v > -1e-7 {
+			x[i] = 0
+		}
+	}
+	return x
+}

@@ -8,28 +8,47 @@
 package mcmf
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
 
 // edge is one directed arc plus its residual twin at index^1.
 type edge struct {
-	to   int
+	to   int32
 	cap  int
 	cost int64
 }
 
 // Graph is a flow network. Nodes are 0..N-1.
+//
+// Adjacency is kept in compressed (CSR) form, rebuilt lazily when edges
+// were added since the last MaxFlow call: one contiguous arc-id slice plus
+// per-node offsets instead of N growing slices. Dijkstra's working state
+// (priority queue, distance and parent arrays) is allocated once per
+// MaxFlow call and reused across augmentations.
 type Graph struct {
 	n     int
 	edges []edge // twin arcs at 2k, 2k+1
-	adj   [][]int
+
+	csrHead []int32 // per-node offsets into csrArcs; length n+1
+	csrArcs []int32 // arc ids grouped by tail node
+	csrAt   int     // len(edges) when the CSR was built
 }
 
 // New returns an empty network on n nodes.
 func New(n int) *Graph {
-	return &Graph{n: n, adj: make([][]int, n)}
+	return &Graph{n: n}
+}
+
+// NewWithEdgeHint returns an empty network on n nodes with capacity
+// reserved for the given number of AddEdge calls, avoiding regrowth while
+// the network is assembled.
+func NewWithEdgeHint(n, edgeHint int) *Graph {
+	g := New(n)
+	if edgeHint > 0 {
+		g.edges = make([]edge, 0, 2*edgeHint)
+	}
+	return g
 }
 
 // NumNodes returns the node count.
@@ -48,11 +67,36 @@ func (g *Graph) AddEdge(u, v, capacity int, cost int64) int {
 		panic("mcmf: negative capacity")
 	}
 	id := len(g.edges)
-	g.edges = append(g.edges, edge{to: v, cap: capacity, cost: cost})
-	g.edges = append(g.edges, edge{to: u, cap: 0, cost: -cost})
-	g.adj[u] = append(g.adj[u], id)
-	g.adj[v] = append(g.adj[v], id+1)
+	g.edges = append(g.edges, edge{to: int32(v), cap: capacity, cost: cost})
+	g.edges = append(g.edges, edge{to: int32(u), cap: 0, cost: -cost})
 	return id
+}
+
+// buildCSR (re)compresses the adjacency when edges changed. The twin arc
+// of edge id lives at id^1, so each arc's tail is its twin's head.
+func (g *Graph) buildCSR() {
+	if g.csrAt == len(g.edges) && g.csrHead != nil {
+		return
+	}
+	counts := make([]int32, g.n+1)
+	for id := range g.edges {
+		counts[g.edges[id^1].to+1]++
+	}
+	head := make([]int32, g.n+1)
+	for i := 0; i < g.n; i++ {
+		head[i+1] = head[i] + counts[i+1]
+	}
+	arcs := make([]int32, len(g.edges))
+	cursor := make([]int32, g.n)
+	copy(cursor, head[:g.n])
+	for id := range g.edges {
+		tail := g.edges[id^1].to
+		arcs[cursor[tail]] = int32(id)
+		cursor[tail]++
+	}
+	g.csrHead = head
+	g.csrArcs = arcs
+	g.csrAt = len(g.edges)
 }
 
 // Flow returns the flow currently routed on the edge with the given handle
@@ -69,22 +113,52 @@ type Result struct {
 
 // pqItem is a Dijkstra queue entry.
 type pqItem struct {
-	node int
+	node int32
 	dist int64
 }
 
+// pq is a binary min-heap on dist. It is hand-rolled rather than built on
+// container/heap so pushes and pops move values without interface boxing —
+// the queue is the inner-loop data structure of every augmentation.
 type pq []pqItem
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+func (q *pq) push(it pqItem) {
+	*q = append(*q, it)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].dist <= h[i].dist {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func (q *pq) pop() pqItem {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && h[r].dist < h[l].dist {
+			l = r
+		}
+		if h[i].dist <= h[l].dist {
+			break
+		}
+		h[i], h[l] = h[l], h[i]
+		i = l
+	}
+	return top
 }
 
 // MaxFlow pushes the maximum flow from s to t at minimum total cost.
@@ -97,6 +171,7 @@ func (g *Graph) MaxFlow(s, t int) (Result, error) {
 	if s == t {
 		return Result{}, fmt.Errorf("mcmf: source equals sink")
 	}
+	g.buildCSR()
 	pot := make([]int64, g.n)
 	if g.hasNegativeCost() {
 		if err := g.bellmanFord(s, pot); err != nil {
@@ -106,22 +181,26 @@ func (g *Graph) MaxFlow(s, t int) (Result, error) {
 	var res Result
 	const unreached = math.MaxInt64
 	dist := make([]int64, g.n)
-	prevEdge := make([]int, g.n)
+	prevEdge := make([]int32, g.n)
+	q := make(pq, 0, g.n)
 	for {
-		// Dijkstra on reduced costs (exact integer arithmetic).
+		// Dijkstra on reduced costs (exact integer arithmetic). The queue
+		// backing array is reused across augmentations.
 		for i := range dist {
 			dist[i] = unreached
 			prevEdge[i] = -1
 		}
 		dist[s] = 0
-		q := &pq{{node: s}}
-		for q.Len() > 0 {
-			it := heap.Pop(q).(pqItem)
+		q = q[:0]
+		q.push(pqItem{node: int32(s)})
+		for len(q) > 0 {
+			it := q.pop()
 			if it.dist > dist[it.node] {
 				continue
 			}
-			for _, id := range g.adj[it.node] {
-				e := g.edges[id]
+			for a, end := g.csrHead[it.node], g.csrHead[it.node+1]; a < end; a++ {
+				id := g.csrArcs[a]
+				e := &g.edges[id]
 				if e.cap <= 0 {
 					continue
 				}
@@ -129,7 +208,7 @@ func (g *Graph) MaxFlow(s, t int) (Result, error) {
 				if nd < dist[e.to] {
 					dist[e.to] = nd
 					prevEdge[e.to] = id
-					heap.Push(q, pqItem{node: e.to, dist: nd})
+					q.push(pqItem{node: e.to, dist: nd})
 				}
 			}
 		}
@@ -149,14 +228,14 @@ func (g *Graph) MaxFlow(s, t int) (Result, error) {
 		}
 		// Bottleneck along the path.
 		bottleneck := math.MaxInt
-		for v := t; v != s; {
+		for v := int32(t); v != int32(s); {
 			id := prevEdge[v]
 			if g.edges[id].cap < bottleneck {
 				bottleneck = g.edges[id].cap
 			}
 			v = g.edges[id^1].to
 		}
-		for v := t; v != s; {
+		for v := int32(t); v != int32(s); {
 			id := prevEdge[v]
 			g.edges[id].cap -= bottleneck
 			g.edges[id^1].cap += bottleneck
@@ -191,8 +270,8 @@ func (g *Graph) bellmanFord(s int, pot []int64) error {
 			if pot[u] == unreached {
 				continue
 			}
-			for _, id := range g.adj[u] {
-				e := g.edges[id]
+			for a, end := g.csrHead[u], g.csrHead[u+1]; a < end; a++ {
+				e := &g.edges[g.csrArcs[a]]
 				if e.cap > 0 && pot[u]+e.cost < pot[e.to] {
 					pot[e.to] = pot[u] + e.cost
 					changed = true

@@ -306,3 +306,37 @@ func BenchmarkMaxFlowWDMNetwork(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMCMF pins the allocation profile of a full build-and-solve on a
+// WDM-assignment-shaped network: the CSR adjacency and the reused Dijkstra
+// queue keep allocs/op flat in the number of augmentations.
+func BenchmarkMCMF(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	type arcSpec struct {
+		u, v, cap int
+		cost      int64
+	}
+	var arcs []arcSpec
+	nConn, nWDM := 200, 60
+	src, snk := 0, nConn+nWDM+1
+	for c := 0; c < nConn; c++ {
+		arcs = append(arcs, arcSpec{src, 1 + c, 2 + rng.Intn(20), 0})
+		for w := 0; w < 4; w++ {
+			arcs = append(arcs, arcSpec{1 + c, 1 + nConn + rng.Intn(nWDM), 32, int64(rng.Intn(1000))})
+		}
+	}
+	for w := 0; w < nWDM; w++ {
+		arcs = append(arcs, arcSpec{1 + nConn + w, snk, 32, int64(1+w) * 5000})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewWithEdgeHint(nConn+nWDM+2, len(arcs))
+		for _, a := range arcs {
+			g.AddEdge(a.u, a.v, a.cap, a.cost)
+		}
+		if _, err := g.MaxFlow(src, snk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package selection
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"operon/internal/geom"
@@ -27,6 +28,11 @@ type ILPResult struct {
 	TimedOut bool
 	Elapsed  time.Duration
 	Nodes    int
+	// LPSolves counts LP relaxations solved across the branch-and-bound
+	// tree (warm-started after the root); LPTime is the wall clock spent
+	// inside the LP engine.
+	LPSolves int
+	LPTime   time.Duration
 	// NumVars and NumRows describe the built programme (after the
 	// bounding-box speed-up of §3.3).
 	NumVars, NumRows int
@@ -43,7 +49,62 @@ type ILPResult struct {
 // repaired greedy selection when none exists) is returned with TimedOut set.
 func SolveILP(inst *Instance, opt ILPOptions) (ILPResult, error) {
 	start := time.Now()
+	prob, varOf := buildProgram(inst)
+	res := ILPResult{NumVars: prob.LP.NumVars, NumRows: len(prob.LP.Rows)}
 
+	ir, err := ilp.Solve(prob, ilp.Options{
+		TimeLimit:       opt.TimeLimit,
+		MaxNodes:        opt.MaxNodes,
+		MaxTableauBytes: opt.MaxTableauBytes,
+	})
+	if err != nil {
+		return ILPResult{}, err
+	}
+	res.Status = ir.Status
+	res.TimedOut = ir.TimedOut
+	res.Nodes = ir.Nodes
+	res.LPSolves = ir.LPSolves
+	res.LPTime = ir.LPTime
+
+	switch ir.Status {
+	case ilp.Optimal, ilp.Feasible:
+		choice := make([]int, len(inst.Nets))
+		for i, n := range inst.Nets {
+			best, bestV := n.ElectricalIndex(), 0.0
+			for j := range n.Cands {
+				if v := ir.X[varOf[i][j]]; v > bestV {
+					best, bestV = j, v
+				}
+			}
+			choice[i] = best
+		}
+		sel, err := inst.Evaluate(choice)
+		if err != nil {
+			return ILPResult{}, err
+		}
+		sel, err = inst.Repair(sel)
+		if err != nil {
+			return ILPResult{}, err
+		}
+		res.Selection = sel
+	case ilp.Infeasible:
+		return ILPResult{}, fmt.Errorf("selection: ILP infeasible despite electrical fallbacks")
+	default:
+		// No incumbent before the limit: fall back to a repaired greedy
+		// selection so callers always get a legal design.
+		sel, err := inst.GreedyIndependent()
+		if err != nil {
+			return ILPResult{}, err
+		}
+		res.Selection = sel
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// buildProgram constructs the linearised 0-1 programme of Formula (3) for
+// the instance, returning it with the (net, candidate) → variable map.
+func buildProgram(inst *Instance) (ilp.Problem, [][]int) {
 	// Variable layout: one binary per (net, candidate), then one continuous
 	// y per interacting candidate pair with non-zero crossing loss.
 	varOf := make([][]int, len(inst.Nets))
@@ -126,56 +187,18 @@ func SolveILP(inst *Instance, opt ILPOptions) (ILPResult, error) {
 		}
 	}
 
-	prob := ilp.Problem{
-		LP:     lp.Problem{NumVars: len(obj), Objective: obj, Rows: rows},
+	// Binary bounds ride natively on the variables (0 <= a <= 1) so the
+	// revised simplex handles them in the ratio test; no x <= 1 rows are
+	// ever materialised, here or per branch-and-bound node.
+	upper := make([]float64, len(obj))
+	for i := range upper {
+		upper[i] = math.Inf(1)
+	}
+	for _, v := range binary {
+		upper[v] = 1
+	}
+	return ilp.Problem{
+		LP:     lp.Problem{NumVars: len(obj), Objective: obj, Rows: rows, Upper: upper},
 		Binary: binary,
-	}
-	res := ILPResult{NumVars: len(obj), NumRows: len(rows)}
-
-	ir, err := ilp.Solve(prob, ilp.Options{
-		TimeLimit:       opt.TimeLimit,
-		MaxNodes:        opt.MaxNodes,
-		MaxTableauBytes: opt.MaxTableauBytes,
-	})
-	if err != nil {
-		return ILPResult{}, err
-	}
-	res.Status = ir.Status
-	res.TimedOut = ir.TimedOut
-	res.Nodes = ir.Nodes
-
-	switch ir.Status {
-	case ilp.Optimal, ilp.Feasible:
-		choice := make([]int, len(inst.Nets))
-		for i, n := range inst.Nets {
-			best, bestV := n.ElectricalIndex(), 0.0
-			for j := range n.Cands {
-				if v := ir.X[varOf[i][j]]; v > bestV {
-					best, bestV = j, v
-				}
-			}
-			choice[i] = best
-		}
-		sel, err := inst.Evaluate(choice)
-		if err != nil {
-			return ILPResult{}, err
-		}
-		sel, err = inst.Repair(sel)
-		if err != nil {
-			return ILPResult{}, err
-		}
-		res.Selection = sel
-	case ilp.Infeasible:
-		return ILPResult{}, fmt.Errorf("selection: ILP infeasible despite electrical fallbacks")
-	default:
-		// No incumbent before the limit: fall back to a repaired greedy
-		// selection so callers always get a legal design.
-		sel, err := inst.GreedyIndependent()
-		if err != nil {
-			return ILPResult{}, err
-		}
-		res.Selection = sel
-	}
-	res.Elapsed = time.Since(start)
-	return res, nil
+	}, varOf
 }

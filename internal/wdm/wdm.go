@@ -219,7 +219,10 @@ func Assign(conns []Connection, pl Placement, cfg Config) (Assignment, error) {
 			continue
 		}
 		// Node layout: 0 source, 1..C connections, C+1..C+W WDMs, last sink.
-		g := mcmf.New(len(connIdx) + len(wdmIdx) + 2)
+		// Worst-case arc count: one per connection and WDM plus a full
+		// connection×WDM bipartite layer.
+		g := mcmf.NewWithEdgeHint(len(connIdx)+len(wdmIdx)+2,
+			len(connIdx)+len(wdmIdx)+len(connIdx)*len(wdmIdx))
 		src, snk := 0, len(connIdx)+len(wdmIdx)+1
 		for k, ci := range connIdx {
 			g.AddEdge(src, 1+k, conns[ci].Bits, 0)
