@@ -3,9 +3,9 @@ GO ?= go
 # Packages with parallel stages or shared caches; `make check` runs these
 # under the race detector in addition to the normal test sweep.
 RACE_PKGS = ./internal/parallel ./internal/selection ./internal/signal \
-            ./internal/wdm ./internal/optics/bpm .
+            ./internal/wdm ./internal/optics/bpm ./internal/obs .
 
-.PHONY: check test race vet bench
+.PHONY: check test race vet bench trace-smoke bench-compare
 
 check: vet test race
 
@@ -22,3 +22,17 @@ race:
 # Emit the machine-readable benchmark report (BENCH_<date>.json).
 bench:
 	$(GO) run ./cmd/bench
+
+# Produce a Chrome trace of a small benchgen case and validate it against
+# the trace-event schema. -min-lanes is 1, not the worker count: lanes
+# reflect actual goroutine scheduling, and a single-CPU runner funnels the
+# whole pool through one lane.
+trace-smoke:
+	$(GO) run ./cmd/operon -bench I1 -workers 4 -trace /tmp/operon-trace-smoke.json >/dev/null
+	$(GO) run ./cmd/tracecheck -stages -min-lanes 1 /tmp/operon-trace-smoke.json
+
+# Diff the behaviour-counter snapshots of the two newest BENCH_*.json
+# reports; fails on a >10% regression of a guarded solver counter
+# (LP pivots, MCMF augmentations, branch-and-bound nodes).
+bench-compare:
+	$(GO) run ./cmd/benchcmp

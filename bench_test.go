@@ -25,6 +25,7 @@ import (
 	"operon/internal/benchgen"
 	"operon/internal/geom"
 	"operon/internal/ilp"
+	"operon/internal/obs"
 	"operon/internal/optics/bpm"
 	"operon/internal/selection"
 	"operon/internal/signal"
@@ -143,6 +144,38 @@ func BenchmarkILP(b *testing.B) {
 		if ir.TimedOut || ir.Status != ilp.Optimal {
 			b.Fatalf("ILP did not prove optimality (status %v, timedOut %v)", ir.Status, ir.TimedOut)
 		}
+	}
+}
+
+// BenchmarkObsOverhead measures the cost of the observability layer on the
+// end-to-end flow: Nil is the production default (Config.Obs == nil, the
+// whole instrumentation path reduces to nil checks), Nop pays span/event
+// recording into a discarding sink, Collector additionally retains
+// everything in memory. Nil vs the committed BENCH numbers is the < 2%
+// regression budget; Nil vs Nop bounds what turning tracing on costs.
+func BenchmarkObsOverhead(b *testing.B) {
+	d := design(b, "I1")
+	for _, tc := range []struct {
+		name string
+		sink func() obs.Sink // nil = run uninstrumented
+	}{
+		{"Nil", nil},
+		{"Nop", func() obs.Sink { return obs.Nop{} }},
+		{"Collector", func() obs.Sink { return &obs.Collector{} }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := operon.DefaultConfig()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if tc.sink != nil {
+					cfg.Obs = obs.New(tc.sink())
+				}
+				if _, err := operon.Run(d, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

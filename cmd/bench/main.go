@@ -28,6 +28,7 @@ import (
 	"operon/internal/geom"
 	"operon/internal/lp"
 	"operon/internal/mcmf"
+	"operon/internal/obs"
 	"operon/internal/optics/bpm"
 	"operon/internal/selection"
 	"operon/internal/signal"
@@ -68,7 +69,18 @@ type Report struct {
 	// Speedups relate pairs of benchmark entries: parallel vs sequential
 	// and memoized vs uncached. Values > 1 are faster. Parallel-stage
 	// speedups scale with the core count of the runner (CPUs above).
+	// encoding/json marshals map keys in sorted order, so the emitted
+	// document is byte-stable across runs of the same build.
 	Speedups map[string]float64 `json:"speedups"`
+	// Counters is the name-sorted obs counter snapshot of one untimed
+	// instrumented pass over the solver workloads: LP pivots and
+	// refactorisations, branch-and-bound nodes, min-cost-flow
+	// augmentations, WDM arcs, and the BPM cache traffic. These are
+	// behaviour measures, independent of machine speed — `make
+	// bench-compare` diffs them across reports to catch algorithmic
+	// regressions that wall-clock noise would hide. All entries except the
+	// benchtime-dependent bpm.cache_* pair are deterministic.
+	Counters []obs.CounterValue `json:"counters,omitempty"`
 }
 
 func main() {
@@ -294,6 +306,28 @@ func main() {
 			}
 		})
 	}
+
+	// One untimed instrumented pass over the deterministic solver workloads
+	// embeds the behaviour counters in the report. The Nop sink keeps the
+	// pass cheap: only the atomic counters accumulate.
+	tracer := obs.New(nil)
+	if _, err := selection.SolveILP(ilpInst, selection.ILPOptions{
+		TimeLimit: 60 * time.Second, Obs: tracer,
+	}); err != nil {
+		fatal(err)
+	}
+	wcfgObs := wcfg
+	wcfgObs.Obs = tracer
+	if _, _, _, err := wdm.Run(conns, wcfgObs); err != nil {
+		fatal(err)
+	}
+	// The BPM cache is process-global; fold in the traffic the Fig-3(b)
+	// benchmarks generated (hit count scales with -test.benchtime, the miss
+	// count with the distinct configurations exercised).
+	hits, misses := bpm.CacheCounters()
+	tracer.Counter("bpm.cache_hits").Add(hits)
+	tracer.Counter("bpm.cache_misses").Add(misses)
+	rep.Counters = tracer.Snapshot()
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

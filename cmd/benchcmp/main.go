@@ -1,0 +1,118 @@
+// Command benchcmp diffs the behaviour-counter snapshots of two cmd/bench
+// reports and fails when a guarded solver counter regressed by more than a
+// threshold. Unlike wall-clock numbers, the counters (simplex pivots,
+// min-cost-flow augmentations, branch-and-bound nodes) are deterministic
+// behaviour measures, so a jump is an algorithmic regression, not noise.
+//
+// With no arguments the two newest BENCH_*.json files in the working
+// directory (by name, which sorts by date) are compared; pass two paths to
+// compare explicitly. Reports without a counters section (predating the
+// obs layer) compare as trivially clean.
+//
+// Usage:
+//
+//	benchcmp [-threshold 0.10] [old.json new.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// report is the subset of the cmd/bench document benchcmp reads.
+type report struct {
+	Date     string `json:"date"`
+	Counters []struct {
+		Name  string `json:"name"`
+		Value int64  `json:"value"`
+	} `json:"counters"`
+}
+
+// guarded lists the counters whose growth fails the comparison: more
+// pivots, augmentations, or nodes for the same fixed workloads means the
+// solvers got algorithmically worse.
+var guarded = map[string]bool{
+	"lp.pivots":          true,
+	"mcmf.augmentations": true,
+	"ilp.nodes":          true,
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "maximum allowed fractional increase of a guarded counter")
+	flag.Parse()
+
+	var oldPath, newPath string
+	switch flag.NArg() {
+	case 0:
+		matches, err := filepath.Glob("BENCH_*.json")
+		if err != nil {
+			fail("%v", err)
+		}
+		if len(matches) < 2 {
+			fmt.Printf("benchcmp: %d BENCH_*.json file(s) found, need two — nothing to compare\n", len(matches))
+			return
+		}
+		sort.Strings(matches) // BENCH_<ISO date>.json sorts chronologically
+		oldPath, newPath = matches[len(matches)-2], matches[len(matches)-1]
+	case 2:
+		oldPath, newPath = flag.Arg(0), flag.Arg(1)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold 0.10] [old.json new.json]")
+		os.Exit(2)
+	}
+
+	oldRep := load(oldPath)
+	newRep := load(newPath)
+	fmt.Printf("benchcmp: %s (%s) -> %s (%s)\n", oldPath, oldRep.Date, newPath, newRep.Date)
+	if len(oldRep.Counters) == 0 {
+		fmt.Println("benchcmp: old report has no counter snapshot; nothing to compare")
+		return
+	}
+
+	oldVals := map[string]int64{}
+	for _, c := range oldRep.Counters {
+		oldVals[c.Name] = c.Value
+	}
+	failures := 0
+	for _, c := range newRep.Counters {
+		old, ok := oldVals[c.Name]
+		if !ok {
+			fmt.Printf("  %-24s %12d  (new counter)\n", c.Name, c.Value)
+			continue
+		}
+		delta := 0.0
+		if old != 0 {
+			delta = float64(c.Value-old) / float64(old)
+		}
+		status := ""
+		if guarded[c.Name] && old > 0 && delta > *threshold {
+			status = "  REGRESSION"
+			failures++
+		}
+		fmt.Printf("  %-24s %12d -> %12d  (%+.1f%%)%s\n", c.Name, old, c.Value, 100*delta, status)
+	}
+	if failures > 0 {
+		fail("%d guarded counter(s) regressed more than %.0f%%", failures, 100**threshold)
+	}
+}
+
+func load(path string) report {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		fail("%s: %v", path, err)
+	}
+	return r
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchcmp: "+format+"\n", args...)
+	os.Exit(1)
+}

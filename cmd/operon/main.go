@@ -16,10 +16,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
 	operon "operon"
 	"operon/internal/benchgen"
+	"operon/internal/obs"
 	"operon/internal/signal"
 )
 
@@ -39,6 +43,10 @@ func main() {
 		svgPath    = flag.String("svg", "", "write the routed layout as SVG to this file")
 		report     = flag.Int("report", 0, "print a per-net route report (top N nets; -1 = all)")
 		workers    = flag.Int("workers", 0, "worker pool size for the parallel stages (0 = all CPUs, 1 = sequential)")
+		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON file of the run (load in Perfetto or chrome://tracing)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
+		verbose    = flag.Bool("v", false, "print a live per-stage summary and counter snapshot to stderr")
 	)
 	flag.Parse()
 
@@ -64,6 +72,24 @@ func main() {
 		log.Fatalf("unknown mode %q (want lr, ilp or greedy)", *mode)
 	}
 
+	var sinks []obs.Sink
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traceFile = f
+		sinks = append(sinks, obs.NewChromeWriter(f))
+	}
+	if *verbose {
+		sinks = append(sinks, verboseSink{})
+	}
+	if len(sinks) > 0 {
+		cfg.Obs = obs.New(obs.Multi(sinks...))
+	}
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
+
 	if *compare {
 		e, err := operon.RunElectrical(design, cfg)
 		if err != nil {
@@ -80,6 +106,18 @@ func main() {
 	res, err := operon.Run(design, cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	stopProfiles()
+	if cfg.Obs != nil {
+		if err := cfg.Obs.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  trace written to %s\n", *tracePath)
+		}
 	}
 	printResult(res)
 
@@ -127,6 +165,91 @@ func main() {
 		fmt.Println("electrical layer (wire power):")
 		fmt.Print(maps.Electrical.Normalized().Render())
 	}
+}
+
+// startProfiles begins CPU profiling and returns a stop function that ends
+// it and writes the heap profile. Profiles are stopped explicitly (not via
+// defer) because log.Fatal paths exit without running defers.
+func startProfiles(cpuPath, memPath string) func() {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  cpu profile written to %s\n", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  heap profile written to %s\n", memPath)
+		}
+	}
+}
+
+// verboseSink streams stage-level spans, iteration events, and the final
+// counter snapshot to stderr while the flow runs.
+type verboseSink struct{}
+
+func (verboseSink) Span(r obs.SpanRecord) {
+	if !strings.HasPrefix(r.Name, "stage/") &&
+		!strings.HasPrefix(r.Name, "selection/") &&
+		!strings.HasPrefix(r.Name, "wdm/") {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "operon: %-18s %12s%s\n",
+		r.Name, r.Dur.Round(time.Microsecond), attrString(r.Attrs))
+}
+
+func (verboseSink) Event(r obs.EventRecord) {
+	// Per-node ILP events are too chatty for a console; keep the
+	// iteration-level ones.
+	if r.Name != "lr/iterate" && r.Name != "ilp/incumbent" {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "operon: %-18s @%11s%s\n",
+		r.Name, r.Ts.Round(time.Microsecond), attrString(r.Attrs))
+}
+
+func (verboseSink) Counters(cs []obs.CounterValue) {
+	for _, c := range cs {
+		fmt.Fprintf(os.Stderr, "operon: counter %-24s %d\n", c.Name, c.Value)
+	}
+}
+
+func attrString(attrs []obs.Attr) string {
+	var b strings.Builder
+	for _, a := range attrs {
+		b.WriteString("  ")
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		if a.IsNum {
+			fmt.Fprintf(&b, "%g", a.Num)
+		} else {
+			b.WriteString(a.Str)
+		}
+	}
+	return b.String()
 }
 
 func loadDesign(path, bench string) (signal.Design, error) {

@@ -1,0 +1,130 @@
+// Command tracecheck validates a Chrome trace-event JSON file against the
+// subset of the trace-event format the obs.ChromeWriter emits, so CI can
+// assert that `operon -trace` output stays loadable by chrome://tracing and
+// Perfetto without shipping a browser.
+//
+// Checks: the file is one JSON array; every event carries a name, a known
+// phase, and pid/tid fields; "X" events have finite ts and non-negative
+// dur; "i" events carry a scope; "M" events are process_name/thread_name
+// metadata with a string name arg. With -stages, the four flow stage spans
+// must all be present; -min-lanes asserts a minimum number of distinct
+// span lanes (note that lanes reflect actual goroutine scheduling — a
+// single-CPU runner legitimately funnels the pool through one lane).
+//
+// Usage:
+//
+//	tracecheck [-stages] [-min-lanes N] trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"flag"
+)
+
+// event mirrors the fields obs.ChromeWriter emits per trace entry.
+type event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	Pid  *int           `json:"pid"`
+	Tid  *int           `json:"tid"`
+	S    string         `json:"s"`
+	Args map[string]any `json:"args"`
+}
+
+func main() {
+	stages := flag.Bool("stages", false, "require all four flow stage spans (stage/process..stage/wdm)")
+	minLanes := flag.Int("min-lanes", 0, "require at least this many distinct span lanes (tids)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-stages] [-min-lanes N] trace.json")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var events []event
+	if err := json.Unmarshal(data, &events); err != nil {
+		fail("%s: not a JSON array of trace events: %v", path, err)
+	}
+	if len(events) == 0 {
+		fail("%s: empty trace", path)
+	}
+
+	spanNames := map[string]int{}
+	lanes := map[int]bool{}
+	phases := map[string]int{}
+	for i, e := range events {
+		ctx := fmt.Sprintf("%s: event %d (%q)", path, i, e.Name)
+		if e.Name == "" {
+			fail("%s: missing name", ctx)
+		}
+		if e.Pid == nil || e.Tid == nil {
+			fail("%s: missing pid/tid", ctx)
+		}
+		phases[e.Ph]++
+		switch e.Ph {
+		case "X":
+			if e.Ts == nil || !finite(*e.Ts) {
+				fail("%s: X event without finite ts", ctx)
+			}
+			if e.Dur == nil || !finite(*e.Dur) || *e.Dur < 0 {
+				fail("%s: X event without non-negative dur", ctx)
+			}
+			spanNames[e.Name]++
+			lanes[*e.Tid] = true
+		case "i", "I":
+			if e.Ts == nil || !finite(*e.Ts) {
+				fail("%s: instant event without finite ts", ctx)
+			}
+			if e.S == "" {
+				fail("%s: instant event without scope", ctx)
+			}
+		case "C":
+			if e.Ts == nil || !finite(*e.Ts) {
+				fail("%s: counter event without finite ts", ctx)
+			}
+			if len(e.Args) == 0 {
+				fail("%s: counter event without args", ctx)
+			}
+		case "M":
+			if e.Name != "process_name" && e.Name != "thread_name" {
+				fail("%s: unknown metadata event", ctx)
+			}
+			if _, ok := e.Args["name"].(string); !ok {
+				fail("%s: metadata event without string name arg", ctx)
+			}
+		default:
+			fail("%s: unknown phase %q", ctx, e.Ph)
+		}
+	}
+
+	if *stages {
+		for _, want := range []string{"stage/process", "stage/candidates", "stage/selection", "stage/wdm"} {
+			if spanNames[want] == 0 {
+				fail("%s: missing stage span %q", path, want)
+			}
+		}
+	}
+	if len(lanes) < *minLanes {
+		fail("%s: %d distinct span lanes, want >= %d", path, len(lanes), *minLanes)
+	}
+
+	fmt.Printf("%s: ok — %d events (%d spans, %d instants, %d counters, %d metadata), %d lanes\n",
+		path, len(events), phases["X"], phases["i"]+phases["I"], phases["C"], phases["M"], len(lanes))
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}

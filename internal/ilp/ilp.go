@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"operon/internal/lp"
+	"operon/internal/obs"
 )
 
 // Problem is a linear programme plus a set of variables restricted to {0,1}.
@@ -57,6 +58,11 @@ type Options struct {
 	// MaxTableauBytes caps the LP solver workspace (zero = lp default).
 	// Oversized relaxations end the solve with TimedOut set.
 	MaxTableauBytes int64
+	// Obs, when non-nil, receives an ilp/node event per branch-and-bound
+	// node (depth, bound, warm-start pivot count), an ilp/incumbent event
+	// per incumbent improvement, the ilp.nodes / ilp.incumbents counters,
+	// and the lp.* counters of the relaxation engine underneath.
+	Obs *obs.Tracer
 }
 
 // Status describes the outcome.
@@ -108,6 +114,18 @@ type Result struct {
 
 const intTol = 1e-6
 
+// nodeDepth counts the bound tightenings between nd and the root — the
+// node's depth in the branch-and-bound tree.
+func nodeDepth(nd *bnode) int {
+	d := 0
+	for c := nd; c != nil; c = c.parent {
+		if c.v >= 0 {
+			d++
+		}
+	}
+	return d
+}
+
 // bnode is one branch-and-bound node: a single bound tightening relative
 // to its parent (a persistent diff chain back to the root) plus the
 // parent's optimal basis for the dual-simplex warm start.
@@ -147,7 +165,9 @@ func Solve(p Problem, opt Options) (Result, error) {
 	if opt.TimeLimit > 0 {
 		deadline = start.Add(opt.TimeLimit)
 	}
-	lpOpt := lp.Options{Deadline: deadline, MaxTableauBytes: opt.MaxTableauBytes}
+	lpOpt := lp.Options{Deadline: deadline, MaxTableauBytes: opt.MaxTableauBytes, Obs: opt.Obs}
+	cNodes := opt.Obs.Counter("ilp.nodes")
+	cIncumbents := opt.Obs.Counter("ilp.incumbents")
 
 	solver, err := lp.NewBoundedSolver(p.LP)
 	if err != nil {
@@ -207,6 +227,11 @@ func Solve(p Problem, opt Options) (Result, error) {
 		if obj < res.Objective-1e-9 {
 			incumbent = append(incumbent[:0], x...)
 			res.Objective = obj
+			cIncumbents.Inc()
+			if opt.Obs != nil {
+				opt.Obs.Event("ilp/incumbent", obs.LaneFlow,
+					obs.I("node", res.Nodes), obs.F("objective", obj))
+			}
 		}
 	}
 
@@ -269,6 +294,13 @@ func Solve(p Problem, opt Options) (Result, error) {
 		return Result{}, err
 	}
 	res.Nodes = 1
+	cNodes.Inc()
+	if opt.Obs != nil {
+		opt.Obs.Event("ilp/node", obs.LaneFlow,
+			obs.I("node", 1), obs.I("depth", 0),
+			obs.F("bound", rootSol.Objective), obs.I("pivots", rootSol.Iterations),
+			obs.S("status", rootSol.Status.String()))
+	}
 	switch rootSol.Status {
 	case lp.Infeasible:
 		res.Status = Infeasible
@@ -317,6 +349,7 @@ func Solve(p Problem, opt Options) (Result, error) {
 
 	for pq.Len() > 0 {
 		res.Nodes++
+		cNodes.Inc()
 		if res.Nodes > maxNodes {
 			res.TimedOut = true
 			break
@@ -337,6 +370,16 @@ func Solve(p Problem, opt Options) (Result, error) {
 		}
 		if err != nil {
 			return Result{}, err
+		}
+		if opt.Obs != nil {
+			bound := nd.bound
+			if sol.Status == lp.Optimal {
+				bound = sol.Objective
+			}
+			opt.Obs.Event("ilp/node", obs.LaneFlow,
+				obs.I("node", res.Nodes), obs.I("depth", nodeDepth(nd)),
+				obs.F("bound", bound), obs.I("pivots", sol.Iterations),
+				obs.S("status", sol.Status.String()))
 		}
 		if sol.Status != lp.Optimal {
 			continue // infeasible or numerically stuck subtree

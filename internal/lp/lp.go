@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"operon/internal/obs"
 )
 
 // Sense is a constraint direction.
@@ -153,6 +155,10 @@ type Options struct {
 	// far less memory than the dense tableau, so the same budget admits
 	// much larger problems.
 	MaxTableauBytes int64
+	// Obs, when non-nil, receives the revised engine's behaviour counters:
+	// lp.solves, lp.pivots, lp.bound_flips, and lp.refactors. The dense
+	// oracle is not instrumented. Nil costs the pivot loop one nil check.
+	Obs *obs.Tracer
 }
 
 const (

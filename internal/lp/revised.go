@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"operon/internal/obs"
 )
 
 // ErrNumerical reports an unrecoverable numerical breakdown of the revised
@@ -63,6 +65,10 @@ type BoundedSolver struct {
 	maxIter  int
 	stall    int
 	scanAt   int // partial-pricing cursor
+
+	// Behaviour counters, fetched from Options.Obs per solve; nil counters
+	// make the increments no-ops (a nil check per pivot, nothing more).
+	cPivots, cFlips, cRefactors *obs.Counter
 	// numErr records a numerical breakdown inside the pivot loop (singular
 	// refactorisation); SolveBounds surfaces it as ErrNumerical so callers
 	// can fall back to the dense engine.
@@ -135,6 +141,14 @@ func (s *BoundedSolver) SolveBounds(lo, up []float64, warm *Basis, opt Options) 
 	s.stall = 0
 	s.scanAt = 0
 	s.numErr = nil
+	if opt.Obs != nil {
+		opt.Obs.Counter("lp.solves").Inc()
+		s.cPivots = opt.Obs.Counter("lp.pivots")
+		s.cFlips = opt.Obs.Counter("lp.bound_flips")
+		s.cRefactors = opt.Obs.Counter("lp.refactors")
+	} else {
+		s.cPivots, s.cFlips, s.cRefactors = nil, nil, nil
+	}
 
 	warmLoaded := s.loadBasis(warm)
 	if err := s.refactor(); err != nil {
@@ -466,6 +480,7 @@ func (s *BoundedSolver) factorOrder() (order, hints []int32) {
 // nonsingular basis (pinning columns to fixed rows can deadlock on a zero
 // transformed diagonal even when the basis is fine).
 func (s *BoundedSolver) refactor() error {
+	s.cRefactors.Inc()
 	order, hints := s.factorOrder()
 	cols := make([]int32, s.m)
 	copy(cols, s.basic)
@@ -802,9 +817,11 @@ func (s *BoundedSolver) applyStep(enter, dir int, d []float64, t float64, leave 
 		}
 	}
 	if leave < 0 {
+		s.cFlips.Inc()
 		s.atUp[enter] = !s.atUp[enter]
 		return nil
 	}
+	s.cPivots.Inc()
 	lv := s.basic[leave]
 	s.pos[lv] = -1
 	s.atUp[lv] = leaveAtUp

@@ -10,6 +10,8 @@ package mcmf
 import (
 	"fmt"
 	"math"
+
+	"operon/internal/obs"
 )
 
 // edge is one directed arc plus its residual twin at index^1.
@@ -33,6 +35,15 @@ type Graph struct {
 	csrHead []int32 // per-node offsets into csrArcs; length n+1
 	csrArcs []int32 // arc ids grouped by tail node
 	csrAt   int     // len(edges) when the CSR was built
+
+	cAug *obs.Counter // augmenting-path counter (nil = uninstrumented)
+}
+
+// Instrument attaches the mcmf.augmentations counter of t to this graph;
+// every augmenting path MaxFlow pushes increments it. A nil tracer leaves
+// the graph uninstrumented.
+func (g *Graph) Instrument(t *obs.Tracer) {
+	g.cAug = t.Counter("mcmf.augmentations")
 }
 
 // New returns an empty network on n nodes.
@@ -243,6 +254,7 @@ func (g *Graph) MaxFlow(s, t int) (Result, error) {
 			v = g.edges[id^1].to
 		}
 		res.Flow += bottleneck
+		g.cAug.Inc()
 	}
 	return res, nil
 }

@@ -1,0 +1,42 @@
+package obs
+
+import "testing"
+
+// The nil-tracer benchmarks pin the cost instrumented hot paths pay when
+// Config.Obs is off; the end-to-end budget (< 2% on BenchmarkILP) rides on
+// these staying in the low-nanosecond range with zero allocations.
+
+func BenchmarkSpanNilTracer(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Span("net/candidates", LaneFlow)
+		sp.End()
+	}
+}
+
+func BenchmarkCounterNil(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	tr := New(Nop{})
+	c := tr.Counter("lp.pivots")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkSpanCollector(b *testing.B) {
+	tr := New(&Collector{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Span("net/candidates", WorkerLane(0), I("net", i))
+		sp.End(I("cands", 4))
+	}
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// chromePID is the single "process" all lanes live under.
+const chromePID = 1
+
+// chromeEvent is one entry of the Chrome trace-event "JSON Array Format"
+// (the format chrome://tracing and Perfetto load directly). Timestamps and
+// durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeWriter is the streaming Chrome trace-event Sink: spans become
+// complete ("X") events, instant events become "i" events, and the final
+// counter snapshot becomes one "C" sample per counter. Lane IDs map to
+// trace thread IDs, so the worker-pool fan-out renders as parallel tracks;
+// thread-name metadata for every lane seen is emitted at Close, which also
+// terminates the JSON array — a trace is loadable only after Close (via
+// Tracer.Close).
+type ChromeWriter struct {
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	first bool
+	lanes map[int]bool
+	maxTs time.Duration
+	ctrs  []CounterValue
+	err   error
+}
+
+// NewChromeWriter returns a ChromeWriter streaming to w. The caller owns w
+// and closes it (if applicable) after Tracer.Close.
+func NewChromeWriter(w io.Writer) *ChromeWriter {
+	return &ChromeWriter{bw: bufio.NewWriter(w), first: true, lanes: map[int]bool{}}
+}
+
+// emit appends one event to the JSON array. Callers hold c.mu.
+func (c *ChromeWriter) emit(ev chromeEvent) {
+	if c.err != nil {
+		return
+	}
+	sep := ",\n"
+	if c.first {
+		sep = "[\n"
+		c.first = false
+	}
+	if _, err := c.bw.WriteString(sep); err != nil {
+		c.err = err
+		return
+	}
+	buf, err := json.Marshal(ev)
+	if err != nil {
+		c.err = err
+		return
+	}
+	if _, err := c.bw.Write(buf); err != nil {
+		c.err = err
+	}
+}
+
+// micros converts a tracer offset to trace microseconds.
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// argsOf renders an attribute list as trace args (nil when empty).
+func argsOf(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	args := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		if a.IsNum {
+			args[a.Key] = a.Num
+		} else {
+			args[a.Key] = a.Str
+		}
+	}
+	return args
+}
+
+// Span implements Sink.
+func (c *ChromeWriter) Span(s SpanRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lanes[s.Lane] = true
+	if end := s.Start + s.Dur; end > c.maxTs {
+		c.maxTs = end
+	}
+	dur := micros(s.Dur)
+	c.emit(chromeEvent{
+		Name: s.Name, Ph: "X", Ts: micros(s.Start), Dur: &dur,
+		Pid: chromePID, Tid: s.Lane, Args: argsOf(s.Attrs),
+	})
+}
+
+// Event implements Sink.
+func (c *ChromeWriter) Event(e EventRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lanes[e.Lane] = true
+	if e.Ts > c.maxTs {
+		c.maxTs = e.Ts
+	}
+	c.emit(chromeEvent{
+		Name: e.Name, Ph: "i", Ts: micros(e.Ts),
+		Pid: chromePID, Tid: e.Lane, S: "t", Args: argsOf(e.Attrs),
+	})
+}
+
+// Counters implements Sink: the snapshot is held until Close so the counter
+// samples land at the trace's end timestamp.
+func (c *ChromeWriter) Counters(cs []CounterValue) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ctrs = append([]CounterValue(nil), cs...)
+}
+
+// Close writes the counter samples, the process/thread metadata for every
+// lane seen, and the array terminator, then flushes. The writer is unusable
+// afterwards.
+func (c *ChromeWriter) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cv := range c.ctrs {
+		c.emit(chromeEvent{
+			Name: cv.Name, Ph: "C", Ts: micros(c.maxTs),
+			Pid: chromePID, Tid: LaneFlow, Args: map[string]any{"value": cv.Value},
+		})
+	}
+	c.emit(chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePID, Tid: LaneFlow,
+		Args: map[string]any{"name": "operon"},
+	})
+	lanes := make([]int, 0, len(c.lanes))
+	for l := range c.lanes {
+		lanes = append(lanes, l)
+	}
+	for i := 1; i < len(lanes); i++ {
+		for j := i; j > 0 && lanes[j] < lanes[j-1]; j-- {
+			lanes[j], lanes[j-1] = lanes[j-1], lanes[j]
+		}
+	}
+	for _, l := range lanes {
+		c.emit(chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePID, Tid: l,
+			Args: map[string]any{"name": LaneName(l)},
+		})
+	}
+	if c.err == nil {
+		if c.first { // nothing was ever emitted: still produce a valid array
+			_, c.err = c.bw.WriteString("[")
+			c.first = false
+		}
+		if c.err == nil {
+			_, c.err = c.bw.WriteString("\n]\n")
+		}
+	}
+	if err := c.bw.Flush(); err != nil && c.err == nil {
+		c.err = err
+	}
+	return c.err
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// decodeTrace parses a trace produced by ChromeWriter and returns the raw
+// events keyed loosely (the schema cmd/tracecheck validates in full).
+func decodeTrace(t *testing.T, buf []byte) []map[string]any {
+	t.Helper()
+	var evs []map[string]any
+	if err := json.Unmarshal(buf, &evs); err != nil {
+		t.Fatalf("trace is not a JSON array: %v\n%s", err, buf)
+	}
+	return evs
+}
+
+func TestChromeWriterProducesLoadableTrace(t *testing.T) {
+	var buf bytes.Buffer
+	cw := NewChromeWriter(&buf)
+	tr := New(cw)
+
+	outer := tr.Span("stage/process", LaneFlow)
+	w0 := tr.Span("net/candidates", WorkerLane(0), I("net", 0))
+	w1 := tr.Span("net/candidates", WorkerLane(1), I("net", 1))
+	time.Sleep(time.Millisecond)
+	w0.End(I("cands", 3))
+	w1.End(I("cands", 2))
+	outer.End()
+	tr.Event("lr/iterate", LaneFlow, F("power_mw", 12.5), I("violations", 0))
+	tr.Counter("lp.pivots").Add(99)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := decodeTrace(t, buf.Bytes())
+	var haveX, haveI, haveC, haveProcMeta int
+	laneNames := map[float64]string{}
+	for _, e := range evs {
+		ph, _ := e["ph"].(string)
+		name, _ := e["name"].(string)
+		switch ph {
+		case "X":
+			haveX++
+			if e["dur"] == nil || e["ts"] == nil {
+				t.Fatalf("X event missing ts/dur: %v", e)
+			}
+			if d := e["dur"].(float64); d < 0 {
+				t.Fatalf("negative duration: %v", e)
+			}
+		case "i":
+			haveI++
+			if name != "lr/iterate" {
+				t.Fatalf("unexpected instant event %q", name)
+			}
+			args := e["args"].(map[string]any)
+			if args["power_mw"].(float64) != 12.5 {
+				t.Fatalf("instant args = %v", args)
+			}
+		case "C":
+			haveC++
+			if name != "lp.pivots" {
+				t.Fatalf("counter event %q", name)
+			}
+			if v := e["args"].(map[string]any)["value"].(float64); v != 99 {
+				t.Fatalf("counter value = %v", v)
+			}
+		case "M":
+			switch name {
+			case "process_name":
+				haveProcMeta++
+			case "thread_name":
+				laneNames[e["tid"].(float64)] = e["args"].(map[string]any)["name"].(string)
+			}
+		default:
+			t.Fatalf("unknown phase %q", ph)
+		}
+	}
+	if haveX != 3 || haveI != 1 || haveC != 1 || haveProcMeta != 1 {
+		t.Fatalf("event counts X=%d i=%d C=%d M(proc)=%d", haveX, haveI, haveC, haveProcMeta)
+	}
+	// The three lanes used must each have thread metadata.
+	for lane, want := range map[float64]string{0: "flow", 1: "worker-0", 2: "worker-1"} {
+		if laneNames[lane] != want {
+			t.Fatalf("lane %v named %q, want %q", lane, laneNames[lane], want)
+		}
+	}
+}
+
+func TestChromeWriterEmptyTraceIsValid(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewChromeWriter(&buf))
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeTrace(t, buf.Bytes())
+	// Metadata only, still a loadable array.
+	for _, e := range evs {
+		if e["ph"].(string) != "M" {
+			t.Fatalf("unexpected event in empty trace: %v", e)
+		}
+	}
+}

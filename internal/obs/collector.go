@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Collector is the in-memory Sink: it retains every span, event, and the
+// final counter snapshot for post-run queries (tests, Result inspection,
+// the -v summary of cmd/operon). Safe for concurrent use.
+type Collector struct {
+	mu       sync.Mutex
+	spans    []SpanRecord
+	events   []EventRecord
+	counters []CounterValue
+}
+
+// Span implements Sink.
+func (c *Collector) Span(s SpanRecord) {
+	c.mu.Lock()
+	c.spans = append(c.spans, s)
+	c.mu.Unlock()
+}
+
+// Event implements Sink.
+func (c *Collector) Event(e EventRecord) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Counters implements Sink.
+func (c *Collector) Counters(cs []CounterValue) {
+	c.mu.Lock()
+	c.counters = append([]CounterValue(nil), cs...)
+	c.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in completion order.
+func (c *Collector) Spans() []SpanRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]SpanRecord(nil), c.spans...)
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (c *Collector) Events() []EventRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]EventRecord(nil), c.events...)
+}
+
+// CounterValues returns the snapshot flushed at tracer close (nil before).
+func (c *Collector) CounterValues() []CounterValue {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]CounterValue(nil), c.counters...)
+}
+
+// SpansNamed returns the recorded spans with the given name.
+func (c *Collector) SpansNamed(name string) []SpanRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []SpanRecord
+	for _, s := range c.spans {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// EventsNamed returns the recorded events with the given name.
+func (c *Collector) EventsNamed(name string) []EventRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []EventRecord
+	for _, e := range c.events {
+		if e.Name == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TotalDur sums the durations of every span with the given name.
+func (c *Collector) TotalDur(name string) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total time.Duration
+	for _, s := range c.spans {
+		if s.Name == name {
+			total += s.Dur
+		}
+	}
+	return total
+}
+
+// Lanes returns the distinct lane IDs seen across spans, ascending.
+func (c *Collector) Lanes() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := map[int]bool{}
+	for _, s := range c.spans {
+		seen[s.Lane] = true
+	}
+	out := make([]int, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; lane sets are tiny
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

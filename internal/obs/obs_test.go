@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Span("x", LaneFlow, I("k", 1))
+	if d := sp.End(F("v", 2)); d != 0 {
+		t.Fatalf("nil span duration = %v", d)
+	}
+	tr.Event("e", LaneFlow, S("s", "v"))
+	c := tr.Counter("c")
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 || c.Name() != "" {
+		t.Fatal("nil counter accumulated state")
+	}
+	if snap := tr.Snapshot(); snap != nil {
+		t.Fatalf("nil snapshot = %v", snap)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	tr := New(Nop{})
+	c := tr.Counter("n")
+	if again := tr.Counter("n"); again != c {
+		t.Fatal("counter pointer not stable")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	tr := New(Nop{})
+	tr.Counter("zz").Add(1)
+	tr.Counter("aa").Add(2)
+	tr.Counter("mm").Add(3)
+	snap := tr.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d entries", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name >= snap[i].Name {
+			t.Fatalf("snapshot not sorted: %v", snap)
+		}
+	}
+	if snap[0].Name != "aa" || snap[0].Value != 2 {
+		t.Fatalf("snapshot[0] = %v", snap[0])
+	}
+}
+
+func TestCollectorRecordsSpansEventsCounters(t *testing.T) {
+	col := &Collector{}
+	tr := New(col)
+	sp := tr.Span("outer", LaneFlow, S("design", "d"))
+	inner := tr.Span("inner", WorkerLane(0), I("net", 3))
+	time.Sleep(time.Millisecond)
+	if d := inner.End(I("cands", 4)); d <= 0 {
+		t.Fatalf("inner duration = %v", d)
+	}
+	sp.End()
+	tr.Event("iterate", LaneFlow, F("power", 1.5))
+	tr.Counter("pivots").Add(42)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := col.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("%d spans recorded", len(spans))
+	}
+	// inner ends first; its merged attrs carry both start and end entries.
+	if spans[0].Name != "inner" || len(spans[0].Attrs) != 2 {
+		t.Fatalf("inner span = %+v", spans[0])
+	}
+	if spans[0].Lane != WorkerLane(0) {
+		t.Fatalf("inner lane = %d", spans[0].Lane)
+	}
+	if got := col.SpansNamed("outer"); len(got) != 1 || got[0].Dur < spans[0].Dur {
+		t.Fatalf("outer span wrong: %+v", got)
+	}
+	if evs := col.EventsNamed("iterate"); len(evs) != 1 || !evs[0].Attrs[0].IsNum {
+		t.Fatalf("events = %+v", evs)
+	}
+	cvs := col.CounterValues()
+	if len(cvs) != 1 || cvs[0].Name != "pivots" || cvs[0].Value != 42 {
+		t.Fatalf("counters = %v", cvs)
+	}
+	if lanes := col.Lanes(); len(lanes) != 2 || lanes[0] != LaneFlow || lanes[1] != WorkerLane(0) {
+		t.Fatalf("lanes = %v", lanes)
+	}
+	if col.TotalDur("inner") != spans[0].Dur {
+		t.Fatal("TotalDur mismatch")
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := &Collector{}, &Collector{}
+	tr := New(Multi(a, b))
+	tr.Span("s", LaneFlow).End()
+	tr.Counter("c").Inc()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, col := range []*Collector{a, b} {
+		if len(col.Spans()) != 1 || len(col.CounterValues()) != 1 {
+			t.Fatalf("sink %d missed records", i)
+		}
+	}
+	// Close is idempotent.
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaneNames(t *testing.T) {
+	if LaneName(LaneFlow) != "flow" {
+		t.Fatalf("flow lane name = %q", LaneName(LaneFlow))
+	}
+	if LaneName(WorkerLane(0)) != "worker-0" {
+		t.Fatalf("worker lane name = %q", LaneName(WorkerLane(0)))
+	}
+	if LaneName(WorkerLane(12)) != "worker-12" {
+		t.Fatalf("worker lane name = %q", LaneName(WorkerLane(12)))
+	}
+}

@@ -1,6 +1,9 @@
 package bpm
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // The FD-BPM solve is by far the most expensive leaf computation in the
 // repo (hundreds of complex tridiagonal solves per call), and callers —
@@ -19,7 +22,20 @@ type simKey struct {
 var (
 	simMu    sync.Mutex
 	simCache = map[simKey]Result{}
+
+	// Hit/miss tallies are process-global like the cache itself; they are
+	// read by CacheCounters and folded into obs counter snapshots by
+	// callers that want per-run deltas.
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
 )
+
+// CacheCounters returns the cumulative simulation-cache hit and miss counts
+// for this process. Callers wanting per-run numbers snapshot before and
+// after and subtract.
+func CacheCounters() (hits, misses int64) {
+	return cacheHits.Load(), cacheMisses.Load()
+}
 
 // simCached returns the memoised result for (cfg, stages), running
 // SimulateUncached on the first request. Concurrent first requests for the
@@ -32,8 +48,10 @@ func simCached(cfg Config, stages int) (Result, error) {
 	res, ok := simCache[key]
 	simMu.Unlock()
 	if ok {
+		cacheHits.Add(1)
 		return copyResult(res), nil
 	}
+	cacheMisses.Add(1)
 	res, err := SimulateUncached(cfg, stages)
 	if err != nil {
 		return Result{}, err

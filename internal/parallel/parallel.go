@@ -36,6 +36,15 @@ func ForEach(n, workers int, fn func(int) error) error {
 	return ForEachContext(context.Background(), n, workers, fn)
 }
 
+// ForEachWorker is ForEach with the worker's pool index (0..Workers-1)
+// passed to fn alongside the item index. Instrumented stages use it to
+// attribute per-item spans to observability lanes; the sequential path
+// reports worker 0. The determinism and error contracts of ForEachContext
+// hold unchanged: the worker index must only feed telemetry, never results.
+func ForEachWorker(n, workers int, fn func(worker, i int) error) error {
+	return forEach(context.Background(), n, workers, fn)
+}
+
 // ForEachContext runs fn(i) for every i in [0,n) on at most Workers(workers,
 // n) goroutines. The first error short-circuits: no new items are
 // dispatched, in-flight calls finish, and the error of the lowest failing
@@ -47,6 +56,11 @@ func ForEach(n, workers int, fn func(int) error) error {
 // provides a happens-before edge between every fn call and ForEachContext's
 // return, so no further synchronisation is needed for such writes.
 func ForEachContext(ctx context.Context, n int, workers int, fn func(int) error) error {
+	return forEach(ctx, n, workers, func(_, i int) error { return fn(i) })
+}
+
+// forEach is the shared pool core behind ForEach/ForEachWorker.
+func forEach(ctx context.Context, n int, workers int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -56,7 +70,7 @@ func ForEachContext(ctx context.Context, n int, workers int, fn func(int) error)
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -85,14 +99,14 @@ func ForEachContext(ctx context.Context, n int, workers int, fn func(int) error)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range next {
-				if err := fn(i); err != nil {
+				if err := fn(worker, i); err != nil {
 					fail(i, err)
 				}
 			}
-		}()
+		}(w)
 	}
 dispatch:
 	for i := 0; i < n; i++ {

@@ -26,6 +26,40 @@ func TestForEachCoversAllIndices(t *testing.T) {
 	}
 }
 
+func TestForEachWorkerIDsInRangeAndComplete(t *testing.T) {
+	for _, workers := range []int{1, 2, 5} {
+		n := 97
+		seen := make([]int32, n)
+		byWorker := make([]int32, workers)
+		if err := ForEachWorker(n, workers, func(w, i int) error {
+			if w < 0 || w >= workers {
+				return fmt.Errorf("worker %d out of range", w)
+			}
+			atomic.AddInt32(&byWorker[w], 1)
+			atomic.AddInt32(&seen[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+		var total int32
+		for _, c := range byWorker {
+			total += c
+		}
+		if total != int32(n) {
+			t.Fatalf("workers=%d: worker counts sum to %d", workers, total)
+		}
+		// The sequential path attributes everything to worker 0.
+		if workers == 1 && byWorker[0] != int32(n) {
+			t.Fatal("sequential path did not report worker 0")
+		}
+	}
+}
+
 func TestForEachDeterministicResults(t *testing.T) {
 	n := 100
 	want := make([]int, n)

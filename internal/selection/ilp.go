@@ -8,6 +8,7 @@ import (
 	"operon/internal/geom"
 	"operon/internal/ilp"
 	"operon/internal/lp"
+	"operon/internal/obs"
 )
 
 // ILPOptions tunes the exact solver.
@@ -19,6 +20,9 @@ type ILPOptions struct {
 	MaxNodes int
 	// MaxTableauBytes caps the LP tableau memory (zero = library default).
 	MaxTableauBytes int64
+	// Obs, when non-nil, receives a selection/ilp span plus the branch-and-
+	// bound node events and LP counters of the underlying solvers.
+	Obs *obs.Tracer
 }
 
 // ILPResult is the outcome of SolveILP.
@@ -52,11 +56,15 @@ func SolveILP(inst *Instance, opt ILPOptions) (ILPResult, error) {
 	prob, varOf := buildProgram(inst)
 	res := ILPResult{NumVars: prob.LP.NumVars, NumRows: len(prob.LP.Rows)}
 
+	sp := opt.Obs.Span("selection/ilp", obs.LaneFlow,
+		obs.I("vars", res.NumVars), obs.I("rows", res.NumRows))
 	ir, err := ilp.Solve(prob, ilp.Options{
 		TimeLimit:       opt.TimeLimit,
 		MaxNodes:        opt.MaxNodes,
 		MaxTableauBytes: opt.MaxTableauBytes,
+		Obs:             opt.Obs,
 	})
+	sp.End(obs.I("nodes", ir.Nodes), obs.S("status", ir.Status.String()))
 	if err != nil {
 		return ILPResult{}, err
 	}

@@ -1,9 +1,11 @@
 package selection
 
 import (
+	"math"
 	"time"
 
 	"operon/internal/geom"
+	"operon/internal/obs"
 	"operon/internal/parallel"
 )
 
@@ -23,6 +25,10 @@ type LROptions struct {
 	// previous iteration's selection, nets are independent, so the result
 	// is bit-identical for every worker count.
 	Workers int
+	// Obs, when non-nil, receives a selection/lr span and one lr/iterate
+	// event per iteration carrying power, violations, the dual lower bound,
+	// the multiplier norm, and the sub-gradient step size.
+	Obs *obs.Tracer
 }
 
 // LRResult is the outcome of SolveLR.
@@ -38,6 +44,17 @@ type LRResult struct {
 type LRIterate struct {
 	PowerMW    float64
 	Violations int
+	// LowerBoundMW is the linearised Lagrangian dual bound at this
+	// iteration's multipliers: the sum of the per-net best pricing weights
+	// minus MaxLossDB times the multiplier mass. It is a diagnostic on dual
+	// progress — under the Eq. (5) linearisation it lower-bounds the
+	// relaxed objective, not the repaired integer optimum.
+	LowerBoundMW float64
+	// MultiplierNorm is the L2 norm of the full multiplier vector λ at
+	// pricing time.
+	MultiplierNorm float64
+	// Step is the sub-gradient step size used by this iteration's update.
+	Step float64
 }
 
 // SolveLR runs Algorithm 1 of the paper: Lagrangian multipliers λ_p per
@@ -92,19 +109,35 @@ func SolveLR(inst *Instance, opt LROptions) (LRResult, error) {
 		prev[i] = best
 	}
 
+	sp := opt.Obs.Span("selection/lr", obs.LaneFlow, obs.I("nets", len(inst.Nets)))
 	res := LRResult{}
 	prevPower, prevViol := -1.0, -1
 	choice := append([]int(nil), prev...)
+
+	// Per-net partial sums for the dual diagnostics, written per index in
+	// the parallel pricing loop and reduced sequentially in net order so the
+	// reported bound and norm are bit-identical for every worker count.
+	bestWArr := make([]float64, len(inst.Nets))
+	lamSum := make([]float64, len(inst.Nets))
+	lamSq := make([]float64, len(inst.Nets))
 
 	for iter := 0; iter < maxIters; iter++ {
 		res.Iters = iter + 1
 		// Pricing step: per net, the candidate with the best weight. Nets
 		// are independent given the fixed multipliers and the previous
 		// iteration's selection, so they are priced in parallel; each
-		// worker only writes choice[i].
+		// worker only writes choice[i] and its own diagnostic slots.
 		_ = parallel.ForEach(len(inst.Nets), opt.Workers, func(i int) error {
 			n := inst.Nets[i]
 			inter := inst.InteractingNets(i)
+			var ls, lq float64
+			for j := range n.Cands {
+				for _, l := range lambda[i][j] {
+					ls += l
+					lq += l * l
+				}
+			}
+			lamSum[i], lamSq[i] = ls, lq
 			bestJ, bestW := -1, 0.0
 			for j, c := range n.Cands {
 				w := c.PowerMW
@@ -131,8 +164,17 @@ func SolveLR(inst *Instance, opt LROptions) (LRResult, error) {
 				}
 			}
 			choice[i] = bestJ
+			bestWArr[i] = bestW
 			return nil
 		})
+		var sumBestW, sumLam, sumLamSq float64
+		for i := range inst.Nets {
+			sumBestW += bestWArr[i]
+			sumLam += lamSum[i]
+			sumLamSq += lamSq[i]
+		}
+		lowerBound := sumBestW - inst.Lib.MaxLossDB*sumLam
+		multNorm := math.Sqrt(sumLamSq)
 
 		// Violation measurement and sub-gradient multiplier update.
 		sel, err := inst.Evaluate(choice)
@@ -169,7 +211,22 @@ func SolveLR(inst *Instance, opt LROptions) (LRResult, error) {
 			return nil
 		})
 
-		res.History = append(res.History, LRIterate{PowerMW: sel.PowerMW, Violations: sel.Violations})
+		res.History = append(res.History, LRIterate{
+			PowerMW:        sel.PowerMW,
+			Violations:     sel.Violations,
+			LowerBoundMW:   lowerBound,
+			MultiplierNorm: multNorm,
+			Step:           step,
+		})
+		if opt.Obs != nil {
+			opt.Obs.Event("lr/iterate", obs.LaneFlow,
+				obs.I("iter", iter+1),
+				obs.F("power_mw", sel.PowerMW),
+				obs.I("violations", sel.Violations),
+				obs.F("lower_bound_mw", lowerBound),
+				obs.F("multiplier_norm", multNorm),
+				obs.F("step", step))
+		}
 		copy(prev, choice)
 
 		// Convergence: both power and violations stopped improving.
@@ -196,5 +253,6 @@ func SolveLR(inst *Instance, opt LROptions) (LRResult, error) {
 	}
 	res.Selection = sel
 	res.Elapsed = time.Since(start)
+	sp.End(obs.I("iters", res.Iters), obs.I("violations", sel.Violations))
 	return res, nil
 }

@@ -3,6 +3,7 @@ package selection
 import (
 	"testing"
 
+	"operon/internal/obs"
 	"operon/internal/optics"
 )
 
@@ -44,7 +45,8 @@ func TestLRHistoryRecorded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lr, err := SolveLR(inst, LROptions{MaxIters: 6})
+	col := &obs.Collector{}
+	lr, err := SolveLR(inst, LROptions{MaxIters: 6, Obs: obs.New(col)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,6 +60,27 @@ func TestLRHistoryRecorded(t *testing.T) {
 		if h.Violations < 0 {
 			t.Errorf("iteration %d: negative violations", i)
 		}
+		// The multipliers start strictly positive (proportional to p_e), so
+		// their norm is positive; the step follows the 1/(iter+1) schedule.
+		if h.MultiplierNorm <= 0 {
+			t.Errorf("iteration %d: multiplier norm %v", i, h.MultiplierNorm)
+		}
+		if want := 1.0 / float64(i+1); h.Step != want {
+			t.Errorf("iteration %d: step %v, want %v", i, h.Step, want)
+		}
+		// The linearised dual bound must not exceed the primal power of the
+		// same multipliers' pricing by more than the relaxation slack allows;
+		// at minimum it is finite and recorded.
+		if h.LowerBoundMW != h.LowerBoundMW { // NaN guard
+			t.Errorf("iteration %d: NaN lower bound", i)
+		}
+	}
+	// The history is mirrored as lr/iterate obs events, one per iteration.
+	if evs := col.EventsNamed("lr/iterate"); len(evs) != lr.Iters {
+		t.Errorf("%d lr/iterate events for %d iterations", len(evs), lr.Iters)
+	}
+	if sp := col.SpansNamed("selection/lr"); len(sp) != 1 {
+		t.Errorf("%d selection/lr spans, want 1", len(sp))
 	}
 	// The final (repaired) solution never has violations.
 	if lr.Violations != 0 {

@@ -19,6 +19,7 @@ import (
 
 	"operon/internal/geom"
 	"operon/internal/mcmf"
+	"operon/internal/obs"
 	"operon/internal/parallel"
 )
 
@@ -57,6 +58,10 @@ type Config struct {
 	// Assign (0 = NumCPU). Arc order, and therefore the flow result, does
 	// not depend on the worker count.
 	Workers int
+	// Obs, when non-nil, receives wdm/place and wdm/assign spans, the
+	// wdm.arcs counter, and the mcmf.augmentations counter of the
+	// assignment flow. Nil disables all instrumentation.
+	Obs *obs.Tracer
 }
 
 // Validate reports whether the configuration is usable.
@@ -106,6 +111,7 @@ func Place(conns []Connection, cfg Config) (Placement, error) {
 				i, c.Bits, cfg.Capacity)
 		}
 	}
+	sp := cfg.Obs.Span("wdm/place", obs.LaneFlow, obs.I("connections", len(conns)))
 	pl := Placement{InitialAssign: make([]int, len(conns))}
 	for _, horizontal := range []bool{true, false} {
 		idxs := make([]int, 0, len(conns))
@@ -137,6 +143,7 @@ func Place(conns []Connection, cfg Config) (Placement, error) {
 		}
 		legalize(pl.WDMs, horizontal, cfg.MinSpacingCM)
 	}
+	sp.End(obs.I("wdms", len(pl.WDMs)))
 	return pl, nil
 }
 
@@ -200,6 +207,7 @@ func Assign(conns []Connection, pl Placement, cfg Config) (Assignment, error) {
 	}
 	out := Assignment{Shares: make([][]Share, len(conns))}
 	usedSet := map[int]bool{}
+	cArcs := cfg.Obs.Counter("wdm.arcs")
 
 	for _, horizontal := range []bool{true, false} {
 		var connIdx, wdmIdx []int
@@ -218,6 +226,14 @@ func Assign(conns []Connection, pl Placement, cfg Config) (Assignment, error) {
 		if len(connIdx) == 0 {
 			continue
 		}
+		orient := "vertical"
+		if horizontal {
+			orient = "horizontal"
+		}
+		spAssign := cfg.Obs.Span("wdm/assign", obs.LaneFlow,
+			obs.S("orient", orient),
+			obs.I("connections", len(connIdx)),
+			obs.I("wdms", len(wdmIdx)))
 		// Node layout: 0 source, 1..C connections, C+1..C+W WDMs, last sink.
 		// Worst-case arc count: one per connection and WDM plus a full
 		// connection×WDM bipartite layer.
@@ -246,6 +262,7 @@ func Assign(conns []Connection, pl Placement, cfg Config) (Assignment, error) {
 			distCM float64
 		}
 		cands := make([][]arcCand, len(connIdx))
+		spCost := cfg.Obs.Span("wdm/cost-arcs", obs.LaneFlow, obs.S("orient", orient))
 		err := parallel.ForEach(len(connIdx), cfg.Workers, func(k int) error {
 			ci := connIdx[k]
 			c := conns[ci]
@@ -264,6 +281,7 @@ func Assign(conns []Connection, pl Placement, cfg Config) (Assignment, error) {
 			}
 			return nil
 		})
+		spCost.End()
 		if err != nil {
 			return Assignment{}, err
 		}
@@ -281,6 +299,8 @@ func Assign(conns []Connection, pl Placement, cfg Config) (Assignment, error) {
 				arcs = append(arcs, connArc{id: id, conn: ci, wdm: wdmIdx[a.q], distCM: a.distCM})
 			}
 		}
+		cArcs.Add(int64(len(arcs)))
+		g.Instrument(cfg.Obs)
 		res, err := g.MaxFlow(src, snk)
 		if err != nil {
 			return Assignment{}, err
@@ -296,6 +316,7 @@ func Assign(conns []Connection, pl Placement, cfg Config) (Assignment, error) {
 				usedSet[a.wdm] = true
 			}
 		}
+		spAssign.End(obs.I("arcs", len(arcs)), obs.I("flow_bits", res.Flow))
 	}
 	for w := range pl.WDMs {
 		if usedSet[w] {

@@ -29,7 +29,9 @@ import (
 
 	"operon/internal/codesign"
 	"operon/internal/geom"
+	"operon/internal/obs"
 	"operon/internal/optics"
+	"operon/internal/optics/bpm"
 	"operon/internal/parallel"
 	"operon/internal/power"
 	"operon/internal/selection"
@@ -103,6 +105,12 @@ type Config struct {
 	// generation, Lagrangian pricing, and WDM arc costing (0 = NumCPU).
 	// Results are bit-identical regardless of the worker count.
 	Workers int
+	// Obs, when non-nil, receives the flow's spans, events, and counters:
+	// stage spans ("stage/process", ...), per-hyper-net candidate spans on
+	// worker lanes, LR iterate events, ILP node events, and the LP/MCMF/BPM
+	// behaviour counters. Nil (the default) compiles the whole
+	// instrumentation path down to nil checks — see BenchmarkObsOverhead.
+	Obs *obs.Tracer
 }
 
 // DefaultConfig returns the paper's experimental setup.
@@ -133,6 +141,19 @@ func (s StageTimes) Total() time.Duration {
 	return s.Process + s.Candidates + s.Selection + s.WDM
 }
 
+// startStage opens one "stage/..." span on the flow lane and returns its
+// stop function. Stopping stores the span's own duration into slot, which
+// keeps StageTimes an exact derived view of the recorded spans; with no
+// tracer attached it degrades to a plain wall-clock measurement.
+func startStage(t *obs.Tracer, name string, slot *time.Duration) func(attrs ...obs.Attr) {
+	if t == nil {
+		start := time.Now()
+		return func(...obs.Attr) { *slot = time.Since(start) }
+	}
+	sp := t.Span(name, obs.LaneFlow)
+	return func(attrs ...obs.Attr) { *slot = sp.End(attrs...) }
+}
+
 // Result is the outcome of one flow run.
 type Result struct {
 	Design    string
@@ -150,7 +171,14 @@ type Result struct {
 	Placement   wdm.Placement
 	Assignment  wdm.Assignment
 	WDMStats    wdm.Stats
-	Times       StageTimes
+	// Times is a derived view of the stage spans: each entry is exactly the
+	// duration of the corresponding "stage/..." span recorded on Obs (or a
+	// plain wall-clock measurement when no tracer is attached), so
+	// Times.Total() equals the sum of the recorded stage spans.
+	Times StageTimes
+	// Obs echoes Config.Obs so callers holding only the Result can read the
+	// counter snapshot of the run; nil when the run was uninstrumented.
+	Obs *obs.Tracer
 }
 
 // Stats returns the hyper-net statistics of the run (Table 1's #HNet and
@@ -159,31 +187,34 @@ func (r *Result) Stats() signal.Stats { return signal.Summarize(r.HyperNets) }
 
 // Run executes the full OPERON flow on a design.
 func Run(d signal.Design, cfg Config) (*Result, error) {
-	res := &Result{Design: d.Name, Flow: "operon-" + cfg.Mode.String()}
-	hnets, elapsed, err := process(d, cfg)
+	res := &Result{Design: d.Name, Flow: "operon-" + cfg.Mode.String(), Obs: cfg.Obs}
+	bpmHits0, bpmMisses0 := bpm.CacheCounters()
+
+	stop := startStage(cfg.Obs, "stage/process", &res.Times.Process)
+	hnets, err := process(d, cfg)
 	if err != nil {
 		return nil, err
 	}
 	res.HyperNets = hnets
-	res.Times.Process = elapsed
+	stop(obs.I("hyper_nets", len(hnets)))
 
-	start := time.Now()
+	stop = startStage(cfg.Obs, "stage/candidates", &res.Times.Candidates)
 	nets, err := buildCoDesignNets(hnets, cfg)
 	if err != nil {
 		return nil, err
 	}
 	res.Nets = nets
-	res.Times.Candidates = time.Since(start)
+	stop(obs.I("nets", len(nets)))
 
 	inst, err := selection.NewInstance(nets, cfg.Lib)
 	if err != nil {
 		return nil, err
 	}
-	start = time.Now()
+	stop = startStage(cfg.Obs, "stage/selection", &res.Times.Selection)
 	switch cfg.Mode {
 	case ModeILP:
 		ir, err := selection.SolveILP(inst, selection.ILPOptions{
-			TimeLimit: cfg.ILPTimeLimit, MaxNodes: cfg.ILPMaxNodes,
+			TimeLimit: cfg.ILPTimeLimit, MaxNodes: cfg.ILPMaxNodes, Obs: cfg.Obs,
 		})
 		if err != nil {
 			return nil, err
@@ -201,6 +232,9 @@ func Run(d signal.Design, cfg Config) (*Result, error) {
 		if lrOpt.Workers == 0 {
 			lrOpt.Workers = cfg.Workers
 		}
+		if lrOpt.Obs == nil {
+			lrOpt.Obs = cfg.Obs
+		}
 		lr, err := selection.SolveLR(inst, lrOpt)
 		if err != nil {
 			return nil, err
@@ -208,44 +242,66 @@ func Run(d signal.Design, cfg Config) (*Result, error) {
 		res.LR = &lr
 		res.Selection = lr.Selection
 	}
-	res.Times.Selection = time.Since(start)
+	stop(obs.S("mode", cfg.Mode.String()))
 	res.PowerMW = res.Selection.PowerMW
 
 	if !cfg.SkipWDM {
-		start = time.Now()
+		stop = startStage(cfg.Obs, "stage/wdm", &res.Times.WDM)
 		if err := res.assignWDMs(cfg); err != nil {
 			return nil, err
 		}
-		res.Times.WDM = time.Since(start)
+		stop(obs.I("wdms_used", res.WDMStats.FinalWDMs))
 	}
+	res.foldBPMCounters(cfg, bpmHits0, bpmMisses0)
 	return res, nil
+}
+
+// foldBPMCounters adds the process-global BPM simulation-cache deltas of
+// this run to the tracer's bpm.cache_hits / bpm.cache_misses counters. The
+// cache is process-wide, so concurrent instrumented runs each fold in
+// whatever traffic happened during their window.
+func (r *Result) foldBPMCounters(cfg Config, hits0, misses0 int64) {
+	if cfg.Obs == nil {
+		return
+	}
+	hits, misses := bpm.CacheCounters()
+	cfg.Obs.Counter("bpm.cache_hits").Add(hits - hits0)
+	cfg.Obs.Counter("bpm.cache_misses").Add(misses - misses0)
 }
 
 // RunElectrical is the Streak-style baseline [14]: every hyper net is
 // routed with an electrical rectilinear Steiner tree; power follows Eq. (6).
 func RunElectrical(d signal.Design, cfg Config) (*Result, error) {
-	res := &Result{Design: d.Name, Flow: "electrical"}
-	hnets, elapsed, err := process(d, cfg)
+	res := &Result{Design: d.Name, Flow: "electrical", Obs: cfg.Obs}
+	stop := startStage(cfg.Obs, "stage/process", &res.Times.Process)
+	hnets, err := process(d, cfg)
 	if err != nil {
 		return nil, err
 	}
 	res.HyperNets = hnets
-	res.Times.Process = elapsed
+	stop(obs.I("hyper_nets", len(hnets)))
 
-	start := time.Now()
+	stop = startStage(cfg.Obs, "stage/candidates", &res.Times.Candidates)
 	nets := make([]selection.Net, len(hnets))
-	if err := parallel.ForEach(len(hnets), cfg.Workers, func(i int) error {
+	if err := parallel.ForEachWorker(len(hnets), cfg.Workers, func(w, i int) error {
+		var sp obs.Span
+		if cfg.Obs != nil {
+			sp = cfg.Obs.Span("net/electrical", obs.WorkerLane(w), obs.I("net", i))
+		}
 		cand, err := electricalCandidate(hnets[i], cfg)
 		if err != nil {
 			return err
 		}
 		nets[i] = selection.Net{Bits: hnets[i].BitCount(), Cands: []codesign.Candidate{cand}}
+		if cfg.Obs != nil {
+			sp.End()
+		}
 		return nil
 	}); err != nil {
 		return nil, err
 	}
 	res.Nets = nets
-	res.Times.Candidates = time.Since(start)
+	stop(obs.I("nets", len(nets)))
 
 	inst, err := selection.NewInstance(nets, cfg.Lib)
 	if err != nil {
@@ -264,19 +320,24 @@ func RunElectrical(d signal.Design, cfg Config) (*Result, error) {
 // fully optically on its Steiner baseline; nets that cannot meet the loss
 // budget fall back to electrical wires. No optical-electrical mixing.
 func RunOptical(d signal.Design, cfg Config) (*Result, error) {
-	res := &Result{Design: d.Name, Flow: "optical"}
-	hnets, elapsed, err := process(d, cfg)
+	res := &Result{Design: d.Name, Flow: "optical", Obs: cfg.Obs}
+	stop := startStage(cfg.Obs, "stage/process", &res.Times.Process)
+	hnets, err := process(d, cfg)
 	if err != nil {
 		return nil, err
 	}
 	res.HyperNets = hnets
-	res.Times.Process = elapsed
+	stop(obs.I("hyper_nets", len(hnets)))
 
-	start := time.Now()
+	stop = startStage(cfg.Obs, "stage/candidates", &res.Times.Candidates)
 	trees := baselineTrees(hnets, cfg)
 	envs := buildEnvs(hnets, trees)
 	nets := make([]selection.Net, len(hnets))
-	if err := parallel.ForEach(len(hnets), cfg.Workers, func(i int) error {
+	if err := parallel.ForEachWorker(len(hnets), cfg.Workers, func(w, i int) error {
+		var sp obs.Span
+		if cfg.Obs != nil {
+			sp = cfg.Obs.Span("net/optical", obs.WorkerLane(w), obs.I("net", i))
+		}
 		in := codesign.Input{
 			Tree: trees[i][0],
 			Bits: hnets[i].BitCount(),
@@ -298,18 +359,21 @@ func RunOptical(d signal.Design, cfg Config) (*Result, error) {
 		}
 		cands = append(cands, fallback)
 		nets[i] = selection.Net{Bits: hnets[i].BitCount(), Cands: cands}
+		if cfg.Obs != nil {
+			sp.End(obs.I("cands", len(cands)))
+		}
 		return nil
 	}); err != nil {
 		return nil, err
 	}
 	res.Nets = nets
-	res.Times.Candidates = time.Since(start)
+	stop(obs.I("nets", len(nets)))
 
 	inst, err := selection.NewInstance(nets, cfg.Lib)
 	if err != nil {
 		return nil, err
 	}
-	start = time.Now()
+	stop = startStage(cfg.Obs, "stage/selection", &res.Times.Selection)
 	// GLOW semantics: optical wherever feasible (candidate 0), electrical
 	// only on loss violation (Repair demotes the violators).
 	choice := make([]int, len(nets))
@@ -323,27 +387,26 @@ func RunOptical(d signal.Design, cfg Config) (*Result, error) {
 	}
 	res.Selection = sel
 	res.PowerMW = sel.PowerMW
-	res.Times.Selection = time.Since(start)
+	stop(obs.I("violations", sel.Violations))
 
 	if !cfg.SkipWDM {
-		start = time.Now()
+		stop = startStage(cfg.Obs, "stage/wdm", &res.Times.WDM)
 		if err := res.assignWDMs(cfg); err != nil {
 			return nil, err
 		}
-		res.Times.WDM = time.Since(start)
+		stop(obs.I("wdms_used", res.WDMStats.FinalWDMs))
 	}
 	return res, nil
 }
 
-// process runs signal processing with timing.
-func process(d signal.Design, cfg Config) ([]signal.HyperNet, time.Duration, error) {
+// process runs signal processing; the caller times it via startStage.
+func process(d signal.Design, cfg Config) ([]signal.HyperNet, error) {
 	if err := cfg.Lib.Validate(); err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	if err := cfg.Elec.Validate(); err != nil {
-		return nil, 0, err
+		return nil, err
 	}
-	start := time.Now()
 	hnets, err := signal.Process(d, signal.ProcessConfig{
 		WDMCapacity:         cfg.Lib.WDMCapacity,
 		PinMergeThresholdCM: cfg.PinMergeThresholdCM,
@@ -351,12 +414,12 @@ func process(d signal.Design, cfg Config) ([]signal.HyperNet, time.Duration, err
 		Workers:             cfg.Workers,
 	})
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	if len(hnets) == 0 {
-		return nil, 0, fmt.Errorf("operon: design %q produced no hyper nets", d.Name)
+		return nil, fmt.Errorf("operon: design %q produced no hyper nets", d.Name)
 	}
-	return hnets, time.Since(start), nil
+	return hnets, nil
 }
 
 // baselineTrees builds the optical baseline topologies per hyper net.
@@ -412,7 +475,15 @@ func buildCoDesignNets(hnets []signal.HyperNet, cfg Config) ([]selection.Net, er
 	trees := baselineTrees(hnets, cfg)
 	envs := buildEnvs(hnets, trees)
 	nets := make([]selection.Net, len(hnets))
-	err := parallel.ForEach(len(hnets), cfg.Workers, func(i int) error {
+	// Candidate generation is the widest fan-out of the flow; each net is
+	// tagged with the worker lane that produced it so the trace shows the
+	// pool's parallel tracks. The lane feeds telemetry only — results stay
+	// bit-identical across worker counts.
+	err := parallel.ForEachWorker(len(hnets), cfg.Workers, func(w, i int) error {
+		var sp obs.Span
+		if cfg.Obs != nil {
+			sp = cfg.Obs.Span("net/candidates", obs.WorkerLane(w), obs.I("net", i))
+		}
 		bits := hnets[i].BitCount()
 		var cands []codesign.Candidate
 		for _, tr := range trees[i] {
@@ -451,6 +522,9 @@ func buildCoDesignNets(hnets []signal.HyperNet, cfg Config) ([]selection.Net, er
 		}
 		kept = thinCandidates(kept, cfg.MaxCandidatesPerNet-1)
 		nets[i] = selection.Net{Bits: bits, Cands: append(kept, fallback)}
+		if cfg.Obs != nil {
+			sp.End(obs.I("cands", len(nets[i].Cands)))
+		}
 		return nil
 	})
 	if err != nil {
@@ -537,6 +611,7 @@ func (r *Result) assignWDMs(cfg Config) error {
 		MinSpacingCM:    cfg.Lib.CrosstalkMinDistCM,
 		MaxAssignDistCM: cfg.Lib.AssignMaxDistCM,
 		Workers:         cfg.Workers,
+		Obs:             cfg.Obs,
 	})
 	if err != nil {
 		return err

@@ -1,6 +1,7 @@
 package operon
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -57,6 +58,66 @@ func TestClassify(t *testing.T) {
 		if c.String() == "" {
 			t.Error("empty class name")
 		}
+	}
+}
+
+// TestClassifyAcrossFlows pins the route-class breakdown of all three
+// flows: the electrical baseline is copper-only, the GLOW-style optical
+// baseline never mixes (optical where feasible, electrical fallback
+// otherwise), and the co-design flow is the only one allowed to produce
+// mixed routes.
+func TestClassifyAcrossFlows(t *testing.T) {
+	d := smallDesign(t)
+	cfg := DefaultConfig()
+
+	elec, err := RunElectrical(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range elec.Nets {
+		if c := elec.Classify(i); c != RouteElectrical {
+			t.Fatalf("electrical flow: net %d classified %v", i, c)
+		}
+	}
+	if !strings.Contains(elec.Report(0), "0 optical, 0 mixed") {
+		t.Error("electrical flow report counts optical routes")
+	}
+
+	opt, err := RunOptical(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optCounts := map[RouteClass]int{}
+	for i := range opt.Nets {
+		c := opt.Classify(i)
+		optCounts[c]++
+		if c == RouteMixed {
+			t.Fatalf("optical flow: net %d classified mixed", i)
+		}
+	}
+	if optCounts[RouteOptical] == 0 {
+		t.Error("optical flow produced no optical routes")
+	}
+
+	op, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opCounts := map[RouteClass]int{}
+	for i := range op.Nets {
+		opCounts[op.Classify(i)]++
+	}
+	if got := opCounts[RouteElectrical] + opCounts[RouteOptical] + opCounts[RouteMixed]; got != len(op.Nets) {
+		t.Fatalf("classes cover %d of %d nets", got, len(op.Nets))
+	}
+	if opCounts[RouteOptical]+opCounts[RouteMixed] == 0 {
+		t.Error("co-design flow selected no optical routes at all")
+	}
+	// The report's totals line agrees with Classify.
+	want := fmt.Sprintf("totals: %d optical, %d mixed, %d electrical",
+		opCounts[RouteOptical], opCounts[RouteMixed], opCounts[RouteElectrical])
+	if out := op.Report(0); !strings.Contains(out, want) {
+		t.Errorf("report totals do not match Classify: want %q in\n%s", want, out)
 	}
 }
 
