@@ -5,12 +5,24 @@ GO ?= go
 RACE_PKGS = ./internal/parallel ./internal/selection ./internal/signal \
             ./internal/wdm ./internal/optics/bpm ./internal/obs .
 
-.PHONY: check test race vet bench trace-smoke bench-compare
+.PHONY: check test race vet docs-lint serve-smoke bench trace-smoke bench-compare
 
-check: vet test race
+check: vet docs-lint test race
 
 vet:
 	$(GO) vet ./...
+
+# Enforce 100% doc-comment coverage on the public surface of the flow
+# package and the solver substrate (see cmd/docscheck for the audited set).
+docs-lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/docscheck
+
+# Boot operond in-process, solve one benchmark over real HTTP under a 1 ms
+# budget, and assert the response is degraded but valid (the ladder's
+# electrical floor observed end to end).
+serve-smoke:
+	$(GO) run ./cmd/operond -smoke
 
 test:
 	$(GO) build ./...

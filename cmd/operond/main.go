@@ -1,0 +1,175 @@
+// Command operond serves the OPERON flow over HTTP/JSON.
+//
+// Every request carries its own time budget (timeout_ms), mapped onto a
+// context deadline; an exceeded budget never errors — the flow degrades
+// along its ladder (ILP incumbent → LR → electrical floor) and the response
+// reports degraded=true with a stop_reason. Shutdown is graceful the same
+// way: SIGINT/SIGTERM cancels the in-flight solves, which return their
+// degraded results to any waiting clients before the listener drains.
+//
+// Usage:
+//
+//	operond -addr :8080 -queue 64 -concurrency 2
+//	curl -s localhost:8080/solve -d '{"bench":"I2","timeout_ms":2000}'
+//	curl -s localhost:8080/solve -d '{"bench":"I3","async":true}'
+//	curl -s localhost:8080/jobs/job-1
+//	curl -s localhost:8080/metrics
+//
+// See -h for all options and DESIGN.md §8 for the API reference.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	operon "operon"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("operond: ")
+
+	var (
+		addr        = flag.String("addr", "localhost:8080", "listen address")
+		queueLen    = flag.Int("queue", 64, "job queue length (full queue returns 429)")
+		concurrency = flag.Int("concurrency", 2, "solves run in parallel")
+		workers     = flag.Int("workers", 0, "worker pool size per solve (0 = all CPUs)")
+		defTimeout  = flag.Duration("default-timeout", 60*time.Second, "time budget for requests without timeout_ms")
+		maxTimeout  = flag.Duration("max-timeout", 10*time.Minute, "upper clamp on requested budgets (0 = unclamped)")
+		grace       = flag.Duration("grace", 30*time.Second, "shutdown grace period for draining handlers")
+		smoke       = flag.Bool("smoke", false, "self-test: solve one benchmark under a 1 ms budget in-process and exit")
+	)
+	flag.Parse()
+
+	cfg := operon.DefaultConfig()
+	cfg.Workers = *workers
+	srv := newServer(cfg, *queueLen, *concurrency, *defTimeout, *maxTimeout)
+
+	if *smoke {
+		if err := runSmoke(srv); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down: cancelling in-flight solves")
+	// Cancel the solves first so synchronous handlers receive their degraded
+	// results, then drain the listener, then stop the workers.
+	srv.abort()
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	srv.shutdown()
+	log.Print("bye")
+}
+
+// runSmoke drives one solve through a real HTTP round trip on an ephemeral
+// port: a benchmark under a deliberately hopeless 1 ms budget must come
+// back 200 with degraded=true, stop_reason="deadline", and a non-zero
+// feasible power — the degradation ladder observed end to end. CI runs this
+// as `make serve-smoke`.
+func runSmoke(srv *server) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	resp, err := http.Post(base+"/solve", "application/json",
+		bytes.NewBufferString(`{"bench":"I3","timeout_ms":1}`))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("smoke: /solve status %d, want 200", resp.StatusCode)
+	}
+	var sr solveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return fmt.Errorf("smoke: decode /solve: %w", err)
+	}
+	if !sr.Degraded {
+		return fmt.Errorf("smoke: 1 ms budget did not degrade: %+v", sr)
+	}
+	if sr.StopReason != string(operon.StopDeadline) {
+		return fmt.Errorf("smoke: stop_reason %q, want %q", sr.StopReason, operon.StopDeadline)
+	}
+	if sr.PowerMW <= 0 {
+		return fmt.Errorf("smoke: degraded result has no power: %+v", sr)
+	}
+
+	hr, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		return fmt.Errorf("smoke: /healthz status %d", hr.StatusCode)
+	}
+	mr, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	var metrics struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+	}
+	err = json.NewDecoder(mr.Body).Decode(&metrics)
+	mr.Body.Close()
+	if err != nil {
+		return fmt.Errorf("smoke: decode /metrics: %w", err)
+	}
+	degradedCount := int64(0)
+	for _, c := range metrics.Counters {
+		if c.Name == "flow.degraded" {
+			degradedCount = c.Value
+		}
+	}
+	if degradedCount < 1 {
+		return fmt.Errorf("smoke: flow.degraded counter not bumped")
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.abort()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	srv.shutdown()
+	if err := <-errc; err != http.ErrServerClosed {
+		return err
+	}
+	fmt.Printf("serve-smoke ok: %s degraded to %s floor in %.1f ms (power %.2f mW)\n",
+		sr.Design, sr.Flow, sr.ElapsedMS, sr.PowerMW)
+	return nil
+}

@@ -1,0 +1,384 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	operon "operon"
+	"operon/internal/benchgen"
+	"operon/internal/obs"
+	"operon/internal/signal"
+)
+
+// solveRequest is the JSON body of POST /solve. Exactly one of Bench or
+// Design selects the input; the rest tune the solve.
+type solveRequest struct {
+	// Bench names a built-in benchmark (benchgen.SpecByName, "I1".."I5").
+	Bench string `json:"bench,omitempty"`
+	// Design is an inline signal.Design; used when Bench is empty.
+	Design *signal.Design `json:"design,omitempty"`
+	// Mode is the selection algorithm: "lr" (default), "ilp" or "greedy".
+	Mode string `json:"mode,omitempty"`
+	// TimeoutMS is the per-request time budget in milliseconds; it becomes
+	// the context deadline of the solve. Zero means the server default, and
+	// values above the server maximum are clamped down. An exceeded budget
+	// never fails the request: the flow degrades and the response carries
+	// degraded=true with a stop_reason.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// SkipWDM disables the WDM placement/assignment stage.
+	SkipWDM bool `json:"skip_wdm,omitempty"`
+	// Async enqueues the job and returns 202 with its id immediately; poll
+	// GET /jobs/{id} for the result. Synchronous requests block until done.
+	Async bool `json:"async,omitempty"`
+}
+
+// solveResponse is the JSON result of a finished solve.
+type solveResponse struct {
+	Design     string  `json:"design"`
+	Flow       string  `json:"flow"`
+	PowerMW    float64 `json:"power_mw"`
+	Violations int     `json:"violations"`
+	HyperNets  int     `json:"hyper_nets"`
+	WDMsUsed   int     `json:"wdms_used"`
+	// Degraded and StopReason mirror operon.Result: the routing is feasible
+	// either way, but a degraded one took a fallback rung of the ladder.
+	Degraded   bool   `json:"degraded"`
+	StopReason string `json:"stop_reason,omitempty"`
+	// TimeoutMS is the budget actually applied (after default/clamp).
+	TimeoutMS int64   `json:"timeout_ms"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// jobState is the lifecycle of a queued solve.
+type jobState string
+
+const (
+	jobQueued  jobState = "queued"
+	jobRunning jobState = "running"
+	jobDone    jobState = "done"
+	jobFailed  jobState = "failed"
+)
+
+// job is one queued solve and its eventual outcome.
+type job struct {
+	ID     string         `json:"id"`
+	State  jobState       `json:"state"`
+	Result *solveResponse `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+
+	design  signal.Design
+	cfg     operon.Config
+	timeout time.Duration
+	done    chan struct{}
+}
+
+// solveFunc is the solver the job workers invoke; tests inject a stub here
+// to exercise queueing and shutdown without running the real flow.
+type solveFunc func(ctx context.Context, d signal.Design, cfg operon.Config) (*operon.Result, error)
+
+// server is the operond HTTP state: a bounded job queue drained by a fixed
+// set of worker goroutines, all solving under a shared base context that
+// shutdown cancels so in-flight solves degrade and return promptly.
+type server struct {
+	cfg            operon.Config
+	tracer         *obs.Tracer
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	solve          solveFunc
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	queue   chan *job
+	wg      sync.WaitGroup
+
+	mu   sync.Mutex
+	jobs map[string]*job
+	seq  int
+}
+
+// newServer assembles a server and starts its worker goroutines. cfg is the
+// per-solve template (workers, library); queueLen bounds the job queue
+// (full queue → 429); concurrency is the number of solves run in parallel.
+// Call shutdown (after the HTTP listener has drained) to stop the workers.
+func newServer(cfg operon.Config, queueLen, concurrency int, defaultTimeout, maxTimeout time.Duration) *server {
+	if queueLen < 1 {
+		queueLen = 1
+	}
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	tracer := obs.New(nil) // counters only; spans/events are discarded
+	cfg.Obs = tracer
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &server{
+		cfg:            cfg,
+		tracer:         tracer,
+		defaultTimeout: defaultTimeout,
+		maxTimeout:     maxTimeout,
+		solve:          operon.RunContext,
+		baseCtx:        ctx,
+		cancel:         cancel,
+		queue:          make(chan *job, queueLen),
+		jobs:           map[string]*job{},
+	}
+	for i := 0; i < concurrency; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// abort cancels the base context: every in-flight solve observes the
+// cancellation at its next check point and degrades to a feasible result.
+// The HTTP handlers stay up, so synchronous callers still receive those
+// degraded payloads; call it before (or instead of) draining the listener.
+func (s *server) abort() { s.cancel() }
+
+// shutdown stops the workers after the listener has drained: no handler may
+// enqueue concurrently with it. It cancels the base context (if abort has
+// not already), closes the queue, and waits for the workers — queued jobs
+// still execute, degrading instantly under the cancelled context.
+func (s *server) shutdown() {
+	s.cancel()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// worker drains the job queue until shutdown closes it.
+func (s *server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one queued solve under the job's deadline, parented to
+// the server's base context so shutdown degrades it too.
+func (s *server) runJob(j *job) {
+	s.setState(j, jobRunning, nil, "")
+	ctx, cancel := context.WithTimeout(s.baseCtx, j.timeout)
+	defer cancel()
+	start := time.Now()
+	res, err := s.solve(ctx, j.design, j.cfg)
+	if err != nil {
+		s.setState(j, jobFailed, nil, err.Error())
+	} else {
+		resp := responseOf(res, j.timeout, time.Since(start))
+		s.setState(j, jobDone, resp, "")
+	}
+	close(j.done)
+}
+
+// responseOf projects an operon.Result onto the wire format.
+func responseOf(res *operon.Result, timeout, elapsed time.Duration) *solveResponse {
+	return &solveResponse{
+		Design:     res.Design,
+		Flow:       res.Flow,
+		PowerMW:    res.PowerMW,
+		Violations: res.Selection.Violations,
+		HyperNets:  len(res.HyperNets),
+		WDMsUsed:   res.WDMStats.FinalWDMs,
+		Degraded:   res.Degraded,
+		StopReason: string(res.StopReason),
+		TimeoutMS:  timeout.Milliseconds(),
+		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+	}
+}
+
+// setState publishes a job transition under the server lock.
+func (s *server) setState(j *job, st jobState, resp *solveResponse, errMsg string) {
+	s.mu.Lock()
+	j.State = st
+	j.Result = resp
+	j.Error = errMsg
+	s.mu.Unlock()
+}
+
+// jobView returns a consistent copy of a job for serialisation.
+func (s *server) jobView(j *job) job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return job{ID: j.ID, State: j.State, Result: j.Result, Error: j.Error}
+}
+
+// handler builds the operond route table:
+//
+//	POST /solve      run a solve (sync, or async with {"async":true})
+//	GET  /jobs/{id}  poll an async job
+//	GET  /healthz    liveness + queue depth
+//	GET  /metrics    counter snapshot of the shared tracer
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/jobs/", s.handleJob)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// handleSolve validates the request, enqueues a job (429 when the queue is
+// full), and either returns its id (async) or blocks for the result.
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req solveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "parse request: %v", err)
+		return
+	}
+	j, err := s.newJob(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.dropJob(j)
+		httpError(w, http.StatusTooManyRequests, "job queue full (%d slots)", cap(s.queue))
+		return
+	}
+	if req.Async {
+		writeJSON(w, http.StatusAccepted, s.jobView(j))
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// The client went away; the job keeps running and stays pollable.
+		httpError(w, http.StatusRequestTimeout, "client cancelled; poll /jobs/%s", j.ID)
+		return
+	}
+	v := s.jobView(j)
+	if v.State == jobFailed {
+		httpError(w, http.StatusInternalServerError, "%s", v.Error)
+		return
+	}
+	writeJSON(w, http.StatusOK, v.Result)
+}
+
+// newJob resolves a request into a registered, runnable job.
+func (s *server) newJob(req solveRequest) (*job, error) {
+	design, err := resolveDesign(req)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.cfg
+	cfg.SkipWDM = req.SkipWDM
+	if cfg.Mode, err = parseMode(req.Mode); err != nil {
+		return nil, err
+	}
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.defaultTimeout
+	}
+	if s.maxTimeout > 0 && timeout > s.maxTimeout {
+		timeout = s.maxTimeout
+	}
+	s.mu.Lock()
+	s.seq++
+	j := &job{
+		ID:      fmt.Sprintf("job-%d", s.seq),
+		State:   jobQueued,
+		design:  design,
+		cfg:     cfg,
+		timeout: timeout,
+		done:    make(chan struct{}),
+	}
+	s.jobs[j.ID] = j
+	s.mu.Unlock()
+	return j, nil
+}
+
+// dropJob unregisters a job that never made it into the queue.
+func (s *server) dropJob(j *job) {
+	s.mu.Lock()
+	delete(s.jobs, j.ID)
+	s.mu.Unlock()
+}
+
+// resolveDesign materialises the request's input design.
+func resolveDesign(req solveRequest) (signal.Design, error) {
+	if req.Bench != "" {
+		spec, err := benchgen.SpecByName(req.Bench)
+		if err != nil {
+			return signal.Design{}, err
+		}
+		return benchgen.Generate(spec)
+	}
+	if req.Design == nil {
+		return signal.Design{}, fmt.Errorf("request needs \"bench\" or \"design\"")
+	}
+	if err := req.Design.Validate(); err != nil {
+		return signal.Design{}, err
+	}
+	return *req.Design, nil
+}
+
+// parseMode maps the wire mode string onto operon.Mode ("" = lr).
+func parseMode(mode string) (operon.Mode, error) {
+	switch mode {
+	case "", "lr":
+		return operon.ModeLR, nil
+	case "ilp":
+		return operon.ModeILP, nil
+	case "greedy":
+		return operon.ModeGreedy, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want lr, ilp or greedy)", mode)
+	}
+}
+
+// handleJob serves GET /jobs/{id}.
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobView(j))
+}
+
+// handleHealth serves GET /healthz with liveness and queue depth.
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":          true,
+		"queue_depth": len(s.queue),
+		"queue_cap":   cap(s.queue),
+	})
+}
+
+// handleMetrics serves GET /metrics: the sorted counter snapshot of the
+// tracer shared by every solve (lp pivots, mcmf augmentations, bpm cache
+// traffic, flow.degraded, ...).
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"counters": s.tracer.Snapshot()})
+}

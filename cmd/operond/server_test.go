@@ -1,0 +1,262 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	operon "operon"
+	"operon/internal/benchgen"
+	"operon/internal/signal"
+)
+
+// testDesign generates a small deterministic design for server tests.
+func testDesign(t *testing.T) signal.Design {
+	t.Helper()
+	d, err := benchgen.Generate(benchgen.Spec{
+		Name: "srv-a", DieCM: 4, Groups: 24, BitsPerGroup: 8, BitsJitter: 2,
+		MinSinkClusters: 1, MaxSinkClusters: 3, LocalFraction: 0.3,
+		LocalSpanCM: 0.3, GlobalSpanCM: 2.0, RegionSpreadCM: 0.02, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// post sends a JSON body to path and returns the response.
+func post(t *testing.T, ts *httptest.Server, path string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// decode unmarshals a response body into v and closes it.
+func decode(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// awaitState polls /jobs/{id} until the job reaches the wanted state.
+func awaitState(t *testing.T, ts *httptest.Server, id string, want jobState) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j job
+		decode(t, resp, &j)
+		if j.State == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q, want %q", id, j.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestQueueFullReturns429 fills the single queue slot behind a blocked
+// solver and asserts the next request is rejected with 429 — and that the
+// queue drains normally once the solver is released.
+func TestQueueFullReturns429(t *testing.T) {
+	srv := newServer(operon.DefaultConfig(), 1, 1, time.Minute, 0)
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	srv.solve = func(ctx context.Context, d signal.Design, cfg operon.Config) (*operon.Result, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return &operon.Result{Design: d.Name, PowerMW: 1}, nil
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	d := testDesign(t)
+
+	// Job 1 is picked up by the lone worker and blocks; job 2 occupies the
+	// single queue slot; job 3 must bounce.
+	var j1, j2 job
+	decode(t, post(t, ts, "/solve", solveRequest{Design: &d, Async: true}), &j1)
+	<-started
+	decode(t, post(t, ts, "/solve", solveRequest{Design: &d, Async: true}), &j2)
+	resp := post(t, ts, "/solve", solveRequest{Design: &d, Async: true})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third job got status %d, want 429", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	close(release)
+	awaitState(t, ts, j1.ID, jobDone)
+	awaitState(t, ts, j2.ID, jobDone)
+	ts.Close()
+	srv.shutdown()
+}
+
+// TestDeadlineExceededReturnsDegraded drives the real flow through the
+// server under a hopeless 1 ms budget (benchmark I3 needs seconds): the
+// response must be 200 with degraded=true and stop_reason "deadline" —
+// never an error.
+func TestDeadlineExceededReturnsDegraded(t *testing.T) {
+	srv := newServer(operon.DefaultConfig(), 4, 1, time.Minute, 0)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	resp := post(t, ts, "/solve", solveRequest{Bench: "I3", TimeoutMS: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deadline-exceeded solve got status %d, want 200", resp.StatusCode)
+	}
+	var sr solveResponse
+	decode(t, resp, &sr)
+	if !sr.Degraded {
+		t.Fatalf("1 ms budget did not degrade: %+v", sr)
+	}
+	if sr.StopReason != string(operon.StopDeadline) {
+		t.Fatalf("stop_reason = %q, want %q", sr.StopReason, operon.StopDeadline)
+	}
+	if sr.PowerMW <= 0 {
+		t.Fatalf("degraded result has no power: %+v", sr)
+	}
+	ts.Close()
+	srv.shutdown()
+}
+
+// TestShutdownDegradesInFlight aborts the server while a synchronous solve
+// is in flight: the waiting client must still receive a 200 with the
+// degraded partial result, not a connection reset.
+func TestShutdownDegradesInFlight(t *testing.T) {
+	srv := newServer(operon.DefaultConfig(), 4, 1, time.Minute, 0)
+	srv.solve = func(ctx context.Context, d signal.Design, cfg operon.Config) (*operon.Result, error) {
+		// Stand-in for RunContext's contract: block until cancelled, then
+		// return the degraded-but-feasible result.
+		<-ctx.Done()
+		return &operon.Result{
+			Design: d.Name, PowerMW: 2,
+			Degraded: true, StopReason: operon.StopCanceled,
+		}, nil
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	d := testDesign(t)
+
+	type outcome struct {
+		resp *http.Response
+		err  error
+	}
+	resc := make(chan outcome, 1)
+	go func() {
+		buf, _ := json.Marshal(solveRequest{Design: &d, TimeoutMS: 60_000})
+		resp, err := http.Post(ts.URL+"/solve", "application/json", bytes.NewReader(buf))
+		resc <- outcome{resp, err}
+	}()
+	awaitState(t, ts, "job-1", jobRunning)
+
+	srv.abort()
+	out := <-resc
+	if out.err != nil {
+		t.Fatalf("in-flight solve failed during shutdown: %v", out.err)
+	}
+	if out.resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-flight solve got status %d, want 200", out.resp.StatusCode)
+	}
+	var sr solveResponse
+	decode(t, out.resp, &sr)
+	if !sr.Degraded || sr.StopReason != string(operon.StopCanceled) {
+		t.Fatalf("in-flight solve not degraded-canceled: %+v", sr)
+	}
+	ts.Close()
+	srv.shutdown()
+}
+
+// TestBadRequests pins the 400 paths: unparseable JSON, missing input,
+// unknown benchmark, unknown mode.
+func TestBadRequests(t *testing.T) {
+	srv := newServer(operon.DefaultConfig(), 1, 1, time.Minute, 0)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	d := testDesign(t)
+
+	for name, body := range map[string]any{
+		"no input":      solveRequest{},
+		"unknown bench": solveRequest{Bench: "nope"},
+		"unknown mode":  solveRequest{Design: &d, Mode: "annealing"},
+	} {
+		resp := post(t, ts, "/solve", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Post(ts.URL+"/solve", "application/json", bytes.NewBufferString("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	jr, err := http.Get(ts.URL + "/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jr.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", jr.StatusCode)
+	}
+	jr.Body.Close()
+	ts.Close()
+	srv.shutdown()
+}
+
+// TestTimeoutClamp pins the budget resolution: zero → server default,
+// above max → clamped to max.
+func TestTimeoutClamp(t *testing.T) {
+	srv := newServer(operon.DefaultConfig(), 4, 1, 7*time.Second, 9*time.Second)
+	defer srv.shutdown()
+	d := testDesign(t)
+	for _, tc := range []struct {
+		reqMS  int64
+		wantMS int64
+	}{
+		{0, 7000},
+		{5000, 5000},
+		{60_000, 9000},
+	} {
+		j, err := srv.newJob(solveRequest{Design: &d, TimeoutMS: tc.reqMS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := j.timeout.Milliseconds(); got != tc.wantMS {
+			t.Errorf("timeout_ms=%d: applied %d ms, want %d ms", tc.reqMS, got, tc.wantMS)
+		}
+		srv.dropJob(j)
+	}
+	// Unclamped server: the request's budget passes through.
+	free := newServer(operon.DefaultConfig(), 4, 1, time.Second, 0)
+	defer free.shutdown()
+	j, err := free.newJob(solveRequest{Design: &d, TimeoutMS: 3_600_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.timeout; got != time.Hour {
+		t.Errorf("unclamped timeout = %s, want 1h", got)
+	}
+	free.dropJob(j)
+}

@@ -12,7 +12,9 @@ import (
 // modulator and detector sites; the electrical layer carries the dynamic
 // wire power distributed along the copper routes.
 type HotspotMaps struct {
-	Optical    *power.Grid
+	// Optical is the conversion-power grid (modulators and detectors).
+	Optical *power.Grid
+	// Electrical is the wire-power grid (dynamic power along copper routes).
 	Electrical *power.Grid
 }
 

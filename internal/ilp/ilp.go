@@ -13,6 +13,7 @@ package ilp
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -24,6 +25,8 @@ import (
 
 // Problem is a linear programme plus a set of variables restricted to {0,1}.
 type Problem struct {
+	// LP is the underlying relaxation; its Upper bounds must already cap the
+	// binary variables at 1 (buildProgram does).
 	LP lp.Problem
 	// Binary lists variable indices constrained to {0,1}. Variables not
 	// listed remain continuous and non-negative.
@@ -50,7 +53,18 @@ func (p Problem) Validate() error {
 
 // Options tunes the search.
 type Options struct {
+	// Ctx, when non-nil, bounds the search: the node loop polls it once per
+	// branch-and-bound node and the LP relaxations underneath poll it every
+	// few pivots. Cancellation or an expired deadline ends the solve with
+	// TimedOut set, returning the best incumbent found so far (the paper's
+	// ">3000 s" semantics). A nil Ctx means context.Background().
+	Ctx context.Context
 	// TimeLimit bounds the wall-clock solve time; zero means no limit.
+	//
+	// Deprecated: TimeLimit is a thin wrapper over the context deadline —
+	// a non-zero value derives a child context via context.WithTimeout, so
+	// the earlier of TimeLimit and Ctx's own deadline wins. New callers
+	// should pass a context with a deadline via Ctx instead.
 	TimeLimit time.Duration
 	// MaxNodes bounds the number of branch-and-bound nodes; zero means
 	// 200000.
@@ -96,16 +110,26 @@ func (s Status) String() string {
 
 // Result is the outcome of Solve.
 type Result struct {
-	Status    Status
-	X         []float64
+	// Status classifies the solve: Optimal, Feasible (incumbent under a
+	// limit), Infeasible, or Limit (no incumbent before a budget ran out).
+	Status Status
+	// X is the best integral assignment found (length LP.NumVars); only
+	// meaningful for Optimal and Feasible.
+	X []float64
+	// Objective is the objective value of X.
 	Objective float64
-	Nodes     int
-	Elapsed   time.Duration
-	TimedOut  bool
+	// Nodes counts branch-and-bound nodes explored.
+	Nodes int
+	// Elapsed is the wall-clock time of the solve.
+	Elapsed time.Duration
+	// TimedOut reports that a budget — the context deadline, the deprecated
+	// TimeLimit, or MaxNodes — stopped the search before optimality.
+	TimedOut bool
 	// LPSolves counts LP relaxations solved (root, nodes, and rounding
-	// heuristics); LPTime is the wall clock spent inside the LP solver.
+	// heuristics).
 	LPSolves int
-	LPTime   time.Duration
+	// LPTime is the wall clock spent inside the LP solver.
+	LPTime time.Duration
 	// LPRows is the constraint-row count of the relaxation solver; it is
 	// invariant across the branch-and-bound tree because nodes are
 	// expressed purely as variable-bound changes.
@@ -161,11 +185,18 @@ func Solve(p Problem, opt Options) (Result, error) {
 	if maxNodes == 0 {
 		maxNodes = 200000
 	}
-	deadline := time.Time{}
-	if opt.TimeLimit > 0 {
-		deadline = start.Add(opt.TimeLimit)
+	// One time-budget mechanism: the legacy TimeLimit folds into the context
+	// deadline, and both the node loop and the LP engine observe the context.
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	lpOpt := lp.Options{Deadline: deadline, MaxTableauBytes: opt.MaxTableauBytes, Obs: opt.Obs}
+	if opt.TimeLimit > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.TimeLimit)
+		defer cancel()
+	}
+	lpOpt := lp.Options{Ctx: ctx, MaxTableauBytes: opt.MaxTableauBytes, Obs: opt.Obs}
 	cNodes := opt.Obs.Counter("ilp.nodes")
 	cIncumbents := opt.Obs.Counter("ilp.incumbents")
 
@@ -354,7 +385,7 @@ func Solve(p Problem, opt Options) (Result, error) {
 			res.TimedOut = true
 			break
 		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
+		if ctx.Err() != nil {
 			res.TimedOut = true
 			break
 		}

@@ -8,7 +8,9 @@ import "math"
 // slack columns are NumVars+row); AtUpper marks nonbasic columns sitting at
 // their upper bound.
 type Basis struct {
-	Basic   []int32
+	// Basic[r] is the column basic in row r.
+	Basic []int32
+	// AtUpper[c] marks nonbasic column c as sitting at its upper bound.
 	AtUpper []bool
 }
 

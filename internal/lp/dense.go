@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -45,7 +46,7 @@ func SolveDenseWithOptions(p Problem, opt Options) (Solution, error) {
 		return Solution{}, fmt.Errorf("%w: needs %d bytes", ErrTooLarge, bytes)
 	}
 	t := newTableau(p)
-	t.deadline = opt.Deadline
+	t.ctx, t.deadline = opt.effectiveBudget()
 	// Phase 1: drive artificial variables to zero.
 	if t.nArt > 0 {
 		status := t.iterate(t.phase1Cost(), t.nCols)
@@ -92,6 +93,7 @@ type tableau struct {
 	b        []float64
 	basis    []int
 	maxIter  int
+	ctx      context.Context
 	deadline time.Time
 }
 
@@ -245,8 +247,13 @@ func (t *tableau) iterate(c []float64, maxCol int) Status {
 	stall := 0
 	prevObj := math.Inf(1)
 	for iter := 0; iter < t.maxIter; iter++ {
-		if iter%32 == 0 && !t.deadline.IsZero() && time.Now().After(t.deadline) {
-			return IterLimit
+		if iter%32 == 0 {
+			if t.ctx.Err() != nil {
+				return IterLimit
+			}
+			if !t.deadline.IsZero() && time.Now().After(t.deadline) {
+				return IterLimit
+			}
 		}
 		rc := t.reducedCosts(c)
 		// Choose the entering column: Dantzig normally, Bland under stall.

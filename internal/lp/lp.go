@@ -22,6 +22,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -44,22 +45,30 @@ const (
 
 // Term is one non-zero coefficient of a constraint row.
 type Term struct {
-	Var   int
+	// Var is the variable index in [0, Problem.NumVars).
+	Var int
+	// Coeff is the coefficient of Var in the row.
 	Coeff float64
 }
 
 // Row is one constraint.
 type Row struct {
+	// Terms holds the non-zero coefficients of the row.
 	Terms []Term
+	// Sense relates the row to RHS: LE, GE, or EQ.
 	Sense Sense
-	RHS   float64
+	// RHS is the constraint's right-hand side.
+	RHS float64
 }
 
 // Problem is a linear programme over NumVars non-negative variables.
 type Problem struct {
-	NumVars   int
-	Objective []float64 // minimised; length NumVars
-	Rows      []Row
+	// NumVars is the number of structural variables.
+	NumVars int
+	// Objective is minimised; length NumVars.
+	Objective []float64
+	// Rows lists the constraints.
+	Rows []Row
 	// Upper optionally gives per-variable upper bounds (0 <= x_i <= Upper[i]).
 	// A nil slice, or a +Inf entry, means unbounded above. The revised
 	// simplex handles these natively in the ratio test; the dense oracle
@@ -133,8 +142,11 @@ func (s Status) String() string {
 
 // Solution is the result of Solve.
 type Solution struct {
-	Status    Status
-	X         []float64
+	// Status classifies the solve outcome.
+	Status Status
+	// X is the primal solution (length Problem.NumVars).
+	X []float64
+	// Objective is the objective value of X.
 	Objective float64
 	// Iterations counts simplex pivots consumed by the solve (both engines
 	// fill it; diagnostic only).
@@ -147,8 +159,18 @@ var ErrTooLarge = errors.New("lp: problem exceeds solver memory budget")
 
 // Options bound a solve beyond the problem statement.
 type Options struct {
+	// Ctx, when non-nil, bounds the solve: its deadline (if any) aborts the
+	// pivot loop with Status IterLimit once passed, and cancellation is
+	// observed every few pivots with the same effect. This is the single
+	// time-budget mechanism of the solver substrate; the legacy Deadline
+	// field below folds into it. A nil Ctx means context.Background().
+	Ctx context.Context
 	// Deadline aborts the solve with Status IterLimit once passed.
 	// The zero time means no deadline.
+	//
+	// Deprecated: Deadline is a thin wrapper over the context deadline —
+	// it is merged with Ctx's deadline (the earlier one wins). New callers
+	// should pass a context with a deadline via Ctx instead.
 	Deadline time.Time
 	// MaxTableauBytes caps the solver workspace allocation; Solve returns
 	// ErrTooLarge above it. Zero means 1.5 GiB. The revised simplex needs
@@ -159,6 +181,22 @@ type Options struct {
 	// lp.solves, lp.pivots, lp.bound_flips, and lp.refactors. The dense
 	// oracle is not instrumented. Nil costs the pivot loop one nil check.
 	Obs *obs.Tracer
+}
+
+// effectiveBudget resolves the time budget of opt into the context to poll
+// for cancellation and the earliest applicable deadline: the legacy Deadline
+// field merged with the context's own deadline (zero time when neither is
+// set). Both simplex engines call it once per solve.
+func (opt Options) effectiveBudget() (context.Context, time.Time) {
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	deadline := opt.Deadline
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	return ctx, deadline
 }
 
 const (

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -33,7 +34,9 @@ const (
 // A BoundedSolver is reusable but not safe for concurrent use.
 type BoundedSolver struct {
 	prob Problem
-	A    csc
+	// A is the column-compressed constraint matrix (structural plus slack
+	// columns), capitalised after the conventional simplex notation Ax = b.
+	A csc
 	m    int // rows
 	n    int // structural columns
 	nTot int // n + m (slacks)
@@ -60,6 +63,7 @@ type BoundedSolver struct {
 	// Dense scratch vectors, length m.
 	dir, rho, y, sigma []float64
 
+	ctx      context.Context
 	deadline time.Time
 	iter     int
 	maxIter  int
@@ -135,7 +139,7 @@ func (s *BoundedSolver) SolveBounds(lo, up []float64, warm *Basis, opt Options) 
 		return Solution{}, nil, fmt.Errorf("lp: %d upper bounds for %d variables", len(up), s.n)
 	}
 	s.setBounds(lo, up)
-	s.deadline = opt.Deadline
+	s.ctx, s.deadline = opt.effectiveBudget()
 	s.iter = 0
 	s.maxIter = 200 * (s.m + s.nTot)
 	s.stall = 0
@@ -541,15 +545,22 @@ func (s *BoundedSolver) computeXB() {
 	copy(s.xB, rhs)
 }
 
-// expired reports whether the deadline or iteration budget is exhausted;
-// it increments the shared iteration counter.
+// expired reports whether the context, deadline, or iteration budget is
+// exhausted; it increments the shared iteration counter. The context and
+// clock are polled every 32 pivots so the check stays off the critical path
+// of the pivot loop; see DESIGN.md §8 for the cancellation-latency budget.
 func (s *BoundedSolver) expired() bool {
 	s.iter++
 	if s.iter > s.maxIter {
 		return true
 	}
-	if s.iter%32 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
-		return true
+	if s.iter%32 == 0 {
+		if s.ctx.Err() != nil {
+			return true
+		}
+		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			return true
+		}
 	}
 	return false
 }

@@ -8,6 +8,7 @@
 package mcmf
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -118,7 +119,9 @@ func (g *Graph) Flow(id int) int {
 
 // Result summarises a MaxFlow run.
 type Result struct {
+	// Flow is the total flow pushed from source to sink.
 	Flow int
+	// Cost is the total cost of that flow.
 	Cost int64
 }
 
@@ -174,8 +177,22 @@ func (q *pq) pop() pqItem {
 
 // MaxFlow pushes the maximum flow from s to t at minimum total cost.
 // Negative edge costs are supported via a Bellman-Ford potential
-// initialisation; negative cycles are not.
+// initialisation; negative cycles are not. It is MaxFlowContext with
+// context.Background() — the solve runs to completion.
 func (g *Graph) MaxFlow(s, t int) (Result, error) {
+	return g.MaxFlowContext(context.Background(), s, t)
+}
+
+// MaxFlowContext is MaxFlow bounded by a context: the augmentation loop
+// polls ctx before each shortest-path search (one Dijkstra per
+// augmentation, the natural cancellation granularity) and, once cancelled,
+// stops pushing flow and returns the partial Result together with
+// ctx.Err(). The partial flow is a valid (capacity- and
+// conservation-respecting) flow, just not maximal; callers that need a
+// complete answer treat the error as a signal to fall back (see
+// wdm.AssignContext). A run that completes before cancellation is
+// bit-identical to MaxFlow.
+func (g *Graph) MaxFlowContext(ctx context.Context, s, t int) (Result, error) {
 	if s < 0 || s >= g.n || t < 0 || t >= g.n {
 		return Result{}, fmt.Errorf("mcmf: source/sink out of range")
 	}
@@ -195,6 +212,9 @@ func (g *Graph) MaxFlow(s, t int) (Result, error) {
 	prevEdge := make([]int32, g.n)
 	q := make(pq, 0, g.n)
 	for {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		// Dijkstra on reduced costs (exact integer arithmetic). The queue
 		// backing array is reused across augmentations.
 		for i := range dist {

@@ -64,9 +64,13 @@ func itoa(n int) string {
 // value (a tagged union rather than interface{} so building attribute lists
 // does not box).
 type Attr struct {
-	Key   string
-	Str   string
-	Num   float64
+	// Key is the attribute name.
+	Key string
+	// Str is the string value; meaningful when IsNum is false.
+	Str string
+	// Num is the numeric value; meaningful when IsNum is true.
+	Num float64
+	// IsNum selects between Num and Str.
 	IsNum bool
 }
 

@@ -5,25 +5,36 @@ import "time"
 // SpanRecord is a completed span as delivered to a Sink. Start and Dur are
 // offsets from the tracer epoch.
 type SpanRecord struct {
-	Name  string
-	Lane  int
+	// Name is the span name ("stage/process", "net/candidates", ...).
+	Name string
+	// Lane is the display lane (LaneFlow or a WorkerLane).
+	Lane int
+	// Start is the span's start offset from the tracer epoch.
 	Start time.Duration
-	Dur   time.Duration
+	// Dur is the span's duration.
+	Dur time.Duration
+	// Attrs carries the merged start- and end-time attributes.
 	Attrs []Attr
 }
 
 // EventRecord is an instant event as delivered to a Sink.
 type EventRecord struct {
-	Name  string
-	Lane  int
-	Ts    time.Duration
+	// Name is the event name ("lr/iterate", "ilp/node", ...).
+	Name string
+	// Lane is the display lane (LaneFlow or a WorkerLane).
+	Lane int
+	// Ts is the event's offset from the tracer epoch.
+	Ts time.Duration
+	// Attrs carries the event attributes.
 	Attrs []Attr
 }
 
 // CounterValue is one counter's snapshot.
 type CounterValue struct {
-	Name  string `json:"name"`
-	Value int64  `json:"value"`
+	// Name is the counter's registered name.
+	Name string `json:"name"`
+	// Value is the count at snapshot time.
+	Value int64 `json:"value"`
 }
 
 // Sink receives the tracer's records. Implementations must be safe for
@@ -32,8 +43,11 @@ type CounterValue struct {
 // is closed. A sink additionally implementing io.Closer is closed by
 // Tracer.Close after the counter flush.
 type Sink interface {
+	// Span receives a completed span.
 	Span(SpanRecord)
+	// Event receives an instant event.
 	Event(EventRecord)
+	// Counters receives the final counter snapshot at tracer close.
 	Counters([]CounterValue)
 }
 

@@ -12,6 +12,7 @@
 package bpm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -153,8 +154,19 @@ func (f *Field) Normalize() {
 }
 
 // Propagate advances the field by lengthUM through the profile using
-// Crank–Nicolson steps.
+// Crank–Nicolson steps. It is PropagateContext with context.Background()
+// — the propagation always runs to completion.
 func (f *Field) Propagate(profile IndexProfile, lengthUM float64) {
+	_ = f.PropagateContext(context.Background(), profile, lengthUM)
+}
+
+// PropagateContext is Propagate bounded by a context: cancellation is
+// polled once per Crank–Nicolson step (the natural granularity — each step
+// is one complex tridiagonal solve). On cancellation the field is left at
+// the last completed step's plane (f.Z records how far it got) and
+// ctx.Err() is returned; a propagation that completes before cancellation
+// is bit-identical to Propagate.
+func (f *Field) PropagateContext(ctx context.Context, profile IndexProfile, lengthUM float64) error {
 	cfg := f.cfg
 	n := cfg.NX
 	k0 := 2 * math.Pi / cfg.WavelengthUM
@@ -190,6 +202,9 @@ func (f *Field) Propagate(profile IndexProfile, lengthUM float64) {
 	fillPot(f.Z, pot)
 
 	for s := 0; s < steps; s++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		z1 := f.Z
 		z2 := f.Z + dz
 		if hasInv && inv.ZInvariantOver(z1, z2) {
@@ -225,6 +240,7 @@ func (f *Field) Propagate(profile IndexProfile, lengthUM float64) {
 		f.Z = z2
 		pot, potNext = potNext, pot
 	}
+	return nil
 }
 
 // potential returns the tridiagonal main-diagonal contribution of Ĥ at one
@@ -440,12 +456,27 @@ type Result struct {
 // package-level cache keyed by the full numerical configuration and the
 // stage count (see cache.go). Use SimulateUncached to force a propagation.
 func Simulate(cfg Config, stages int) (Result, error) {
-	return simCached(cfg, stages)
+	return SimulateContext(context.Background(), cfg, stages)
+}
+
+// SimulateContext is Simulate bounded by a context. A cache hit returns
+// immediately regardless of the context's state; a miss propagates under
+// ctx and, on cancellation, returns ctx.Err() without caching the partial
+// field — the next call re-propagates from scratch.
+func SimulateContext(ctx context.Context, cfg Config, stages int) (Result, error) {
+	return simCached(ctx, cfg, stages)
 }
 
 // SimulateUncached runs the fundamental mode through the cascade and
 // measures the output power split, bypassing the process-wide cache.
 func SimulateUncached(cfg Config, stages int) (Result, error) {
+	return SimulateUncachedContext(context.Background(), cfg, stages)
+}
+
+// SimulateUncachedContext is SimulateUncached bounded by a context; the
+// propagation polls ctx once per Crank–Nicolson step and returns ctx.Err()
+// on cancellation.
+func SimulateUncachedContext(ctx context.Context, cfg Config, stages int) (Result, error) {
 	cas, err := NewCascade(cfg, stages)
 	if err != nil {
 		return Result{}, err
@@ -454,7 +485,9 @@ func SimulateUncached(cfg Config, stages int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	f.Propagate(cas, cas.TotalLengthUM())
+	if err := f.PropagateContext(ctx, cas, cas.TotalLengthUM()); err != nil {
+		return Result{}, err
+	}
 
 	centres := cas.ArmCentersUM()
 	res := Result{IdealPerArmLossDB: float64(stages) * 10 * math.Log10(2)}

@@ -1,6 +1,7 @@
 package bpm
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -38,11 +39,12 @@ func CacheCounters() (hits, misses int64) {
 }
 
 // simCached returns the memoised result for (cfg, stages), running
-// SimulateUncached on the first request. Concurrent first requests for the
-// same key may both propagate; the computation is deterministic, so either
-// result is the same. The cached Result is deep-copied on the way out so
-// callers can mutate their slices freely.
-func simCached(cfg Config, stages int) (Result, error) {
+// SimulateUncachedContext on the first request. Concurrent first requests
+// for the same key may both propagate; the computation is deterministic, so
+// either result is the same. A cancelled propagation is never cached. The
+// cached Result is deep-copied on the way out so callers can mutate their
+// slices freely.
+func simCached(ctx context.Context, cfg Config, stages int) (Result, error) {
 	key := simKey{cfg: cfg, stages: stages}
 	simMu.Lock()
 	res, ok := simCache[key]
@@ -52,7 +54,7 @@ func simCached(cfg Config, stages int) (Result, error) {
 		return copyResult(res), nil
 	}
 	cacheMisses.Add(1)
-	res, err := SimulateUncached(cfg, stages)
+	res, err := SimulateUncachedContext(ctx, cfg, stages)
 	if err != nil {
 		return Result{}, err
 	}

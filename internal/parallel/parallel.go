@@ -45,12 +45,25 @@ func ForEachWorker(n, workers int, fn func(worker, i int) error) error {
 	return forEach(context.Background(), n, workers, fn)
 }
 
+// ForEachWorkerContext is ForEachWorker bounded by a context, with the
+// cancellation and drain semantics of ForEachContext: cancelling ctx stops
+// dispatch of new items, in-flight calls run to completion (the
+// deterministic drain — no fn invocation is ever abandoned halfway), and
+// ctx.Err() is returned unless an item error takes precedence.
+func ForEachWorkerContext(ctx context.Context, n, workers int, fn func(worker, i int) error) error {
+	return forEach(ctx, n, workers, fn)
+}
+
 // ForEachContext runs fn(i) for every i in [0,n) on at most Workers(workers,
 // n) goroutines. The first error short-circuits: no new items are
 // dispatched, in-flight calls finish, and the error of the lowest failing
 // index is returned (deterministic across worker counts). Cancelling ctx
 // likewise stops dispatch and returns ctx.Err() unless an item error takes
-// precedence.
+// precedence. The drain is deterministic: every dispatched fn call runs to
+// completion before ForEachContext returns and every worker goroutine has
+// exited by then, so cancellation never leaks goroutines or leaves an item
+// half-processed — callers either see all per-index writes of an item or
+// none.
 //
 // fn must confine its writes to per-index state (results[i]); the pool
 // provides a happens-before edge between every fn call and ForEachContext's

@@ -1,6 +1,7 @@
 package selection
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -13,8 +14,19 @@ import (
 
 // ILPOptions tunes the exact solver.
 type ILPOptions struct {
+	// Ctx, when non-nil, bounds the solve: the branch-and-bound node loop
+	// and the LP relaxations underneath observe it, and on cancellation or
+	// deadline SolveILP returns the best incumbent (or a repaired greedy
+	// selection) with TimedOut set instead of erroring. Nil means
+	// context.Background().
+	Ctx context.Context
 	// TimeLimit bounds the branch-and-bound wall clock; zero = unlimited.
-	// The paper caps its runs at 3000 s and reports ">3000" on timeout.
+	// The paper caps its runs at 3000 s and reports ">3000" on timeout,
+	// falling back to the Lagrangian relaxation.
+	//
+	// Deprecated: TimeLimit is a thin wrapper over the context deadline
+	// (the earlier of the two wins); pass a context with a deadline via Ctx
+	// instead.
 	TimeLimit time.Duration
 	// MaxNodes bounds branch-and-bound nodes; zero = library default.
 	MaxNodes int
@@ -28,15 +40,20 @@ type ILPOptions struct {
 // ILPResult is the outcome of SolveILP.
 type ILPResult struct {
 	Selection
-	Status   ilp.Status
+	// Status is the branch-and-bound outcome (Optimal, Feasible, Limit).
+	Status ilp.Status
+	// TimedOut reports that a budget (context deadline, deprecated
+	// TimeLimit, or MaxNodes) stopped the search before optimality.
 	TimedOut bool
-	Elapsed  time.Duration
-	Nodes    int
+	// Elapsed is the wall-clock time of the solve, repair included.
+	Elapsed time.Duration
+	// Nodes counts branch-and-bound nodes explored.
+	Nodes int
 	// LPSolves counts LP relaxations solved across the branch-and-bound
-	// tree (warm-started after the root); LPTime is the wall clock spent
-	// inside the LP engine.
+	// tree (warm-started after the root).
 	LPSolves int
-	LPTime   time.Duration
+	// LPTime is the wall clock spent inside the LP engine.
+	LPTime time.Duration
 	// NumVars and NumRows describe the built programme (after the
 	// bounding-box speed-up of §3.3).
 	NumVars, NumRows int
@@ -59,6 +76,7 @@ func SolveILP(inst *Instance, opt ILPOptions) (ILPResult, error) {
 	sp := opt.Obs.Span("selection/ilp", obs.LaneFlow,
 		obs.I("vars", res.NumVars), obs.I("rows", res.NumRows))
 	ir, err := ilp.Solve(prob, ilp.Options{
+		Ctx:             opt.Ctx,
 		TimeLimit:       opt.TimeLimit,
 		MaxNodes:        opt.MaxNodes,
 		MaxTableauBytes: opt.MaxTableauBytes,

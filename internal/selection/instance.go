@@ -24,7 +24,9 @@ import (
 // expected to be the pure-electrical fallback a_ie (as produced by
 // codesign.Generate), guaranteeing feasibility.
 type Net struct {
-	Bits  int
+	// Bits is the net's bit width (drives conversion power and WDM shares).
+	Bits int
+	// Cands lists the candidate implementations to choose from.
 	Cands []codesign.Candidate
 }
 
@@ -41,8 +43,10 @@ func (n Net) ElectricalIndex() int {
 
 // Instance is a complete selection problem.
 type Instance struct {
+	// Nets is the hyper nets with their candidate lists.
 	Nets []Net
-	Lib  optics.Library
+	// Lib is the optical library supplying the loss budget and crossing loss.
+	Lib optics.Library
 
 	// candBox[i][j] is the bounding box of candidate (i,j)'s optical
 	// segments; hasOpt[i][j] reports whether it has any.

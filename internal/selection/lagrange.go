@@ -1,6 +1,7 @@
 package selection
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -11,6 +12,14 @@ import (
 
 // LROptions tunes the Lagrangian-relaxation solver of §3.4.
 type LROptions struct {
+	// Ctx, when non-nil, bounds the solve: it is polled at each iteration
+	// boundary (never inside the parallel pricing loop, which keeps partial
+	// iterations — and with them nondeterminism — impossible). On
+	// cancellation the iteration stops early, LRResult.Stopped is set, and
+	// the current choice is still evaluated and repaired to legality, so
+	// callers always receive a feasible selection. Nil means
+	// context.Background().
+	Ctx context.Context
 	// MaxIters bounds the multiplier-update iterations; the paper stops at
 	// 10. Defaults to 10 when zero.
 	MaxIters int
@@ -34,15 +43,23 @@ type LROptions struct {
 // LRResult is the outcome of SolveLR.
 type LRResult struct {
 	Selection
-	Iters   int
+	// Iters counts the multiplier-update iterations actually run.
+	Iters int
+	// Elapsed is the wall-clock time of the solve, repair included.
 	Elapsed time.Duration
+	// Stopped reports that LROptions.Ctx was cancelled before the iteration
+	// converged or reached MaxIters; the Selection is the repaired best
+	// effort at that point (always feasible).
+	Stopped bool
 	// History records (power, violations) after each iteration.
 	History []LRIterate
 }
 
 // LRIterate is one iteration's snapshot.
 type LRIterate struct {
-	PowerMW    float64
+	// PowerMW is the total power of the iteration's (unrepaired) selection.
+	PowerMW float64
+	// Violations counts detection-constraint violations in that selection.
 	Violations int
 	// LowerBoundMW is the linearised Lagrangian dual bound at this
 	// iteration's multipliers: the sum of the per-net best pricing weights
@@ -67,6 +84,10 @@ type LRIterate struct {
 // repaired to legality (violating nets drop to electrical wires).
 func SolveLR(inst *Instance, opt LROptions) (LRResult, error) {
 	start := time.Now()
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	maxIters := opt.MaxIters
 	if maxIters == 0 {
 		maxIters = 10
@@ -122,6 +143,13 @@ func SolveLR(inst *Instance, opt LROptions) (LRResult, error) {
 	lamSq := make([]float64, len(inst.Nets))
 
 	for iter := 0; iter < maxIters; iter++ {
+		// Cancellation is observed only here, between iterations: a finished
+		// iteration is never partially applied, so a run that completes
+		// before its deadline is bit-identical to an unbounded one.
+		if ctx.Err() != nil {
+			res.Stopped = true
+			break
+		}
 		res.Iters = iter + 1
 		// Pricing step: per net, the candidate with the best weight. Nets
 		// are independent given the fixed multipliers and the previous

@@ -13,6 +13,7 @@
 package wdm
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -197,7 +198,20 @@ func (a Assignment) Used() int { return len(a.UsedWDMs) }
 // edges within dis_u (cost = normalised displacement), WDM→sink edges
 // (capacity = WDM capacity, cost = usage, growing with WDM order so the
 // flow consolidates onto fewer waveguides). WDMs left idle are dropped.
+// It is AssignContext with context.Background() — the flow always runs to
+// completion.
 func Assign(conns []Connection, pl Placement, cfg Config) (Assignment, error) {
+	return AssignContext(context.Background(), conns, pl, cfg)
+}
+
+// AssignContext is Assign bounded by a context. Cancellation is observed by
+// the candidate-costing worker pool and by the min-cost-flow augmentation
+// loop; once the context is done, AssignContext abandons the re-assignment
+// and returns ctx.Err(). Callers that must produce an answer anyway fall
+// back to PlacementAssignment, which derives a feasible (capacity-
+// respecting) assignment straight from the sweep placement. A run that
+// completes before cancellation is bit-identical to Assign.
+func AssignContext(ctx context.Context, conns []Connection, pl Placement, cfg Config) (Assignment, error) {
 	if err := cfg.Validate(); err != nil {
 		return Assignment{}, err
 	}
@@ -263,7 +277,7 @@ func Assign(conns []Connection, pl Placement, cfg Config) (Assignment, error) {
 		}
 		cands := make([][]arcCand, len(connIdx))
 		spCost := cfg.Obs.Span("wdm/cost-arcs", obs.LaneFlow, obs.S("orient", orient))
-		err := parallel.ForEach(len(connIdx), cfg.Workers, func(k int) error {
+		err := parallel.ForEachContext(ctx, len(connIdx), cfg.Workers, func(k int) error {
 			ci := connIdx[k]
 			c := conns[ci]
 			for q, w := range wdmIdx {
@@ -301,7 +315,7 @@ func Assign(conns []Connection, pl Placement, cfg Config) (Assignment, error) {
 		}
 		cArcs.Add(int64(len(arcs)))
 		g.Instrument(cfg.Obs)
-		res, err := g.MaxFlow(src, snk)
+		res, err := g.MaxFlowContext(ctx, src, snk)
 		if err != nil {
 			return Assignment{}, err
 		}
@@ -327,12 +341,44 @@ func Assign(conns []Connection, pl Placement, cfg Config) (Assignment, error) {
 	return out, nil
 }
 
+// PlacementAssignment derives an Assignment directly from the sweep
+// placement, without running the network-flow re-assignment: every
+// connection keeps the WDM the placement packed it onto, whole. The result
+// is feasible by construction — the sweep never exceeds a waveguide's
+// capacity — but forgoes the §4.2 consolidation, so it uses as many WDMs as
+// the placement opened. RunContext falls back to it when the context is
+// cancelled mid-assignment (the graceful-degradation floor of the WDM
+// stage; see DESIGN.md §8).
+func PlacementAssignment(conns []Connection, pl Placement) Assignment {
+	out := Assignment{Shares: make([][]Share, len(conns))}
+	usedSet := map[int]bool{}
+	for i, w := range pl.InitialAssign {
+		out.Shares[i] = []Share{{WDM: w, Bits: conns[i].Bits}}
+		usedSet[w] = true
+	}
+	for w := range pl.WDMs {
+		if usedSet[w] {
+			out.UsedWDMs = append(out.UsedWDMs, w)
+		}
+	}
+	sort.Ints(out.UsedWDMs)
+	return out
+}
+
 // Stats summarises the WDM pipeline for one design: the three bars of the
 // paper's Fig. 8.
 type Stats struct {
+	// Connections counts the optical connections fed into the stage.
 	Connections int
+	// InitialWDMs counts the waveguides opened by the sweep placement.
 	InitialWDMs int
-	FinalWDMs   int
+	// FinalWDMs counts the waveguides still carrying flow after the
+	// network-flow re-assignment (equals InitialWDMs when Degraded).
+	FinalWDMs int
+	// Degraded reports that the context was cancelled mid-assignment and the
+	// result fell back to the placement-derived assignment: feasible, but
+	// without the §4.2 consolidation.
+	Degraded bool
 }
 
 // Reduction returns the fractional WDM saving of the assignment over the
@@ -345,19 +391,33 @@ func (s Stats) Reduction() float64 {
 }
 
 // Run executes placement followed by assignment and returns everything.
+// It is RunContext with context.Background() — never degraded.
 func Run(conns []Connection, cfg Config) (Placement, Assignment, Stats, error) {
+	return RunContext(context.Background(), conns, cfg)
+}
+
+// RunContext executes placement followed by assignment under ctx. The sweep
+// placement always completes (it is the feasibility floor of the stage);
+// when the context is cancelled during the network-flow re-assignment, the
+// result degrades to PlacementAssignment and Stats.Degraded is set instead
+// of returning an error. A run that completes before cancellation is
+// bit-identical to Run.
+func RunContext(ctx context.Context, conns []Connection, cfg Config) (Placement, Assignment, Stats, error) {
 	pl, err := Place(conns, cfg)
 	if err != nil {
 		return Placement{}, Assignment{}, Stats{}, err
 	}
-	as, err := Assign(conns, pl, cfg)
-	if err != nil {
+	st := Stats{Connections: len(conns), InitialWDMs: len(pl.WDMs)}
+	as, err := AssignContext(ctx, conns, pl, cfg)
+	switch {
+	case err == nil:
+	case ctx.Err() != nil:
+		// Cancelled mid-assignment: keep the placement's packing.
+		as = PlacementAssignment(conns, pl)
+		st.Degraded = true
+	default:
 		return Placement{}, Assignment{}, Stats{}, err
 	}
-	st := Stats{
-		Connections: len(conns),
-		InitialWDMs: len(pl.WDMs),
-		FinalWDMs:   as.Used(),
-	}
+	st.FinalWDMs = as.Used()
 	return pl, as, st, nil
 }

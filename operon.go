@@ -22,6 +22,7 @@
 package operon
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -130,10 +131,14 @@ func DefaultConfig() Config {
 
 // StageTimes records per-stage wall-clock durations.
 type StageTimes struct {
-	Process    time.Duration
+	// Process is the signal-processing stage (§3.1).
+	Process time.Duration
+	// Candidates is the co-design candidate generation stage (§3.2).
 	Candidates time.Duration
-	Selection  time.Duration
-	WDM        time.Duration
+	// Selection is the solution-determination stage (§3.3/§3.4).
+	Selection time.Duration
+	// WDM is the waveguide placement/assignment stage (§4).
+	WDM time.Duration
 }
 
 // Total returns the summed stage time.
@@ -156,21 +161,44 @@ func startStage(t *obs.Tracer, name string, slot *time.Duration) func(attrs ...o
 
 // Result is the outcome of one flow run.
 type Result struct {
-	Design    string
-	Flow      string // "operon-lr", "operon-ilp", "electrical", "optical", ...
+	// Design echoes the input design's name.
+	Design string
+	// Flow names the pipeline that produced the result: "operon-lr",
+	// "operon-ilp", "electrical", "optical", ...
+	Flow string
+	// HyperNets is the signal-processing output (§3.1).
 	HyperNets []signal.HyperNet
-	Nets      []selection.Net
+	// Nets holds the candidate lists handed to the selection stage.
+	Nets []selection.Net
+	// Selection is the chosen candidate per net with its evaluation.
 	Selection selection.Selection
 	// PowerMW is the total power of the selected routes.
 	PowerMW float64
-	// ILP and LR carry solver diagnostics when the respective mode ran.
+	// ILP carries exact-solver diagnostics when ModeILP ran.
 	ILP *selection.ILPResult
-	LR  *selection.LRResult
-	// WDM results (empty when SkipWDM or no optical connections).
+	// LR carries Lagrangian diagnostics when ModeLR ran (or when the ILP
+	// degraded onto the LR fallback).
+	LR *selection.LRResult
+	// Connections is the optical connection set extracted from the
+	// selection (empty when SkipWDM or no optical connections).
 	Connections []wdm.Connection
-	Placement   wdm.Placement
-	Assignment  wdm.Assignment
-	WDMStats    wdm.Stats
+	// Placement is the §4.2 waveguide placement of Connections.
+	Placement wdm.Placement
+	// Assignment is the §4.3 wavelength assignment of Connections.
+	Assignment wdm.Assignment
+	// WDMStats summarises the WDM pipeline (including its Degraded flag).
+	WDMStats wdm.Stats
+	// Degraded reports that the run hit a time budget (context deadline,
+	// cancellation, or the deprecated ILPTimeLimit) and took a fallback rung
+	// of the degradation ladder — LR incumbent instead of a finished ILP,
+	// electrical-only routing instead of co-design candidates, or a
+	// placement-derived WDM assignment instead of the min-cost flow. The
+	// Selection is feasible either way; Degraded only flags that it may be
+	// weaker than an unbounded run's.
+	Degraded bool
+	// StopReason says why a degraded run stopped early: StopDeadline or
+	// StopCanceled. StopNone for complete runs.
+	StopReason StopReason
 	// Times is a derived view of the stage spans: each entry is exactly the
 	// duration of the corresponding "stage/..." span recorded on Obs (or a
 	// plain wall-clock measurement when no tracer is attached), so
@@ -185,10 +213,41 @@ type Result struct {
 // #HPin columns).
 func (r *Result) Stats() signal.Stats { return signal.Summarize(r.HyperNets) }
 
-// Run executes the full OPERON flow on a design.
+// Run executes the full OPERON flow on a design. It is RunContext with
+// context.Background(): no deadline, no cancellation, no degradation.
 func Run(d signal.Design, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), d, cfg)
+}
+
+// RunContext executes the full OPERON flow on a design under a context.
+//
+// Cancelling ctx (or letting its deadline expire) never errors the run out:
+// the flow degrades along a fixed ladder and still returns a feasible
+// routing, with Result.Degraded and Result.StopReason recording what
+// happened. The rungs, from best to worst:
+//
+//  1. ILP cut short → the best branch-and-bound incumbent, cross-checked
+//     against a Lagrangian-relaxation solve (the cheaper feasible selection
+//     wins) — the paper's own ">3000 s" fallback.
+//  2. LR cut short → the repaired selection of the last finished iteration.
+//  3. Candidate generation cut short → all-electrical RSMT routing for every
+//     hyper net (the floor; always feasible, runs even under an expired ctx).
+//
+// The WDM stage degrades independently: cancelled mid-assignment it falls
+// back to the placement-derived wavelength assignment (wdm.Stats.Degraded).
+//
+// Cancellation is polled only at deterministic points (iteration and node
+// boundaries, every few simplex pivots), so a run that completes before its
+// deadline is bit-identical to Run on the same inputs. Each degradation
+// emits a flow/degraded event and bumps the flow.degraded counter on
+// Config.Obs. A nil ctx means context.Background().
+func RunContext(ctx context.Context, d signal.Design, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := &Result{Design: d.Name, Flow: "operon-" + cfg.Mode.String(), Obs: cfg.Obs}
 	bpmHits0, bpmMisses0 := bpm.CacheCounters()
+	defer res.foldBPMCounters(cfg, bpmHits0, bpmMisses0)
 
 	stop := startStage(cfg.Obs, "stage/process", &res.Times.Process)
 	hnets, err := process(d, cfg)
@@ -198,9 +257,25 @@ func Run(d signal.Design, cfg Config) (*Result, error) {
 	res.HyperNets = hnets
 	stop(obs.I("hyper_nets", len(hnets)))
 
+	if ctx.Err() != nil {
+		// The budget was gone before candidate generation even started:
+		// straight to the floor.
+		if err := res.degradeToElectricalFloor(ctx, cfg); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+
 	stop = startStage(cfg.Obs, "stage/candidates", &res.Times.Candidates)
-	nets, err := buildCoDesignNets(hnets, cfg)
+	nets, err := buildCoDesignNets(ctx, hnets, cfg)
 	if err != nil {
+		if ctx.Err() != nil {
+			stop(obs.I("nets", 0), obs.S("aborted", "context"))
+			if err := res.degradeToElectricalFloor(ctx, cfg); err != nil {
+				return nil, err
+			}
+			return res, nil
+		}
 		return nil, err
 	}
 	res.Nets = nets
@@ -214,13 +289,27 @@ func Run(d signal.Design, cfg Config) (*Result, error) {
 	switch cfg.Mode {
 	case ModeILP:
 		ir, err := selection.SolveILP(inst, selection.ILPOptions{
-			TimeLimit: cfg.ILPTimeLimit, MaxNodes: cfg.ILPMaxNodes, Obs: cfg.Obs,
+			Ctx: ctx, TimeLimit: cfg.ILPTimeLimit, MaxNodes: cfg.ILPMaxNodes, Obs: cfg.Obs,
 		})
 		if err != nil {
 			return nil, err
 		}
 		res.ILP = &ir
 		res.Selection = ir.Selection
+		if ir.TimedOut {
+			// Rung 1 of the ladder: the paper falls back to the Lagrangian
+			// relaxation when the ILP exceeds its budget. Both selections are
+			// feasible; keep the cheaper one (ties go to the incumbent).
+			lr, err := selection.SolveLR(inst, lrOptions(ctx, cfg))
+			if err != nil {
+				return nil, err
+			}
+			res.LR = &lr
+			if lr.Selection.PowerMW < ir.Selection.PowerMW {
+				res.Selection = lr.Selection
+			}
+			res.markDegraded(ctx, cfg, "selection")
+		}
 	case ModeGreedy:
 		sel, err := inst.GreedyIndependent()
 		if err != nil {
@@ -228,32 +317,47 @@ func Run(d signal.Design, cfg Config) (*Result, error) {
 		}
 		res.Selection = sel
 	default:
-		lrOpt := cfg.LR
-		if lrOpt.Workers == 0 {
-			lrOpt.Workers = cfg.Workers
-		}
-		if lrOpt.Obs == nil {
-			lrOpt.Obs = cfg.Obs
-		}
-		lr, err := selection.SolveLR(inst, lrOpt)
+		lr, err := selection.SolveLR(inst, lrOptions(ctx, cfg))
 		if err != nil {
 			return nil, err
 		}
 		res.LR = &lr
 		res.Selection = lr.Selection
+		if lr.Stopped {
+			res.markDegraded(ctx, cfg, "selection")
+		}
 	}
 	stop(obs.S("mode", cfg.Mode.String()))
 	res.PowerMW = res.Selection.PowerMW
 
 	if !cfg.SkipWDM {
 		stop = startStage(cfg.Obs, "stage/wdm", &res.Times.WDM)
-		if err := res.assignWDMs(cfg); err != nil {
+		if err := res.assignWDMs(ctx, cfg); err != nil {
 			return nil, err
+		}
+		if res.WDMStats.Degraded {
+			res.markDegraded(ctx, cfg, "wdm")
 		}
 		stop(obs.I("wdms_used", res.WDMStats.FinalWDMs))
 	}
-	res.foldBPMCounters(cfg, bpmHits0, bpmMisses0)
 	return res, nil
+}
+
+// lrOptions resolves Config.LR for a flow-level solve: the flow context
+// bounds the solve unless the caller pinned an explicit one, and worker
+// count and tracer default to the flow's.
+func lrOptions(ctx context.Context, cfg Config) selection.LROptions {
+	lrOpt := cfg.LR
+	if lrOpt.Ctx == nil {
+		lrOpt.Ctx = ctx
+	}
+	if lrOpt.Workers == 0 {
+		lrOpt.Workers = cfg.Workers
+	}
+	if lrOpt.Obs == nil {
+		lrOpt.Obs = cfg.Obs
+	}
+	return lrOpt
 }
 
 // foldBPMCounters adds the process-global BPM simulation-cache deltas of
@@ -272,6 +376,17 @@ func (r *Result) foldBPMCounters(cfg Config, hits0, misses0 int64) {
 // RunElectrical is the Streak-style baseline [14]: every hyper net is
 // routed with an electrical rectilinear Steiner tree; power follows Eq. (6).
 func RunElectrical(d signal.Design, cfg Config) (*Result, error) {
+	return RunElectricalContext(context.Background(), d, cfg)
+}
+
+// RunElectricalContext is RunElectrical under a context — offered for API
+// symmetry with RunContext. The electrical baseline is itself the flow's
+// degradation floor, so it always runs to completion regardless of ctx and
+// never sets Result.Degraded: aborting it could only return an error where
+// a cheap feasible routing was available. A nil ctx means
+// context.Background().
+func RunElectricalContext(ctx context.Context, d signal.Design, cfg Config) (*Result, error) {
+	_ = ctx // the floor ignores cancellation by design; see doc comment
 	res := &Result{Design: d.Name, Flow: "electrical", Obs: cfg.Obs}
 	stop := startStage(cfg.Obs, "stage/process", &res.Times.Process)
 	hnets, err := process(d, cfg)
@@ -320,6 +435,18 @@ func RunElectrical(d signal.Design, cfg Config) (*Result, error) {
 // fully optically on its Steiner baseline; nets that cannot meet the loss
 // budget fall back to electrical wires. No optical-electrical mixing.
 func RunOptical(d signal.Design, cfg Config) (*Result, error) {
+	return RunOpticalContext(context.Background(), d, cfg)
+}
+
+// RunOpticalContext is RunOptical under a context, with the same
+// degradation ladder as RunContext: candidate generation cut short drops to
+// the all-electrical floor, and a WDM assignment cut short falls back to
+// the placement-derived one. The selection step itself (evaluate + repair)
+// is cheap and always completes. A nil ctx means context.Background().
+func RunOpticalContext(ctx context.Context, d signal.Design, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := &Result{Design: d.Name, Flow: "optical", Obs: cfg.Obs}
 	stop := startStage(cfg.Obs, "stage/process", &res.Times.Process)
 	hnets, err := process(d, cfg)
@@ -329,11 +456,28 @@ func RunOptical(d signal.Design, cfg Config) (*Result, error) {
 	res.HyperNets = hnets
 	stop(obs.I("hyper_nets", len(hnets)))
 
+	if ctx.Err() != nil {
+		if err := res.degradeToElectricalFloor(ctx, cfg); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+
 	stop = startStage(cfg.Obs, "stage/candidates", &res.Times.Candidates)
-	trees := baselineTrees(hnets, cfg)
+	trees, err := baselineTrees(ctx, hnets, cfg)
+	if err != nil {
+		if ctx.Err() == nil {
+			return nil, err
+		}
+		stop(obs.I("nets", 0), obs.S("aborted", "context"))
+		if err := res.degradeToElectricalFloor(ctx, cfg); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
 	envs := buildEnvs(hnets, trees)
 	nets := make([]selection.Net, len(hnets))
-	if err := parallel.ForEachWorker(len(hnets), cfg.Workers, func(w, i int) error {
+	if err := parallel.ForEachWorkerContext(ctx, len(hnets), cfg.Workers, func(w, i int) error {
 		var sp obs.Span
 		if cfg.Obs != nil {
 			sp = cfg.Obs.Span("net/optical", obs.WorkerLane(w), obs.I("net", i))
@@ -364,7 +508,14 @@ func RunOptical(d signal.Design, cfg Config) (*Result, error) {
 		}
 		return nil
 	}); err != nil {
-		return nil, err
+		if ctx.Err() == nil {
+			return nil, err
+		}
+		stop(obs.I("nets", 0), obs.S("aborted", "context"))
+		if err := res.degradeToElectricalFloor(ctx, cfg); err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
 	res.Nets = nets
 	stop(obs.I("nets", len(nets)))
@@ -391,8 +542,11 @@ func RunOptical(d signal.Design, cfg Config) (*Result, error) {
 
 	if !cfg.SkipWDM {
 		stop = startStage(cfg.Obs, "stage/wdm", &res.Times.WDM)
-		if err := res.assignWDMs(cfg); err != nil {
+		if err := res.assignWDMs(ctx, cfg); err != nil {
 			return nil, err
+		}
+		if res.WDMStats.Degraded {
+			res.markDegraded(ctx, cfg, "wdm")
 		}
 		stop(obs.I("wdms_used", res.WDMStats.FinalWDMs))
 	}
@@ -422,18 +576,23 @@ func process(d signal.Design, cfg Config) ([]signal.HyperNet, error) {
 	return hnets, nil
 }
 
-// baselineTrees builds the optical baseline topologies per hyper net.
-func baselineTrees(hnets []signal.HyperNet, cfg Config) [][]steiner.Tree {
+// baselineTrees builds the optical baseline topologies per hyper net. The
+// only possible error is ctx's: cancellation stops dispatch and surfaces
+// ctx.Err(), on which callers degrade to the electrical floor.
+func baselineTrees(ctx context.Context, hnets []signal.HyperNet, cfg Config) ([][]steiner.Tree, error) {
 	max := cfg.MaxBaselines
 	if max <= 0 {
 		max = 3
 	}
 	trees := make([][]steiner.Tree, len(hnets))
-	_ = parallel.ForEach(len(hnets), cfg.Workers, func(i int) error {
+	err := parallel.ForEachContext(ctx, len(hnets), cfg.Workers, func(i int) error {
 		trees[i] = steiner.Baselines(hnets[i].Terminals(), steiner.Euclidean, max)
 		return nil
 	})
-	return trees
+	if err != nil {
+		return nil, err
+	}
+	return trees, nil
 }
 
 // buildEnvs collects, for every hyper net, the primary-baseline optical
@@ -470,16 +629,22 @@ func buildEnvs(hnets []signal.HyperNet, trees [][]steiner.Tree) [][]geom.Segment
 	return envs
 }
 
-// buildCoDesignNets generates the full OPERON candidate sets.
-func buildCoDesignNets(hnets []signal.HyperNet, cfg Config) ([]selection.Net, error) {
-	trees := baselineTrees(hnets, cfg)
+// buildCoDesignNets generates the full OPERON candidate sets. Cancelling
+// ctx stops dispatch of further nets (in-flight ones finish — the pool's
+// deterministic drain) and returns ctx.Err(); the caller then degrades to
+// the electrical floor.
+func buildCoDesignNets(ctx context.Context, hnets []signal.HyperNet, cfg Config) ([]selection.Net, error) {
+	trees, err := baselineTrees(ctx, hnets, cfg)
+	if err != nil {
+		return nil, err
+	}
 	envs := buildEnvs(hnets, trees)
 	nets := make([]selection.Net, len(hnets))
 	// Candidate generation is the widest fan-out of the flow; each net is
 	// tagged with the worker lane that produced it so the trace shows the
 	// pool's parallel tracks. The lane feeds telemetry only — results stay
 	// bit-identical across worker counts.
-	err := parallel.ForEachWorker(len(hnets), cfg.Workers, func(w, i int) error {
+	err = parallel.ForEachWorkerContext(ctx, len(hnets), cfg.Workers, func(w, i int) error {
 		var sp obs.Span
 		if cfg.Obs != nil {
 			sp = cfg.Obs.Span("net/candidates", obs.WorkerLane(w), obs.I("net", i))
@@ -594,8 +759,10 @@ func electricalCandidate(hn signal.HyperNet, cfg Config) (codesign.Candidate, er
 }
 
 // assignWDMs extracts the optical connections of the selection and runs
-// the §4 WDM pipeline.
-func (r *Result) assignWDMs(cfg Config) error {
+// the §4 WDM pipeline under ctx. Cancellation never errors: wdm.RunContext
+// falls back to the placement-derived assignment and flags it in
+// Stats.Degraded, which the caller folds into Result.Degraded.
+func (r *Result) assignWDMs(ctx context.Context, cfg Config) error {
 	for i, j := range r.Selection.Choice {
 		cand := r.Nets[i].Cands[j]
 		// Consecutive collinear optical chunks (from edge subdivision) are
@@ -606,7 +773,7 @@ func (r *Result) assignWDMs(cfg Config) error {
 			})
 		}
 	}
-	pl, as, st, err := wdm.Run(r.Connections, wdm.Config{
+	pl, as, st, err := wdm.RunContext(ctx, r.Connections, wdm.Config{
 		Capacity:        cfg.Lib.WDMCapacity,
 		MinSpacingCM:    cfg.Lib.CrosstalkMinDistCM,
 		MaxAssignDistCM: cfg.Lib.AssignMaxDistCM,

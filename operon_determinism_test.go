@@ -1,8 +1,10 @@
 package operon
 
 import (
+	"context"
 	"reflect"
 	"testing"
+	"time"
 
 	"operon/internal/benchgen"
 	"operon/internal/signal"
@@ -71,6 +73,50 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 		}
 		if !reflect.DeepEqual(seq.Assignment, par.Assignment) {
 			t.Errorf("%s: WDM assignment differs across worker counts", d.Name)
+		}
+	}
+}
+
+// TestRunContextMatchesRun is the determinism guarantee of the cancellation
+// machinery: with a deadline generous enough to never fire, RunContext must
+// produce results bit-identical to Run — the ctx checks may cost time but
+// must never alter control flow before the deadline.
+func TestRunContextMatchesRun(t *testing.T) {
+	for _, d := range determinismCases(t) {
+		for _, mode := range []Mode{ModeLR, ModeILP} {
+			cfg := DefaultConfig()
+			cfg.Mode = mode
+			plain, err := Run(d, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: Run: %v", d.Name, mode, err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+			bounded, err := RunContext(ctx, d, cfg)
+			cancel()
+			if err != nil {
+				t.Fatalf("%s/%s: RunContext: %v", d.Name, mode, err)
+			}
+			if bounded.Degraded || bounded.StopReason != StopNone {
+				t.Fatalf("%s/%s: unbounded-in-practice run degraded: %q",
+					d.Name, mode, bounded.StopReason)
+			}
+			if plain.PowerMW != bounded.PowerMW {
+				t.Errorf("%s/%s: PowerMW %v (Run) != %v (RunContext)",
+					d.Name, mode, plain.PowerMW, bounded.PowerMW)
+			}
+			if !reflect.DeepEqual(plain.Selection, bounded.Selection) {
+				t.Errorf("%s/%s: Selection differs between Run and RunContext", d.Name, mode)
+			}
+			if !reflect.DeepEqual(plain.Connections, bounded.Connections) {
+				t.Errorf("%s/%s: optical connections differ", d.Name, mode)
+			}
+			if !reflect.DeepEqual(plain.Assignment, bounded.Assignment) {
+				t.Errorf("%s/%s: WDM assignment differs", d.Name, mode)
+			}
+			if plain.WDMStats != bounded.WDMStats {
+				t.Errorf("%s/%s: WDMStats %+v (Run) != %+v (RunContext)",
+					d.Name, mode, plain.WDMStats, bounded.WDMStats)
+			}
 		}
 	}
 }
