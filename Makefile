@@ -5,7 +5,7 @@ GO ?= go
 RACE_PKGS = ./internal/parallel ./internal/selection ./internal/signal \
             ./internal/wdm ./internal/optics/bpm ./internal/obs .
 
-.PHONY: check test race vet docs-lint serve-smoke bench trace-smoke bench-compare
+.PHONY: check test race vet docs-lint serve-smoke bench trace-smoke bench-compare bench-alloc
 
 check: vet docs-lint test race
 
@@ -43,8 +43,17 @@ trace-smoke:
 	$(GO) run ./cmd/operon -bench I1 -workers 4 -trace /tmp/operon-trace-smoke.json >/dev/null
 	$(GO) run ./cmd/tracecheck -stages -min-lanes 1 /tmp/operon-trace-smoke.json
 
-# Diff the behaviour-counter snapshots of the two newest BENCH_*.json
-# reports; fails on a >10% regression of a guarded solver counter
-# (LP pivots, MCMF augmentations, branch-and-bound nodes).
+# Diff the two newest BENCH_*.json reports; fails on a >10% regression of
+# a guarded solver counter (LP pivots, MCMF augmentations, branch-and-bound
+# nodes) or of any benchmark's allocation profile (allocs/op, bytes/op,
+# above an absolute floor that exempts tiny entries).
 bench-compare:
 	$(GO) run ./cmd/benchcmp
+
+# Allocation-regression smoke: re-measure the suite in quick mode (single
+# benchmark iterations — wall-clock numbers are noise, allocation profiles
+# are not) and gate it against the newest committed report. CI runs this on
+# every push so hot-path allocation churn cannot land silently.
+bench-alloc:
+	$(GO) run ./cmd/bench -quick -out /tmp/operon-bench-alloc.json
+	$(GO) run ./cmd/benchcmp $$(ls BENCH_*.json | sort | tail -1) /tmp/operon-bench-alloc.json

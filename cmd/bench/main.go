@@ -57,11 +57,15 @@ type ILPStats struct {
 
 // Report is the JSON document cmd/bench emits.
 type Report struct {
-	Date       string  `json:"date"`
-	GoVersion  string  `json:"go_version"`
-	GOOS       string  `json:"goos"`
-	GOARCH     string  `json:"goarch"`
-	CPUs       int     `json:"cpus"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	// GoMaxProcs is the scheduler's effective parallelism for the run
+	// (runtime.GOMAXPROCS). Parallel-vs-sequential speedups only mean
+	// something when it exceeds 1 — see SpeedupsNA.
+	GoMaxProcs int     `json:"gomaxprocs"`
 	Case       string  `json:"case"`
 	Benchmarks []Entry `json:"benchmarks"`
 	// ILP carries the per-node LP accounting of the ILP/Selection entry.
@@ -72,6 +76,11 @@ type Report struct {
 	// encoding/json marshals map keys in sorted order, so the emitted
 	// document is byte-stable across runs of the same build.
 	Speedups map[string]float64 `json:"speedups"`
+	// SpeedupsNA lists speedup pairs that were not measured because they
+	// cannot mean anything on this runner — parallel-vs-sequential
+	// comparisons on a single-CPU machine measure pool overhead, not
+	// parallelism, and would read as a regression.
+	SpeedupsNA []string `json:"speedups_na,omitempty"`
 	// Counters is the name-sorted obs counter snapshot of one untimed
 	// instrumented pass over the solver workloads: LP pivots and
 	// refactorisations, branch-and-bound nodes, min-cost-flow
@@ -105,13 +114,24 @@ func main() {
 		}
 	}
 	rep := Report{
-		Date:      time.Now().Format("2006-01-02"),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		Case:      *caseName,
-		Speedups:  map[string]float64{},
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Case:       *caseName,
+		Speedups:   map[string]float64{},
+	}
+	// parSpeedup records a parallel-vs-sequential speedup, or marks it n/a
+	// on a single-CPU runner where the comparison could only measure pool
+	// overhead.
+	parSpeedup := func(rep *Report, name string, num, den float64) {
+		if rep.GoMaxProcs <= 1 {
+			rep.SpeedupsNA = append(rep.SpeedupsNA, name)
+			return
+		}
+		speedup(rep, name, num, den)
 	}
 	path := *out
 	if path == "" {
@@ -153,10 +173,20 @@ func main() {
 		}
 	}
 
+	// One untimed warm-up flow run fills the process-global caches (BPM
+	// simulations, memoized geometry) so every benchmark below measures
+	// steady state. This matters most under -quick, where a single
+	// iteration would otherwise charge the cold-start allocations of those
+	// caches to whichever benchmark runs first and make the allocation
+	// profile incomparable with a full run's amortised numbers.
+	if _, err := operon.Run(d, cfg); err != nil {
+		fatal(err)
+	}
+
 	// Table 1: the OPERON-LR flow, sequential vs worker-pool.
 	seq := record("Table1/OPERON-LR/"+*caseName+"/Workers1", runFlow(1))
 	par := record("Table1/OPERON-LR/"+*caseName+"/WorkersN", runFlow(0))
-	speedup(&rep, "operon-lr workersN vs workers1", seq.NsPerOp, par.NsPerOp)
+	parSpeedup(&rep, "operon-lr workersN vs workers1", seq.NsPerOp, par.NsPerOp)
 
 	record("Table1/Electrical/"+*caseName, func(b *testing.B) {
 		b.ReportAllocs()
@@ -185,6 +215,11 @@ func main() {
 			}
 		}
 	})
+	// Warm the cache so Fig3b/Cached measures pure hits even under -quick's
+	// single iteration; without this the lone iteration would be the miss.
+	if _, err := bpm.Simulate(bcfg, 2); err != nil {
+		fatal(err)
+	}
 	cached := record("Fig3b/Cached", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -220,7 +255,7 @@ func main() {
 	}
 	lrSeq := record("LRPricing/Workers1", runLR(1))
 	lrPar := record("LRPricing/WorkersN", runLR(0))
-	speedup(&rep, "lr-pricing workersN vs workers1", lrSeq.NsPerOp, lrPar.NsPerOp)
+	parSpeedup(&rep, "lr-pricing workersN vs workers1", lrSeq.NsPerOp, lrPar.NsPerOp)
 
 	// LP engines head to head on a selection-shaped relaxation: the revised
 	// simplex with native bounds vs the dense two-phase tableau oracle.

@@ -1,8 +1,17 @@
-// Command benchcmp diffs the behaviour-counter snapshots of two cmd/bench
-// reports and fails when a guarded solver counter regressed by more than a
-// threshold. Unlike wall-clock numbers, the counters (simplex pivots,
-// min-cost-flow augmentations, branch-and-bound nodes) are deterministic
-// behaviour measures, so a jump is an algorithmic regression, not noise.
+// Command benchcmp diffs two cmd/bench reports and fails when a guarded
+// measure regressed by more than a threshold. Two kinds of measures are
+// gated:
+//
+//   - Behaviour counters (simplex pivots, min-cost-flow augmentations,
+//     branch-and-bound nodes): deterministic for fixed workloads, so any
+//     jump is an algorithmic regression, not noise.
+//   - Allocation profiles (allocs_per_op / bytes_per_op of every benchmark
+//     entry): deterministic up to benchtime amortisation, so a jump means
+//     hot-path allocation churn crept back in. Tiny entries are exempted by
+//     an absolute floor (16 allocs / 1024 bytes) — a 2→3 alloc change is
+//     not a regression signal.
+//
+// Wall-clock numbers are reported for context but never gated.
 //
 // With no arguments the two newest BENCH_*.json files in the working
 // directory (by name, which sorts by date) are compared; pass two paths to
@@ -25,12 +34,25 @@ import (
 
 // report is the subset of the cmd/bench document benchcmp reads.
 type report struct {
-	Date     string `json:"date"`
+	Date       string `json:"date"`
+	Benchmarks []struct {
+		Name        string `json:"name"`
+		AllocsPerOp int64  `json:"allocs_per_op"`
+		BytesPerOp  int64  `json:"bytes_per_op"`
+	} `json:"benchmarks"`
 	Counters []struct {
 		Name  string `json:"name"`
 		Value int64  `json:"value"`
 	} `json:"counters"`
 }
+
+// Absolute floors under which an allocation delta is never gated: relative
+// thresholds on near-zero baselines (a 2-alloc cached hit, a 64-byte
+// response) would flake on irrelevant single-allocation shifts.
+const (
+	allocFloor = 16
+	bytesFloor = 1024
+)
 
 // guarded lists the counters whose growth fails the comparison: more
 // pivots, augmentations, or nodes for the same fixed workloads means the
@@ -68,36 +90,78 @@ func main() {
 	oldRep := load(oldPath)
 	newRep := load(newPath)
 	fmt.Printf("benchcmp: %s (%s) -> %s (%s)\n", oldPath, oldRep.Date, newPath, newRep.Date)
-	if len(oldRep.Counters) == 0 {
-		fmt.Println("benchcmp: old report has no counter snapshot; nothing to compare")
-		return
-	}
 
-	oldVals := map[string]int64{}
-	for _, c := range oldRep.Counters {
-		oldVals[c.Name] = c.Value
-	}
-	failures := 0
-	for _, c := range newRep.Counters {
-		old, ok := oldVals[c.Name]
-		if !ok {
-			fmt.Printf("  %-24s %12d  (new counter)\n", c.Name, c.Value)
-			continue
+	failures := compareAllocs(oldRep, newRep, *threshold)
+
+	if len(oldRep.Counters) == 0 {
+		fmt.Println("benchcmp: old report has no counter snapshot; skipping counters")
+	} else {
+		oldVals := map[string]int64{}
+		for _, c := range oldRep.Counters {
+			oldVals[c.Name] = c.Value
 		}
+		for _, c := range newRep.Counters {
+			old, ok := oldVals[c.Name]
+			if !ok {
+				fmt.Printf("  %-24s %12d  (new counter)\n", c.Name, c.Value)
+				continue
+			}
+			delta := 0.0
+			if old != 0 {
+				delta = float64(c.Value-old) / float64(old)
+			}
+			status := ""
+			if guarded[c.Name] && old > 0 && delta > *threshold {
+				status = "  REGRESSION"
+				failures++
+			}
+			fmt.Printf("  %-24s %12d -> %12d  (%+.1f%%)%s\n", c.Name, old, c.Value, 100*delta, status)
+		}
+	}
+	if failures > 0 {
+		fail("%d guarded measure(s) regressed more than %.0f%%", failures, 100**threshold)
+	}
+}
+
+// compareAllocs gates the allocation profile of every benchmark entry both
+// reports share: an entry fails when allocs_per_op or bytes_per_op grew by
+// more than threshold AND the growth clears the absolute floor. Entries
+// only one report has are informational.
+func compareAllocs(oldRep, newRep report, threshold float64) int {
+	type profile struct{ allocs, bytes int64 }
+	oldVals := map[string]profile{}
+	for _, b := range oldRep.Benchmarks {
+		oldVals[b.Name] = profile{b.AllocsPerOp, b.BytesPerOp}
+	}
+	if len(oldVals) == 0 {
+		fmt.Println("benchcmp: old report has no benchmarks section; skipping alloc gate")
+		return 0
+	}
+	gate := func(old, new, floor int64) (string, bool) {
 		delta := 0.0
 		if old != 0 {
-			delta = float64(c.Value-old) / float64(old)
+			delta = float64(new-old) / float64(old)
 		}
+		bad := new-old > floor && (old == 0 || delta > threshold)
+		return fmt.Sprintf("%d -> %d (%+.1f%%)", old, new, 100*delta), bad
+	}
+	failures := 0
+	for _, b := range newRep.Benchmarks {
+		old, ok := oldVals[b.Name]
+		if !ok {
+			fmt.Printf("  %-32s allocs %12d, bytes %12d  (new entry)\n", b.Name, b.AllocsPerOp, b.BytesPerOp)
+			continue
+		}
+		aStr, aBad := gate(old.allocs, b.AllocsPerOp, allocFloor)
+		bStr, bBad := gate(old.bytes, b.BytesPerOp, bytesFloor)
 		status := ""
-		if guarded[c.Name] && old > 0 && delta > *threshold {
+		if aBad || bBad {
 			status = "  REGRESSION"
 			failures++
 		}
-		fmt.Printf("  %-24s %12d -> %12d  (%+.1f%%)%s\n", c.Name, old, c.Value, 100*delta, status)
+		fmt.Printf("  %-32s allocs %s, bytes %s%s\n", b.Name, aStr, bStr, status)
 	}
-	if failures > 0 {
-		fail("%d guarded counter(s) regressed more than %.0f%%", failures, 100**threshold)
-	}
+	return failures
 }
 
 func load(path string) report {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -78,8 +79,10 @@ type job struct {
 }
 
 // solveFunc is the solver the job workers invoke; tests inject a stub here
-// to exercise queueing and shutdown without running the real flow.
-type solveFunc func(ctx context.Context, d signal.Design, cfg operon.Config) (*operon.Result, error)
+// to exercise queueing and shutdown without running the real flow. The
+// workspace is the calling queue slot's — reused across every job the slot
+// serves, never shared between slots.
+type solveFunc func(ctx context.Context, d signal.Design, cfg operon.Config, ws *operon.Workspace) (*operon.Result, error)
 
 // server is the operond HTTP state: a bounded job queue drained by a fixed
 // set of worker goroutines, all solving under a shared base context that
@@ -120,7 +123,7 @@ func newServer(cfg operon.Config, queueLen, concurrency int, defaultTimeout, max
 		tracer:         tracer,
 		defaultTimeout: defaultTimeout,
 		maxTimeout:     maxTimeout,
-		solve:          operon.RunContext,
+		solve:          operon.RunContextWith,
 		baseCtx:        ctx,
 		cancel:         cancel,
 		queue:          make(chan *job, queueLen),
@@ -149,22 +152,28 @@ func (s *server) shutdown() {
 	s.wg.Wait()
 }
 
-// worker drains the job queue until shutdown closes it.
+// worker drains the job queue until shutdown closes it. Each worker — one
+// queue slot — owns a solver workspace for its whole lifetime, so the
+// per-worker solver scratch inside the flow is reused across requests and
+// steady-state serving stops allocating candidate-generation buffers.
+// Workspaces are never shared between slots, so concurrent solves stay
+// isolated.
 func (s *server) worker() {
 	defer s.wg.Done()
+	ws := operon.NewWorkspace()
 	for j := range s.queue {
-		s.runJob(j)
+		s.runJob(j, ws)
 	}
 }
 
 // runJob executes one queued solve under the job's deadline, parented to
 // the server's base context so shutdown degrades it too.
-func (s *server) runJob(j *job) {
+func (s *server) runJob(j *job, ws *operon.Workspace) {
 	s.setState(j, jobRunning, nil, "")
 	ctx, cancel := context.WithTimeout(s.baseCtx, j.timeout)
 	defer cancel()
 	start := time.Now()
-	res, err := s.solve(ctx, j.design, j.cfg)
+	res, err := s.solve(ctx, j.design, j.cfg, ws)
 	if err != nil {
 		s.setState(j, jobFailed, nil, err.Error())
 	} else {
@@ -221,18 +230,33 @@ func (s *server) handler() http.Handler {
 	return mux
 }
 
+// reqPool recycles request-decode scratch across handler invocations, and
+// bufPool the response-encode buffers: the handler path allocates neither at
+// steady state, matching the workspace reuse of the solve path.
+var (
+	reqPool = sync.Pool{New: func() any { return new(solveRequest) }}
+	bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+)
+
 // httpError writes a JSON error body with the given status.
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// writeJSON writes v with the given status.
+// writeJSON writes v with the given status, encoding through a pooled
+// buffer so a failed encode can still become a 500 and the handler path
+// reuses its scratch.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(buf)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":"encode response: %v"}`, err), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
 }
 
 // handleSolve validates the request, enqueues a job (429 when the queue is
@@ -242,12 +266,14 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	var req solveRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	req := reqPool.Get().(*solveRequest)
+	defer reqPool.Put(req)
+	*req = solveRequest{}
+	if err := json.NewDecoder(r.Body).Decode(req); err != nil {
 		httpError(w, http.StatusBadRequest, "parse request: %v", err)
 		return
 	}
-	j, err := s.newJob(req)
+	j, err := s.newJob(*req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return

@@ -79,7 +79,7 @@ func TestQueueFullReturns429(t *testing.T) {
 	srv := newServer(operon.DefaultConfig(), 1, 1, time.Minute, 0)
 	release := make(chan struct{})
 	started := make(chan struct{}, 8)
-	srv.solve = func(ctx context.Context, d signal.Design, cfg operon.Config) (*operon.Result, error) {
+	srv.solve = func(ctx context.Context, d signal.Design, cfg operon.Config, _ *operon.Workspace) (*operon.Result, error) {
 		started <- struct{}{}
 		select {
 		case <-release:
@@ -143,7 +143,7 @@ func TestDeadlineExceededReturnsDegraded(t *testing.T) {
 // degraded partial result, not a connection reset.
 func TestShutdownDegradesInFlight(t *testing.T) {
 	srv := newServer(operon.DefaultConfig(), 4, 1, time.Minute, 0)
-	srv.solve = func(ctx context.Context, d signal.Design, cfg operon.Config) (*operon.Result, error) {
+	srv.solve = func(ctx context.Context, d signal.Design, cfg operon.Config, _ *operon.Workspace) (*operon.Result, error) {
 		// Stand-in for RunContext's contract: block until cancelled, then
 		// return the degraded-but-feasible result.
 		<-ctx.Done()

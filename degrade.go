@@ -62,19 +62,21 @@ func (r *Result) markDegraded(ctx context.Context, cfg Config, stage string) {
 // a legal routing instead of an error. The WDM stage is skipped: an
 // all-electrical selection has no optical connections. Candidate and
 // selection stage spans are re-recorded for the floor work, so StageTimes
-// reflects the path actually taken.
-func (r *Result) degradeToElectricalFloor(ctx context.Context, cfg Config) error {
+// reflects the path actually taken. The floor reuses the run's workspace (a
+// nil ws means throwaway scratch) while keeping its ignore-the-context
+// semantics: the pool runs under context.Background().
+func (r *Result) degradeToElectricalFloor(ctx context.Context, cfg Config, ws *Workspace) error {
 	r.markDegraded(ctx, cfg, "candidates")
 
 	stop := startStage(cfg.Obs, "stage/candidates", &r.Times.Candidates)
 	hnets := r.HyperNets
 	nets := make([]selection.Net, len(hnets))
-	if err := parallel.ForEachWorker(len(hnets), cfg.Workers, func(w, i int) error {
+	if err := parallel.ForEachScratchContext(context.Background(), ws.arenaOf(), len(hnets), cfg.Workers, func(w int, s *parallel.Scratch, i int) error {
 		var sp obs.Span
 		if cfg.Obs != nil {
 			sp = cfg.Obs.Span("net/electrical-floor", obs.WorkerLane(w), obs.I("net", i))
 		}
-		cand, err := electricalCandidate(hnets[i], cfg)
+		cand, err := electricalCandidate(hnets[i], cfg, grabScratch(s, cfg.Obs))
 		if err != nil {
 			return err
 		}

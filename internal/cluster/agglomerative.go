@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"container/heap"
 	"sort"
 
 	"operon/internal/geom"
@@ -41,7 +40,7 @@ func Agglomerate(pts []geom.Point, threshold float64) [][]int {
 	if threshold > 0 && n > 1 {
 		pq := newPairQueue(centre)
 		for pq.Len() > 0 {
-			pr := heap.Pop(pq).(pair)
+			pr := pq.pop()
 			a, b := find(pr.a), find(pr.b)
 			if a == b || !alive[a] || !alive[b] {
 				continue
@@ -50,7 +49,7 @@ func Agglomerate(pts []geom.Point, threshold float64) [][]int {
 			d := centre[a].Dist(centre[b])
 			if d > pr.d+geom.Eps {
 				if d < threshold {
-					heap.Push(pq, pair{a: a, b: b, d: d})
+					pq.push(pair{a: a, b: b, d: d})
 				}
 				continue
 			}
@@ -68,7 +67,7 @@ func Agglomerate(pts []geom.Point, threshold float64) [][]int {
 			for c := 0; c < n; c++ {
 				if c != a && alive[c] {
 					if d := centre[a].Dist(centre[c]); d < threshold {
-						heap.Push(pq, pair{a: a, b: c, d: d})
+						pq.push(pair{a: a, b: c, d: d})
 					}
 				}
 			}
@@ -111,18 +110,64 @@ type pair struct {
 	d    float64
 }
 
+// pairQueue is a hand-rolled binary min-heap on centre distance. It mirrors
+// container/heap's sift algorithms exactly (same comparisons, same swaps, so
+// the pop order — and with it the clustering — is bit-identical to the
+// container/heap version it replaced) while avoiding the interface boxing
+// that made every Push/Pop allocate on the signal-processing hot path.
 type pairQueue []pair
 
-func (q pairQueue) Len() int            { return len(q) }
-func (q pairQueue) Less(i, j int) bool  { return q[i].d < q[j].d }
-func (q pairQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pairQueue) Push(x interface{}) { *q = append(*q, x.(pair)) }
-func (q *pairQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
+// Len returns the number of queued candidate pairs.
+func (q pairQueue) Len() int { return len(q) }
+
+// push adds a candidate pair and restores the heap order.
+func (q *pairQueue) push(p pair) {
+	*q = append(*q, p)
+	q.up(len(*q) - 1)
+}
+
+// pop removes and returns the closest pair.
+func (q *pairQueue) pop() pair {
+	h := *q
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	q.down(0, n)
+	it := (*q)[n]
+	*q = (*q)[:n]
 	return it
+}
+
+// up sifts element j towards the root (container/heap's up).
+func (q pairQueue) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !(q[j].d < q[i].d) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+}
+
+// down sifts element i0 towards the leaves within q[:n] (container/heap's
+// down).
+func (q pairQueue) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && q[j2].d < q[j1].d {
+			j = j2
+		}
+		if !(q[j].d < q[i].d) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
 }
 
 // newPairQueue seeds the merge queue with all point pairs. Quadratic seeding
@@ -135,6 +180,8 @@ func newPairQueue(centre []geom.Point) *pairQueue {
 			q = append(q, pair{a: i, b: j, d: centre[i].Dist(centre[j])})
 		}
 	}
-	heap.Init(&q)
+	for i := len(q)/2 - 1; i >= 0; i-- {
+		q.down(i, len(q))
+	}
 	return &q
 }

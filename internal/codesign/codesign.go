@@ -13,6 +13,11 @@
 // A labeling alone decodes unambiguously into conversion sites because the
 // DP never creates back-to-back OE→EO regeneration at a single node; see
 // Evaluate for the decode rules.
+//
+// The DP churns through many short-lived label vectors and option lists; a
+// Workspace owns all of that scratch so repeated Generate/Evaluate calls
+// (one per hyper net per flow) approach zero amortized allocation. All
+// entry points accept a nil Workspace and fall back to a throwaway one.
 package codesign
 
 import (
@@ -118,13 +123,161 @@ type rooted struct {
 	root     int
 }
 
-func buildRooted(t steiner.Tree) (*rooted, error) {
-	if err := t.Validate(); err != nil {
-		return nil, err
+// adjEntry is one (neighbour, edge) pair of the undirected adjacency used
+// while rooting the tree.
+type adjEntry struct{ node, edge int }
+
+// option is a DP state at a node. mode SELF: no light requested from the
+// parent; all optical structure below is sealed. mode RECV: the node
+// expects light from an optical parent edge; recvLoss describes the open
+// cone.
+type option struct {
+	labels      []Label
+	pow         float64
+	recvLoss    float64
+	sealedWorst float64
+	domainAtTop bool // SELF only: a modulator sits at this node
+}
+
+// partial is the in-progress merge state at a node.
+type partial struct {
+	labels      []Label
+	pow         float64
+	arms        int
+	maxArmLoss  float64
+	sealedWorst float64
+	hasEChild   bool
+}
+
+// frame is one node of the domain-decode walk in evaluateRooted. The
+// waveguide path back to the domain top is reconstructed from the rooted
+// parent chain at exit nodes, so frames carry only scalars.
+type frame struct {
+	node    int
+	lossDB  float64
+	crossDB float64
+}
+
+// Workspace owns every transient buffer Generate and Evaluate need: the
+// rooted-tree index, the DP option/partial lists, the label arena, and the
+// decode-walk scratch. Reusing one Workspace across calls makes steady-state
+// candidate generation nearly allocation-free. A Workspace is not safe for
+// concurrent use; give each worker its own (see internal/parallel.Scratch).
+type Workspace struct {
+	r       rooted
+	adj     [][]adjEntry
+	stack   []int
+	visited []bool
+	pre     []int
+
+	labels     labelArena
+	edgeLossDB []float64
+	edgeElecP  []float64
+	selfOpts   [][]option
+	recvOpts   [][]option
+	partials   []partial
+	next       []partial
+	selfs      []option
+	recvs      []option
+
+	frames []frame
+	chain  []int
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// labelArena is a bump allocator for the DP's short-lived label vectors.
+// All outstanding slices are invalidated by reset; slices that must outlive
+// a Generate call (Candidate.Labels) are copied out.
+type labelArena struct {
+	blocks [][]Label
+	cur    int
+	off    int
+}
+
+// reset rewinds the arena, keeping its blocks for reuse.
+func (a *labelArena) reset() { a.cur, a.off = 0, 0 }
+
+// alloc returns an uninitialised label slice of length n from the arena.
+func (a *labelArena) alloc(n int) []Label {
+	if n == 0 {
+		return nil
+	}
+	for {
+		if a.cur < len(a.blocks) {
+			b := a.blocks[a.cur]
+			if len(b)-a.off >= n {
+				s := b[a.off : a.off+n : a.off+n]
+				a.off += n
+				return s
+			}
+			a.cur++
+			a.off = 0
+			continue
+		}
+		size := 4096
+		if n > size {
+			size = n
+		}
+		a.blocks = append(a.blocks, make([]Label, size))
+	}
+}
+
+// allocZero is alloc with every element set to Electrical.
+func (a *labelArena) allocZero(n int) []Label {
+	s := a.alloc(n)
+	for i := range s {
+		s[i] = Electrical
+	}
+	return s
+}
+
+// merge returns the element-wise Optical-union of x and y in a fresh arena
+// slice of length n.
+func (a *labelArena) merge(x, y []Label, n int) []Label {
+	out := a.alloc(n)
+	for i := range out {
+		if x[i] == Optical || y[i] == Optical {
+			out[i] = Optical
+		} else {
+			out[i] = Electrical
+		}
+	}
+	return out
+}
+
+// growInts returns s resized to length n, reusing capacity when possible.
+// Contents are unspecified.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// growFloats is growInts for float64 slices.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// buildRooted roots the tree at terminal 0 into the workspace's reusable
+// rooted index, validating shape and connectivity inline (the DFS visits
+// every node exactly when the edge set forms one tree).
+func (ws *Workspace) buildRooted(t steiner.Tree) (*rooted, error) {
+	n := len(t.Nodes)
+	if n == 0 {
+		return nil, fmt.Errorf("codesign: empty tree")
+	}
+	if len(t.Edges) != n-1 {
+		return nil, fmt.Errorf("codesign: %d nodes but %d edges", n, len(t.Edges))
 	}
 	root := -1
-	for i, n := range t.Nodes {
-		if n.Terminal == 0 {
+	for i, nd := range t.Nodes {
+		if nd.Terminal == 0 {
 			root = i
 			break
 		}
@@ -132,35 +285,52 @@ func buildRooted(t steiner.Tree) (*rooted, error) {
 	if root < 0 {
 		return nil, fmt.Errorf("codesign: tree has no terminal 0 (source)")
 	}
-	n := len(t.Nodes)
-	r := &rooted{
-		tree:     t,
-		parent:   make([]int, n),
-		parentE:  make([]int, n),
-		children: make([][]int, n),
-		childE:   make([][]int, n),
-		root:     root,
+	r := &ws.r
+	r.tree = t
+	r.root = root
+	r.parent = growInts(r.parent, n)
+	r.parentE = growInts(r.parentE, n)
+	r.order = growInts(r.order, n)
+	for len(r.children) < n {
+		r.children = append(r.children, nil)
 	}
-	type adjEntry struct{ node, edge int }
-	adj := make([][]adjEntry, n)
-	for ei, e := range t.Edges {
-		adj[e.U] = append(adj[e.U], adjEntry{e.V, ei})
-		adj[e.V] = append(adj[e.V], adjEntry{e.U, ei})
+	for len(r.childE) < n {
+		r.childE = append(r.childE, nil)
 	}
-	for i := range r.parent {
+	for len(ws.adj) < n {
+		ws.adj = append(ws.adj, nil)
+	}
+	for i := 0; i < n; i++ {
 		r.parent[i] = -1
 		r.parentE[i] = -1
+		r.children[i] = r.children[i][:0]
+		r.childE[i] = r.childE[i][:0]
+		ws.adj[i] = ws.adj[i][:0]
+	}
+	for ei, e := range t.Edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("codesign: edge %d endpoints out of range", ei)
+		}
+		ws.adj[e.U] = append(ws.adj[e.U], adjEntry{e.V, ei})
+		ws.adj[e.V] = append(ws.adj[e.V], adjEntry{e.U, ei})
+	}
+	if cap(ws.visited) < n {
+		ws.visited = make([]bool, n)
+	}
+	visited := ws.visited[:n]
+	for i := range visited {
+		visited[i] = false
 	}
 	// Iterative DFS producing children lists and a post-order.
-	stack := []int{root}
-	visited := make([]bool, n)
+	stack := ws.stack[:0]
+	stack = append(stack, root)
 	visited[root] = true
-	var pre []int
+	pre := ws.pre[:0]
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		pre = append(pre, u)
-		for _, a := range adj[u] {
+		for _, a := range ws.adj[u] {
 			if !visited[a.node] {
 				visited[a.node] = true
 				r.parent[a.node] = u
@@ -171,9 +341,12 @@ func buildRooted(t steiner.Tree) (*rooted, error) {
 			}
 		}
 	}
+	ws.stack, ws.pre = stack, pre
+	if len(pre) != n {
+		return nil, fmt.Errorf("codesign: tree is disconnected (%d of %d reachable)", len(pre), n)
+	}
 	// Reverse preorder of a tree is a valid post-order (children before
 	// parents).
-	r.order = make([]int, len(pre))
 	for i, u := range pre {
 		r.order[len(pre)-1-i] = u
 	}
@@ -191,11 +364,140 @@ func (r *rooted) edgeSeg(ei int) geom.Segment {
 	return geom.Segment{A: r.tree.Nodes[e.U].Pt, B: r.tree.Nodes[e.V].Pt}
 }
 
+// sortPartialsByPow is an in-place, allocation-free heapsort of ps by
+// ascending pow (sort.Slice allocates a closure and a swapper per call,
+// which dominates the DP's allocation profile).
+func sortPartialsByPow(ps []partial) {
+	n := len(ps)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftPartial(ps, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		ps[0], ps[i] = ps[i], ps[0]
+		siftPartial(ps, 0, i)
+	}
+}
+
+func siftPartial(ps []partial, lo, hi int) {
+	root := lo
+	for {
+		c := 2*root + 1
+		if c >= hi {
+			return
+		}
+		if c+1 < hi && ps[c+1].pow > ps[c].pow {
+			c++
+		}
+		if ps[c].pow <= ps[root].pow {
+			return
+		}
+		ps[root], ps[c] = ps[c], ps[root]
+		root = c
+	}
+}
+
+// sortOptionsByPow is sortPartialsByPow for option lists.
+func sortOptionsByPow(os []option) {
+	n := len(os)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftOption(os, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		os[0], os[i] = os[i], os[0]
+		siftOption(os, 0, i)
+	}
+}
+
+func siftOption(os []option, lo, hi int) {
+	root := lo
+	for {
+		c := 2*root + 1
+		if c >= hi {
+			return
+		}
+		if c+1 < hi && os[c+1].pow > os[c].pow {
+			c++
+		}
+		if os[c].pow <= os[root].pow {
+			return
+		}
+		os[root], os[c] = os[c], os[root]
+		root = c
+	}
+}
+
+// prunePartials sorts ps by power and compacts it in place to the
+// non-dominated prefix, capped at maxKeep entries.
+func prunePartials(ps []partial, maxKeep int) []partial {
+	sortPartialsByPow(ps)
+	k := 0
+	for i := range ps {
+		p := ps[i]
+		dominated := false
+		for j := 0; j < k; j++ {
+			kp := &ps[j]
+			if kp.pow <= p.pow+geom.Eps &&
+				kp.maxArmLoss <= p.maxArmLoss+geom.Eps &&
+				kp.arms <= p.arms &&
+				kp.sealedWorst <= p.sealedWorst+geom.Eps &&
+				kp.hasEChild == p.hasEChild {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			ps[k] = p
+			k++
+			if k >= maxKeep {
+				break
+			}
+		}
+	}
+	return ps[:k]
+}
+
+// pruneOptions is prunePartials over option lists; keepLoss additionally
+// treats recvLoss as a pruning coordinate (RECV options).
+func pruneOptions(os []option, keepLoss bool, maxKeep int) []option {
+	sortOptionsByPow(os)
+	k := 0
+	for i := range os {
+		o := os[i]
+		dominated := false
+		for j := 0; j < k; j++ {
+			kp := &os[j]
+			if kp.pow <= o.pow+geom.Eps &&
+				kp.sealedWorst <= o.sealedWorst+geom.Eps &&
+				(!keepLoss || kp.recvLoss <= o.recvLoss+geom.Eps) &&
+				kp.domainAtTop == o.domainAtTop {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			os[k] = o
+			k++
+			if k >= maxKeep {
+				break
+			}
+		}
+	}
+	return os[:k]
+}
+
 // Generate runs the co-design DP and returns the pruned candidate set,
 // always including the pure-electrical fallback (last, marked
 // AllElectrical). Candidates whose estimated worst path loss exceeds the
 // budget are discarded during the DP.
-func Generate(in Input) ([]Candidate, error) {
+func Generate(in Input) ([]Candidate, error) { return GenerateWS(in, nil) }
+
+// GenerateWS is Generate with an explicit workspace; a nil ws allocates a
+// throwaway one. The returned candidates own all their slices — nothing
+// aliases ws — so the same workspace can serve the next net immediately.
+func GenerateWS(in Input, ws *Workspace) ([]Candidate, error) {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	if in.Bits <= 0 {
 		return nil, fmt.Errorf("codesign: bits %d must be positive", in.Bits)
 	}
@@ -205,7 +507,7 @@ func Generate(in Input) ([]Candidate, error) {
 	if err := in.Elec.Validate(); err != nil {
 		return nil, err
 	}
-	r, err := buildRooted(in.Tree)
+	r, err := ws.buildRooted(in.Tree)
 	if err != nil {
 		return nil, err
 	}
@@ -214,13 +516,15 @@ func Generate(in Input) ([]Candidate, error) {
 		maxOpts = 24
 	}
 
+	nNodes := len(in.Tree.Nodes)
 	nEdges := len(in.Tree.Edges)
 	bits := float64(in.Bits)
 	modP := in.Lib.ConversionPowerMW(1, 0) * bits
 	detP := in.Lib.ConversionPowerMW(0, 1) * bits
 
-	edgeLossDB := make([]float64, nEdges)
-	edgeElecP := make([]float64, nEdges)
+	ws.edgeLossDB = growFloats(ws.edgeLossDB, nEdges)
+	ws.edgeElecP = growFloats(ws.edgeElecP, nEdges)
+	edgeLossDB, edgeElecP := ws.edgeLossDB, ws.edgeElecP
 	for ei := range in.Tree.Edges {
 		seg := r.edgeSeg(ei)
 		crossings := geom.CrossingsWithSegment(seg, in.Env)
@@ -229,100 +533,28 @@ func Generate(in Input) ([]Candidate, error) {
 		edgeElecP[ei] = in.Elec.BusPowerMW(seg.ManhattanLength(), in.Bits)
 	}
 
-	// option is a DP state at a node. mode SELF: no light requested from the
-	// parent; all optical structure below is sealed. mode RECV: the node
-	// expects light from an optical parent edge; recvLoss/recvDets describe
-	// the open cone.
-	type option struct {
-		labels      []Label
-		pow         float64
-		recvLoss    float64
-		sealedWorst float64
-		domainAtTop bool // SELF only: a modulator sits at this node
+	for len(ws.selfOpts) < nNodes {
+		ws.selfOpts = append(ws.selfOpts, nil)
 	}
-
-	selfOpts := make([][]option, len(in.Tree.Nodes))
-	recvOpts := make([][]option, len(in.Tree.Nodes))
-
-	newLabels := func() []Label { return make([]Label, nEdges) }
-	mergeLabels := func(a, b []Label) []Label {
-		out := make([]Label, nEdges)
-		for i := range out {
-			if a[i] == Optical || b[i] == Optical {
-				out[i] = Optical
-			}
-		}
-		return out
+	for len(ws.recvOpts) < nNodes {
+		ws.recvOpts = append(ws.recvOpts, nil)
 	}
+	selfOpts, recvOpts := ws.selfOpts, ws.recvOpts
 
-	// partial is the in-progress merge state at a node.
-	type partial struct {
-		labels      []Label
-		pow         float64
-		arms        int
-		maxArmLoss  float64
-		sealedWorst float64
-		hasEChild   bool
-	}
-
-	prunePartials := func(ps []partial) []partial {
-		sort.Slice(ps, func(i, j int) bool { return ps[i].pow < ps[j].pow })
-		var kept []partial
-		for _, p := range ps {
-			dominated := false
-			for _, k := range kept {
-				if k.pow <= p.pow+geom.Eps &&
-					k.maxArmLoss <= p.maxArmLoss+geom.Eps &&
-					k.arms <= p.arms &&
-					k.sealedWorst <= p.sealedWorst+geom.Eps &&
-					k.hasEChild == p.hasEChild {
-					dominated = true
-					break
-				}
-			}
-			if !dominated {
-				kept = append(kept, p)
-				if len(kept) >= maxOpts*4 {
-					break
-				}
-			}
-		}
-		return kept
-	}
-
-	pruneOptions := func(os []option, keepLoss bool) []option {
-		sort.Slice(os, func(i, j int) bool { return os[i].pow < os[j].pow })
-		var kept []option
-		for _, o := range os {
-			dominated := false
-			for _, k := range kept {
-				if k.pow <= o.pow+geom.Eps &&
-					k.sealedWorst <= o.sealedWorst+geom.Eps &&
-					(!keepLoss || k.recvLoss <= o.recvLoss+geom.Eps) &&
-					k.domainAtTop == o.domainAtTop {
-					dominated = true
-					break
-				}
-			}
-			if !dominated {
-				kept = append(kept, o)
-				if len(kept) >= maxOpts {
-					break
-				}
-			}
-		}
-		return kept
-	}
+	la := &ws.labels
+	la.reset()
 
 	for _, v := range r.order {
-		partials := []partial{{labels: newLabels(), maxArmLoss: math.Inf(-1)}}
+		partials := ws.partials[:0]
+		partials = append(partials, partial{labels: la.allocZero(nEdges), maxArmLoss: math.Inf(-1)})
+		next := ws.next
 		for ci, c := range r.children[v] {
 			ei := r.childE[v][ci]
-			var next []partial
+			next = next[:0]
 			for _, p := range partials {
 				// Label the edge Electrical: consume the child's SELF options.
 				for _, co := range selfOpts[c] {
-					lb := mergeLabels(p.labels, co.labels)
+					lb := la.merge(p.labels, co.labels, nEdges)
 					lb[ei] = Electrical
 					next = append(next, partial{
 						labels:      lb,
@@ -335,7 +567,7 @@ func Generate(in Input) ([]Candidate, error) {
 				}
 				// Label the edge Optical.
 				for _, co := range recvOpts[c] {
-					lb := mergeLabels(p.labels, co.labels)
+					lb := la.merge(p.labels, co.labels, nEdges)
 					lb[ei] = Optical
 					next = append(next, partial{
 						labels:      lb,
@@ -353,7 +585,7 @@ func Generate(in Input) ([]Candidate, error) {
 					if co.domainAtTop {
 						continue
 					}
-					lb := mergeLabels(p.labels, co.labels)
+					lb := la.merge(p.labels, co.labels, nEdges)
 					lb[ei] = Optical
 					next = append(next, partial{
 						labels:      lb,
@@ -365,11 +597,11 @@ func Generate(in Input) ([]Candidate, error) {
 					})
 				}
 			}
-			partials = prunePartials(next)
+			partials, next = prunePartials(next, maxOpts*4), partials
 		}
 
 		// Finalize the node's options.
-		var selfs, recvs []option
+		selfs, recvs := ws.selfs[:0], ws.recvs[:0]
 		for _, p := range partials {
 			if p.arms == 0 {
 				selfs = append(selfs, option{
@@ -413,15 +645,19 @@ func Generate(in Input) ([]Candidate, error) {
 				}
 			}
 		}
-		selfOpts[v] = pruneOptions(selfs, false)
-		recvOpts[v] = pruneOptions(recvs, true)
+		ws.selfs, ws.recvs = selfs, recvs
+		// Copy the pruned option lists into the per-node buffers so the
+		// shared selfs/recvs scratch can be reused at the next node.
+		selfOpts[v] = append(selfOpts[v][:0], pruneOptions(selfs, false, maxOpts)...)
+		recvOpts[v] = append(recvOpts[v][:0], pruneOptions(recvs, true, maxOpts)...)
+		ws.partials, ws.next = partials, next
 	}
 
 	// Root SELF options are the candidate labelings.
 	var out []Candidate
 	sawAllE := false
 	for _, o := range selfOpts[r.root] {
-		cand, feasible := Evaluate(in, o.labels)
+		cand, feasible := evaluateRooted(in, r, o.labels, ws)
 		if !feasible {
 			continue
 		}
@@ -434,7 +670,7 @@ func Generate(in Input) ([]Candidate, error) {
 		out = append(out, cand)
 	}
 	if !sawAllE {
-		allE, _ := Evaluate(in, make([]Label, nEdges))
+		allE, _ := evaluateRooted(in, r, la.allocZero(nEdges), ws)
 		out = append(out, allE)
 	}
 	out = paretoFilter(out)
@@ -457,17 +693,46 @@ func Generate(in Input) ([]Candidate, error) {
 // optical path satisfies the loss budget under the Env-estimated crossing
 // loss.
 func Evaluate(in Input, labels []Label) (Candidate, bool) {
-	r, err := buildRooted(in.Tree)
+	return EvaluateWS(in, labels, nil)
+}
+
+// EvaluateWS is Evaluate with an explicit workspace (nil allocates a
+// throwaway one). The returned Candidate owns its slices; nothing aliases ws.
+func EvaluateWS(in Input, labels []Label, ws *Workspace) (Candidate, bool) {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	r, err := ws.buildRooted(in.Tree)
 	if err != nil {
 		return Candidate{}, false
 	}
+	return evaluateRooted(in, r, labels, ws)
+}
+
+// evaluateRooted is the decode core behind Evaluate; r must be ws.buildRooted
+// of in.Tree, which lets Generate decode every root option without re-rooting
+// the tree each time.
+func evaluateRooted(in Input, r *rooted, labels []Label, ws *Workspace) (Candidate, bool) {
 	if len(labels) != len(in.Tree.Edges) {
 		return Candidate{}, false
 	}
 	bits := in.Bits
 	c := Candidate{Labels: append([]Label(nil), labels...)}
 
-	// Electrical power and optical segment collection.
+	// Electrical power and optical segment collection, with exact-size
+	// allocations (these slices escape into the candidate).
+	nOpt := 0
+	for _, l := range labels {
+		if l == Optical {
+			nOpt++
+		}
+	}
+	if nOpt > 0 {
+		c.OpticalSegs = make([]geom.Segment, 0, nOpt)
+	}
+	if nElec := len(labels) - nOpt; nElec > 0 {
+		c.ElecSegs = make([]geom.Segment, 0, nElec)
+	}
 	for ei, e := range in.Tree.Edges {
 		seg := geom.Segment{A: in.Tree.Nodes[e.U].Pt, B: in.Tree.Nodes[e.V].Pt}
 		if labels[ei] == Electrical {
@@ -480,6 +745,9 @@ func Evaluate(in Input, labels []Label) (Candidate, bool) {
 	c.PowerMW = in.Elec.BusPowerMW(c.ElecWirelenCM, bits)
 	c.AllElectrical = len(c.OpticalSegs) == 0
 
+	modP := in.Lib.ConversionPowerMW(1, 0) * float64(bits)
+	detP := in.Lib.ConversionPowerMW(0, 1) * float64(bits)
+
 	// Decode optical domains.
 	feasible := true
 	for v := range in.Tree.Nodes {
@@ -487,42 +755,36 @@ func Evaluate(in Input, labels []Label) (Candidate, bool) {
 			continue
 		}
 		c.NumMod++
-		c.PowerMW += in.Lib.ConversionPowerMW(1, 0) * float64(bits)
+		c.PowerMW += modP
 		c.ModSites = append(c.ModSites, in.Tree.Nodes[v].Pt)
 		// Walk the domain from its top, accumulating loss along each path.
-		type frame struct {
-			node    int
-			lossDB  float64
-			crossDB float64
-			segs    []geom.Segment
-		}
-		stack := []frame{{node: v}}
+		stack := ws.frames[:0]
+		stack = append(stack, frame{node: v})
 		for len(stack) > 0 {
 			f := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			u := f.node
-			var optChildren, optEdges []int
+			nOptCh := 0
 			hasEChild := false
-			for ci, ch := range r.children[u] {
+			for ci := range r.children[u] {
 				if labels[r.childE[u][ci]] == Optical {
-					optChildren = append(optChildren, ch)
-					optEdges = append(optEdges, r.childE[u][ci])
+					nOptCh++
 				} else {
 					hasEChild = true
 				}
 			}
 			selfExit := u != v && (r.isSink(u) || hasEChild || len(r.children[u]) == 0)
-			arms := len(optChildren)
+			arms := nOptCh
 			if selfExit {
 				arms++
 			}
 			split := optics.SplittingLossDB(arms)
 			if selfExit {
 				c.NumDet++
-				c.PowerMW += in.Lib.ConversionPowerMW(0, 1) * float64(bits)
+				c.PowerMW += detP
 				c.DetSites = append(c.DetSites, in.Tree.Nodes[u].Pt)
 				p := Path{
-					Segs:           append([]geom.Segment(nil), f.segs...),
+					Segs:           pathSegs(r, v, u, ws),
 					FixedLossDB:    f.lossDB + split,
 					EstCrossLossDB: f.crossDB,
 				}
@@ -531,17 +793,21 @@ func Evaluate(in Input, labels []Label) (Candidate, bool) {
 					feasible = false
 				}
 			}
-			for i, ch := range optChildren {
-				seg := r.edgeSeg(optEdges[i])
+			for ci, ch := range r.children[u] {
+				ei := r.childE[u][ci]
+				if labels[ei] != Optical {
+					continue
+				}
+				seg := r.edgeSeg(ei)
 				crossings := geom.CrossingsWithSegment(seg, in.Env)
 				stack = append(stack, frame{
 					node:    ch,
 					lossDB:  f.lossDB + split + in.Lib.PropagationLossDB(seg.Length()),
 					crossDB: f.crossDB + in.Lib.CrossingLossDB(crossings),
-					segs:    append(append([]geom.Segment(nil), f.segs...), seg),
 				})
 			}
 		}
+		ws.frames = stack
 	}
 	for _, p := range c.Paths {
 		if p.FixedLossDB > c.MaxFixedLossDB {
@@ -549,6 +815,23 @@ func Evaluate(in Input, labels []Label) (Candidate, bool) {
 		}
 	}
 	return c, feasible
+}
+
+// pathSegs reconstructs the waveguide path from domain top to exit node u
+// by walking the rooted parent chain — every edge on it is optical by
+// construction of the domain walk. The result is a fresh exact-size slice
+// (it escapes into the candidate); only the chain index buffer is reused.
+func pathSegs(r *rooted, top, u int, ws *Workspace) []geom.Segment {
+	chain := ws.chain[:0]
+	for x := u; x != top; x = r.parent[x] {
+		chain = append(chain, r.parentE[x])
+	}
+	ws.chain = chain
+	segs := make([]geom.Segment, len(chain))
+	for i := range segs {
+		segs[i] = r.edgeSeg(chain[len(chain)-1-i])
+	}
+	return segs
 }
 
 // paretoFilter drops candidates strictly dominated in (power, worst fixed

@@ -158,7 +158,16 @@ type bnode struct {
 	v      int     // variable whose bounds this node tightens
 	lo, up float64
 	parent *bnode
-	basis  *lp.Basis // parent's optimal basis (shared by both children)
+	basis  *basisRef // parent's optimal basis (shared by both children)
+}
+
+// basisRef wraps a basis snapshot with a reference count so the search can
+// recycle the snapshot's slices once every holder (the creating node plus
+// its two children) has consumed it. Steady-state branch and bound then
+// keeps a small free pool of bases instead of allocating one per node.
+type basisRef struct {
+	b    lp.Basis
+	refs int
 }
 
 type nodeQueue []*bnode
@@ -239,18 +248,49 @@ func Solve(p Problem, opt Options) (Result, error) {
 		}
 	}
 
-	relax := func(warm *lp.Basis) (lp.Solution, *lp.Basis, error) {
+	// The relaxation writes into caller-owned Solution/Basis scratch via
+	// SolveBoundsInto, so the node loop re-solves without per-node
+	// allocation. nodeSol carries the current node's relaxation; roundSol
+	// and roundBasis are separate because tryRound runs while nodeSol's X
+	// is still being branched on.
+	nodeSol, roundSol := &lp.Solution{}, &lp.Solution{}
+	var roundBasis lp.Basis
+	relax := func(warm *lp.Basis, sol *lp.Solution, out *lp.Basis) error {
 		t0 := time.Now()
-		sol, basis, err := solver.SolveBounds(lo, up, warm, lpOpt)
+		err := solver.SolveBoundsInto(lo, up, warm, lpOpt, sol, out)
 		res.LPSolves++
 		if warm != nil && errors.Is(err, lp.ErrNumerical) {
 			// A warm basis can be numerically hopeless under the child
 			// bounds; retry from the all-slack start before giving up.
-			sol, basis, err = solver.SolveBounds(lo, up, nil, lpOpt)
+			err = solver.SolveBoundsInto(lo, up, nil, lpOpt, sol, out)
 			res.LPSolves++
 		}
 		res.LPTime += time.Since(t0)
-		return sol, basis, err
+		return err
+	}
+
+	// Basis snapshots are pooled: a node's snapshot is held by the node
+	// itself plus its two children, and returns to the free pool once all
+	// three release it.
+	cBasisReuse := opt.Obs.Counter("ilp.basis_reuse")
+	var basisFree []*basisRef
+	newBasisRef := func() *basisRef {
+		if n := len(basisFree); n > 0 {
+			br := basisFree[n-1]
+			basisFree = basisFree[:n-1]
+			br.refs = 1
+			cBasisReuse.Inc()
+			return br
+		}
+		return &basisRef{refs: 1}
+	}
+	release := func(br *basisRef) {
+		if br == nil {
+			return
+		}
+		if br.refs--; br.refs == 0 {
+			basisFree = append(basisFree, br)
+		}
 	}
 
 	var incumbent []float64
@@ -298,11 +338,11 @@ func Solve(p Problem, opt Options) (Result, error) {
 				lo[v], up[v] = 0, 0
 			}
 		}
-		s, _, err := relax(warm)
+		err := relax(warm, roundSol, &roundBasis)
 		copy(lo, savedLo)
 		copy(up, savedUp)
-		if err == nil && s.Status == lp.Optimal {
-			record(s.X, s.Objective)
+		if err == nil && roundSol.Status == lp.Optimal {
+			record(roundSol.X, roundSol.Objective)
 		}
 		if errors.Is(err, lp.ErrTooLarge) {
 			err = nil
@@ -313,7 +353,8 @@ func Solve(p Problem, opt Options) (Result, error) {
 	// Root relaxation.
 	copy(lo, rootLo)
 	copy(up, rootUp)
-	rootSol, rootBasis, err := relax(nil)
+	rootRef := newBasisRef()
+	err = relax(nil, nodeSol, &rootRef.b)
 	if errors.Is(err, lp.ErrTooLarge) {
 		// The relaxation alone exceeds the memory budget; report a limit so
 		// callers fall back, mirroring the paper's ">3000 s" outcomes.
@@ -329,10 +370,10 @@ func Solve(p Problem, opt Options) (Result, error) {
 	if opt.Obs != nil {
 		opt.Obs.Event("ilp/node", obs.LaneFlow,
 			obs.I("node", 1), obs.I("depth", 0),
-			obs.F("bound", rootSol.Objective), obs.I("pivots", rootSol.Iterations),
-			obs.S("status", rootSol.Status.String()))
+			obs.F("bound", nodeSol.Objective), obs.I("pivots", nodeSol.Iterations),
+			obs.S("status", nodeSol.Status.String()))
 	}
-	switch rootSol.Status {
+	switch nodeSol.Status {
 	case lp.Infeasible:
 		res.Status = Infeasible
 		res.Elapsed = time.Since(start)
@@ -345,10 +386,10 @@ func Solve(p Problem, opt Options) (Result, error) {
 		return res, nil
 	}
 
-	rootBranch := fractionalVar(rootSol.X)
+	rootBranch := fractionalVar(nodeSol.X)
 	if rootBranch < 0 {
 		// Integral root: proven optimal without branching.
-		record(rootSol.X, rootSol.Objective)
+		record(nodeSol.X, nodeSol.Objective)
 		res.Status = Optimal
 		res.X = incumbent
 		res.Elapsed = time.Since(start)
@@ -357,14 +398,15 @@ func Solve(p Problem, opt Options) (Result, error) {
 	// Round the root relaxation immediately so even a solve that hits its
 	// limit before the first branch completes reports an incumbent when
 	// one is that easy to find (affects how ">limit" rows are reported).
-	if err := tryRound(rootSol.X, rootBasis); err != nil {
+	if err := tryRound(nodeSol.X, &rootRef.b); err != nil {
 		return Result{}, err
 	}
 
 	pq := &nodeQueue{}
 	heap.Init(pq)
-	pushChildren := func(parent *bnode, sol lp.Solution, basis *lp.Basis, branchVar int) {
+	pushChildren := func(parent *bnode, sol *lp.Solution, br *basisRef, branchVar int) {
 		r := math.Round(sol.X[branchVar])
+		br.refs += 2
 		for _, val := range []float64{r, 1 - r} {
 			heap.Push(pq, &bnode{
 				bound:  sol.Objective,
@@ -372,11 +414,12 @@ func Solve(p Problem, opt Options) (Result, error) {
 				lo:     val,
 				up:     val,
 				parent: parent,
-				basis:  basis,
+				basis:  br,
 			})
 		}
 	}
-	pushChildren(nil, rootSol, rootBasis, rootBranch)
+	pushChildren(nil, nodeSol, rootRef, rootBranch)
+	release(rootRef)
 
 	for pq.Len() > 0 {
 		res.Nodes++
@@ -391,10 +434,13 @@ func Solve(p Problem, opt Options) (Result, error) {
 		}
 		nd := heap.Pop(pq).(*bnode)
 		if nd.bound >= res.Objective-1e-9 {
+			release(nd.basis)
 			continue // pruned by incumbent
 		}
 		materialize(nd)
-		sol, basis, err := relax(nd.basis)
+		childRef := newBasisRef()
+		err := relax(&nd.basis.b, nodeSol, &childRef.b)
+		release(nd.basis) // warm start consumed
 		if errors.Is(err, lp.ErrTooLarge) {
 			res.TimedOut = true
 			break
@@ -404,32 +450,36 @@ func Solve(p Problem, opt Options) (Result, error) {
 		}
 		if opt.Obs != nil {
 			bound := nd.bound
-			if sol.Status == lp.Optimal {
-				bound = sol.Objective
+			if nodeSol.Status == lp.Optimal {
+				bound = nodeSol.Objective
 			}
 			opt.Obs.Event("ilp/node", obs.LaneFlow,
 				obs.I("node", res.Nodes), obs.I("depth", nodeDepth(nd)),
-				obs.F("bound", bound), obs.I("pivots", sol.Iterations),
-				obs.S("status", sol.Status.String()))
+				obs.F("bound", bound), obs.I("pivots", nodeSol.Iterations),
+				obs.S("status", nodeSol.Status.String()))
 		}
-		if sol.Status != lp.Optimal {
+		if nodeSol.Status != lp.Optimal {
+			release(childRef)
 			continue // infeasible or numerically stuck subtree
 		}
-		if sol.Objective >= res.Objective-1e-9 {
+		if nodeSol.Objective >= res.Objective-1e-9 {
+			release(childRef)
 			continue
 		}
-		branchVar := fractionalVar(sol.X)
+		branchVar := fractionalVar(nodeSol.X)
 		if branchVar < 0 {
 			// Integral: incumbent.
-			record(sol.X, sol.Objective)
+			record(nodeSol.X, nodeSol.Objective)
+			release(childRef)
 			continue
 		}
 		if incumbent == nil {
-			if err := tryRound(sol.X, basis); err != nil {
+			if err := tryRound(nodeSol.X, &childRef.b); err != nil {
 				return Result{}, err
 			}
 		}
-		pushChildren(nd, sol, basis, branchVar)
+		pushChildren(nd, nodeSol, childRef, branchVar)
+		release(childRef)
 	}
 
 	res.Elapsed = time.Since(start)

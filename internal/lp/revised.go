@@ -36,7 +36,7 @@ type BoundedSolver struct {
 	prob Problem
 	// A is the column-compressed constraint matrix (structural plus slack
 	// columns), capitalised after the conventional simplex notation Ax = b.
-	A csc
+	A    csc
 	m    int // rows
 	n    int // structural columns
 	nTot int // n + m (slacks)
@@ -62,6 +62,19 @@ type BoundedSolver struct {
 
 	// Dense scratch vectors, length m.
 	dir, rho, y, sigma []float64
+
+	// Factorisation scratch, reused across refactorisations (refactor ran
+	// hot enough that its ~15 per-call allocations dominated the LP
+	// allocation profile).
+	fOrder, fHints         []int32
+	fRowStart, fRowSlot    []int32
+	fColCnt, fRowCnt       []int32
+	fCursor                []int32
+	fColActive, fRowActive []bool
+	fRowQ, fColQ           []int32
+	fBackSlots, fBackRows  []int32
+	fCols                  []int32
+	fRowTaken              []bool
 
 	ctx      context.Context
 	deadline time.Time
@@ -125,18 +138,39 @@ func (s *BoundedSolver) workspaceBytes() int64 {
 // primal feasibility is restored by dual simplex pivots. The returned
 // Basis snapshot is independent of solver state and safe to retain.
 func (s *BoundedSolver) SolveBounds(lo, up []float64, warm *Basis, opt Options) (Solution, *Basis, error) {
+	var sol Solution
+	out := &Basis{}
+	if err := s.SolveBoundsInto(lo, up, warm, opt, &sol, out); err != nil {
+		return Solution{}, nil, err
+	}
+	return sol, out, nil
+}
+
+// SolveInto solves with the Problem's default bounds into reusable outputs;
+// it is SolveBoundsInto with nil bound overrides.
+func (s *BoundedSolver) SolveInto(warm *Basis, opt Options, sol *Solution, out *Basis) error {
+	return s.SolveBoundsInto(nil, nil, warm, opt, sol, out)
+}
+
+// SolveBoundsInto is the reusable-workspace form of SolveBounds: the
+// solution is written into sol (reusing sol.X's capacity) and the basis
+// snapshot into out (reusing its slices), so a steady-state caller holding
+// both across solves allocates nothing here. sol and out must be non-nil;
+// out may be the same *Basis passed as warm (the warm basis is consumed
+// before the snapshot is written).
+func (s *BoundedSolver) SolveBoundsInto(lo, up []float64, warm *Basis, opt Options, sol *Solution, out *Basis) error {
 	maxBytes := opt.MaxTableauBytes
 	if maxBytes == 0 {
 		maxBytes = 3 << 29 // 1.5 GiB
 	}
 	if bytes := s.workspaceBytes(); bytes > maxBytes {
-		return Solution{}, nil, fmt.Errorf("%w: needs %d bytes", ErrTooLarge, bytes)
+		return fmt.Errorf("%w: needs %d bytes", ErrTooLarge, bytes)
 	}
 	if lo != nil && len(lo) != s.n {
-		return Solution{}, nil, fmt.Errorf("lp: %d lower bounds for %d variables", len(lo), s.n)
+		return fmt.Errorf("lp: %d lower bounds for %d variables", len(lo), s.n)
 	}
 	if up != nil && len(up) != s.n {
-		return Solution{}, nil, fmt.Errorf("lp: %d upper bounds for %d variables", len(up), s.n)
+		return fmt.Errorf("lp: %d upper bounds for %d variables", len(up), s.n)
 	}
 	s.setBounds(lo, up)
 	s.ctx, s.deadline = opt.effectiveBudget()
@@ -157,30 +191,32 @@ func (s *BoundedSolver) SolveBounds(lo, up []float64, warm *Basis, opt Options) 
 	warmLoaded := s.loadBasis(warm)
 	if err := s.refactor(); err != nil {
 		if !warmLoaded {
-			return Solution{}, nil, err
+			return err
 		}
 		// A stale warm basis can be singular under the new bounds; restart
 		// cold rather than failing the solve.
 		warmLoaded = false
 		s.loadBasis(nil)
 		if err := s.refactor(); err != nil {
-			return Solution{}, nil, err
+			return err
 		}
 	}
 	s.computeXB()
 
 	st := s.solveLoaded(warmLoaded)
 	if s.numErr != nil {
-		return Solution{}, nil, s.numErr
+		return s.numErr
 	}
-	sol := Solution{Status: st, Iterations: s.iter}
+	sol.Status, sol.Iterations, sol.Objective = st, s.iter, 0
+	sol.X = sol.X[:0]
 	if st == Optimal {
-		sol.X = s.extract()
+		sol.X = s.extractInto(sol.X)
 		for i, cv := range s.prob.Objective {
 			sol.Objective += cv * sol.X[i]
 		}
 	}
-	return sol, s.snapshot(), nil
+	s.snapshotInto(out)
+	return nil
 }
 
 // solveLoaded runs the simplex phases on the already-factorised basis.
@@ -282,15 +318,19 @@ func (s *BoundedSolver) loadBasis(warm *Basis) bool {
 	return false
 }
 
-// snapshot exports the current basis for warm starts.
-func (s *BoundedSolver) snapshot() *Basis {
-	b := &Basis{
-		Basic:   make([]int32, s.m),
-		AtUpper: make([]bool, s.nTot),
+// snapshotInto exports the current basis into b for warm starts, reusing
+// its slices when they have capacity.
+func (s *BoundedSolver) snapshotInto(b *Basis) {
+	if cap(b.Basic) < s.m {
+		b.Basic = make([]int32, s.m)
 	}
+	b.Basic = b.Basic[:s.m]
 	copy(b.Basic, s.basic)
+	if cap(b.AtUpper) < s.nTot {
+		b.AtUpper = make([]bool, s.nTot)
+	}
+	b.AtUpper = b.AtUpper[:s.nTot]
 	copy(b.AtUpper, s.atUp)
-	return b
 }
 
 // valOf returns the resting value of nonbasic column j.
@@ -321,13 +361,24 @@ func (s *BoundedSolver) valOf(j int) float64 {
 // against a stability threshold and falls back to the largest free pivot.
 func (s *BoundedSolver) factorOrder() (order, hints []int32) {
 	m := s.m
-	order = make([]int32, 0, m)
-	hints = make([]int32, 0, m)
+	order = s.fOrder[:0]
+	if cap(order) < m {
+		order = make([]int32, 0, m)
+	}
+	hints = s.fHints[:0]
+	if cap(hints) < m {
+		hints = make([]int32, 0, m)
+	}
 
 	// Row-wise view of the basis: rowSlot[rowStart[r]:rowStart[r+1]] lists
-	// the basis slots whose column contains row r.
-	rowStart := make([]int32, m+1)
-	colCnt := make([]int32, m)
+	// the basis slots whose column contains row r. rowStart is the only
+	// scratch array that must arrive zeroed (it accumulates counts); the
+	// rest are fully overwritten before use.
+	rowStart := i32Scratch(&s.fRowStart, m+1)
+	for i := range rowStart {
+		rowStart[i] = 0
+	}
+	colCnt := i32Scratch(&s.fColCnt, m)
 	for k := 0; k < m; k++ {
 		ri, _ := s.A.col(int(s.basic[k]))
 		colCnt[k] = int32(len(ri))
@@ -335,13 +386,13 @@ func (s *BoundedSolver) factorOrder() (order, hints []int32) {
 			rowStart[r+1]++
 		}
 	}
-	rowCnt := make([]int32, m)
+	rowCnt := i32Scratch(&s.fRowCnt, m)
 	for r := 0; r < m; r++ {
 		rowCnt[r] = rowStart[r+1]
 		rowStart[r+1] += rowStart[r]
 	}
-	rowSlot := make([]int32, rowStart[m])
-	cursor := make([]int32, m)
+	rowSlot := i32Scratch(&s.fRowSlot, int(rowStart[m]))
+	cursor := i32Scratch(&s.fCursor, m)
 	copy(cursor, rowStart[:m])
 	for k := 0; k < m; k++ {
 		ri, _ := s.A.col(int(s.basic[k]))
@@ -351,9 +402,9 @@ func (s *BoundedSolver) factorOrder() (order, hints []int32) {
 		}
 	}
 
-	colActive := make([]bool, m)
-	rowActive := make([]bool, m)
-	var rowQ, colQ []int32
+	colActive := boolScratch(&s.fColActive, m)
+	rowActive := boolScratch(&s.fRowActive, m)
+	rowQ, colQ := s.fRowQ[:0], s.fColQ[:0]
 	for k := 0; k < m; k++ {
 		colActive[k] = true
 		rowActive[k] = true
@@ -369,7 +420,7 @@ func (s *BoundedSolver) factorOrder() (order, hints []int32) {
 		}
 	}
 
-	var backSlots, backRows []int32
+	backSlots, backRows := s.fBackSlots[:0], s.fBackRows[:0]
 	processed := 0
 	deactivate := func(k, r int32) {
 		colActive[k] = false
@@ -471,7 +522,35 @@ func (s *BoundedSolver) factorOrder() (order, hints []int32) {
 		order = append(order, backSlots[i])
 		hints = append(hints, backRows[i])
 	}
+	// Park the grown buffers for the next refactorisation; refactor consumes
+	// order/hints before factorOrder can run again, so handing them back out
+	// next call is safe.
+	s.fOrder, s.fHints = order, hints
+	s.fRowQ, s.fColQ = rowQ, colQ
+	s.fBackSlots, s.fBackRows = backSlots, backRows
 	return order, hints
+}
+
+// i32Scratch resizes *buf to length n without zeroing, reallocating only on
+// capacity growth; callers must fully overwrite the result (or zero it
+// themselves) before reading.
+func i32Scratch(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// boolScratch resizes *buf to length n without zeroing, reallocating only on
+// capacity growth; callers must fully overwrite the result (or zero it
+// themselves) before reading.
+func boolScratch(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // refactor rebuilds the eta file from the current basic set in the
@@ -486,10 +565,13 @@ func (s *BoundedSolver) factorOrder() (order, hints []int32) {
 func (s *BoundedSolver) refactor() error {
 	s.cRefactors.Inc()
 	order, hints := s.factorOrder()
-	cols := make([]int32, s.m)
+	cols := i32Scratch(&s.fCols, s.m)
 	copy(cols, s.basic)
 	s.etas.reset()
-	rowTaken := make([]bool, s.m)
+	rowTaken := boolScratch(&s.fRowTaken, s.m)
+	for i := range rowTaken {
+		rowTaken[i] = false
+	}
 	d := s.dir
 	for t, k := range order {
 		j := cols[k]
@@ -850,9 +932,12 @@ func (s *BoundedSolver) applyStep(enter, dir int, d []float64, t float64, leave 
 	return nil
 }
 
-// extract reads the structural solution.
-func (s *BoundedSolver) extract() []float64 {
-	x := make([]float64, s.n)
+// extractInto reads the structural solution into x, reusing its capacity.
+func (s *BoundedSolver) extractInto(x []float64) []float64 {
+	if cap(x) < s.n {
+		x = make([]float64, s.n)
+	}
+	x = x[:s.n]
 	for j := 0; j < s.n; j++ {
 		if r := s.pos[j]; r >= 0 {
 			x[j] = s.xB[r]

@@ -102,6 +102,14 @@ type Field struct {
 	cfg Config
 	E   []complex128
 	Z   float64
+
+	// Crank–Nicolson scratch, allocated on the first propagation and reused
+	// across steps and calls (a multi-segment route propagates the same
+	// Field many times).
+	diag1, diag2, rhs []complex128
+	lower, upper, tri []complex128
+	pot, potNext      []complex128
+	damp              []float64
 }
 
 // NewGaussian launches a Gaussian beam centred at centerUM with the given
@@ -178,12 +186,18 @@ func (f *Field) PropagateContext(ctx context.Context, profile IndexProfile, leng
 	coef := complex(0, dz/2/(2*k0*cfg.NClad))
 	off := coef * complex(1/(dx*dx), 0)
 
-	diag1 := make([]complex128, n)
-	diag2 := make([]complex128, n)
-	rhs := make([]complex128, n)
-	lower := make([]complex128, n)
-	upper := make([]complex128, n)
-	scratch := make([]complex128, n)
+	f.growScratch(n)
+	diag1, diag2, rhs := f.diag1, f.diag2, f.rhs
+	lower, upper, scratch := f.lower, f.upper, f.tri
+
+	// The off-diagonal bands depend only on this call's step size, not on z:
+	// fill them once per propagation.
+	for i := 0; i < n; i++ {
+		lower[i] = -off
+		upper[i] = -off
+	}
+	lower[0] = 0
+	upper[n-1] = 0
 
 	damp := f.absorberMask()
 
@@ -197,8 +211,7 @@ func (f *Field) PropagateContext(ctx context.Context, profile IndexProfile, leng
 			dst[i] = potential(profile.Index(cfg.x(i), z), cfg, k0, dx)
 		}
 	}
-	pot := make([]complex128, n)
-	potNext := make([]complex128, n)
+	pot, potNext := f.pot, f.potNext
 	fillPot(f.Z, pot)
 
 	for s := 0; s < steps; s++ {
@@ -227,12 +240,6 @@ func (f *Field) PropagateContext(ctx context.Context, profile IndexProfile, leng
 			}
 			rhs[i] = v
 		}
-		for i := 0; i < n; i++ {
-			lower[i] = -off
-			upper[i] = -off
-		}
-		lower[0] = 0
-		upper[n-1] = 0
 		solveTridiag(lower, diag2, upper, rhs, f.E, scratch)
 		for i := 0; i < n; i++ {
 			f.E[i] *= complex(damp[i], 0)
@@ -249,9 +256,29 @@ func potential(nIdx float64, cfg Config, k0, dx float64) complex128 {
 	return complex(-2/(dx*dx)+k0*k0*(nIdx*nIdx-cfg.NClad*cfg.NClad), 0)
 }
 
-// absorberMask precomputes the per-step boundary damping factors.
+// growScratch sizes the Crank–Nicolson scratch arrays for an n-point grid.
+// Every array is fully written before it is read, so reuse needs no zeroing.
+func (f *Field) growScratch(n int) {
+	if len(f.diag1) == n {
+		return
+	}
+	f.diag1 = make([]complex128, n)
+	f.diag2 = make([]complex128, n)
+	f.rhs = make([]complex128, n)
+	f.lower = make([]complex128, n)
+	f.upper = make([]complex128, n)
+	f.tri = make([]complex128, n)
+	f.pot = make([]complex128, n)
+	f.potNext = make([]complex128, n)
+}
+
+// absorberMask returns the per-step boundary damping factors, computed once
+// per Field (the mask depends only on the immutable Config).
 func (f *Field) absorberMask() []float64 {
 	cfg := f.cfg
+	if len(f.damp) == cfg.NX {
+		return f.damp
+	}
 	mask := make([]float64, cfg.NX)
 	for i := range mask {
 		mask[i] = 1
@@ -263,6 +290,7 @@ func (f *Field) absorberMask() []float64 {
 			mask[i] = math.Exp(-cfg.AbsorberStrength * t * t)
 		}
 	}
+	f.damp = mask
 	return mask
 }
 

@@ -42,8 +42,9 @@ func CacheCounters() (hits, misses int64) {
 // SimulateUncachedContext on the first request. Concurrent first requests
 // for the same key may both propagate; the computation is deterministic, so
 // either result is the same. A cancelled propagation is never cached. The
-// cached Result is deep-copied on the way out so callers can mutate their
-// slices freely.
+// Result's slices are shared with the cache entry — a hit is allocation-free
+// — so callers must treat ArmPowers and PerArmLossDB as immutable (every
+// in-repo caller only reads them).
 func simCached(ctx context.Context, cfg Config, stages int) (Result, error) {
 	key := simKey{cfg: cfg, stages: stages}
 	simMu.Lock()
@@ -51,7 +52,7 @@ func simCached(ctx context.Context, cfg Config, stages int) (Result, error) {
 	simMu.Unlock()
 	if ok {
 		cacheHits.Add(1)
-		return copyResult(res), nil
+		return res, nil
 	}
 	cacheMisses.Add(1)
 	res, err := SimulateUncachedContext(ctx, cfg, stages)
@@ -61,14 +62,7 @@ func simCached(ctx context.Context, cfg Config, stages int) (Result, error) {
 	simMu.Lock()
 	simCache[key] = res
 	simMu.Unlock()
-	return copyResult(res), nil
-}
-
-func copyResult(r Result) Result {
-	out := r
-	out.ArmPowers = append([]float64(nil), r.ArmPowers...)
-	out.PerArmLossDB = append([]float64(nil), r.PerArmLossDB...)
-	return out
+	return res, nil
 }
 
 // ResetSimulationCache drops every memoised simulation (used by tests and

@@ -54,6 +54,72 @@ func ForEachWorkerContext(ctx context.Context, n, workers int, fn func(worker, i
 	return forEach(ctx, n, workers, fn)
 }
 
+// Scratch is a per-worker scratch arena: a keyed bag of reusable buffers a
+// stage can stash package-specific workspaces in (keyed by package name,
+// fetched with a type assertion). A Scratch is handed to exactly one worker
+// goroutine at a time by ForEachScratchContext, so its methods need no
+// locking; it must not be shared across concurrently running workers.
+type Scratch struct {
+	slots map[string]any
+}
+
+// Get returns the scratch slot for key, creating it with mk on first use.
+// The returned value is whatever mk produced the first time, so callers
+// type-assert it to their package's workspace type. mk runs at most once
+// per key per Scratch, which makes it a natural hook for workspace-creation
+// counters (reuse rate = uses - creations).
+func (s *Scratch) Get(key string, mk func() any) any {
+	if s.slots == nil {
+		s.slots = make(map[string]any)
+	}
+	v, ok := s.slots[key]
+	if !ok {
+		v = mk()
+		s.slots[key] = v
+	}
+	return v
+}
+
+// Arena owns one Scratch per worker slot and hands the same slot to the
+// same worker index on every ForEachScratchContext invocation, so per-worker
+// workspaces persist across pool runs (across nets, LR iterations, and —
+// when the Arena is held by a serving queue slot — across requests).
+// The zero value is ready to use. Arena is safe for use from sequential
+// pool invocations; the pool itself guarantees slot i is only touched by
+// worker i while a run is in flight.
+type Arena struct {
+	mu        sync.Mutex
+	scratches []*Scratch
+}
+
+// NewArena returns an empty arena; scratches are created on demand.
+func NewArena() *Arena { return &Arena{} }
+
+// grab returns the first w scratch slots, growing the arena as needed.
+func (a *Arena) grab(w int) []*Scratch {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for len(a.scratches) < w {
+		a.scratches = append(a.scratches, &Scratch{})
+	}
+	return a.scratches[:w]
+}
+
+// ForEachScratchContext is ForEachWorkerContext with a per-worker *Scratch
+// from the arena passed to fn alongside the worker index. Worker w always
+// receives arena slot w, so buffers cached in a Scratch are reused across
+// invocations without locks. A nil arena gets a throwaway one (no reuse
+// across calls, but the per-call reuse within one pool run still applies).
+// The determinism contract of ForEachContext holds: scratch contents must
+// only affect allocation behaviour, never results.
+func ForEachScratchContext(ctx context.Context, a *Arena, n, workers int, fn func(worker int, s *Scratch, i int) error) error {
+	if a == nil {
+		a = NewArena()
+	}
+	sc := a.grab(Workers(workers, n))
+	return forEach(ctx, n, workers, func(worker, i int) error { return fn(worker, sc[worker], i) })
+}
+
 // ForEachContext runs fn(i) for every i in [0,n) on at most Workers(workers,
 // n) goroutines. The first error short-circuits: no new items are
 // dispatched, in-flight calls finish, and the error of the lowest failing

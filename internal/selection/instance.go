@@ -58,9 +58,22 @@ type Instance struct {
 	// stores the same slice contents either way.
 	crossMu    sync.RWMutex
 	crossCache map[pairKey][]float64
+	// crossSlab is the current slab block cached values are sub-sliced from
+	// (guarded by crossMu); handing out slab regions instead of one heap
+	// allocation per cache entry keeps the miss path to ~1 allocation per
+	// 4096 path slots.
+	crossSlab []float64
+	crossOff  int
 	// interactions[i] lists the nets whose candidate boxes overlap net i's;
 	// precomputed in NewInstance so concurrent readers need no locking.
 	interactions [][]int
+	// pathOff[i][j] is the offset of candidate (i,j)'s paths in any flat
+	// per-path vector of length numPaths (the LR multiplier layout).
+	pathOff  [][]int
+	numPaths int
+	// evalExtra is scratch for evaluateInto (the sequential evaluate/repair
+	// path); Evaluate stays pure and allocates its own.
+	evalExtra []float64
 }
 
 type pairKey struct{ i, j, m, n int }
@@ -101,6 +114,16 @@ func NewInstance(nets []Net, lib optics.Library) (*Instance, error) {
 			inst.candBox[i][j] = box
 		}
 	}
+	inst.pathOff = make([][]int, len(nets))
+	off := 0
+	for i, n := range nets {
+		inst.pathOff[i] = make([]int, len(n.Cands))
+		for j, c := range n.Cands {
+			inst.pathOff[i][j] = off
+			off += len(c.Paths)
+		}
+	}
+	inst.numPaths = off
 	inst.precomputeInteractions()
 	return inst, nil
 }
@@ -157,7 +180,9 @@ func (inst *Instance) CrossLossDB(i, j, m, n int) []float64 {
 		return v
 	}
 	ci := inst.Nets[i].Cands[j]
-	out := make([]float64, len(ci.Paths))
+	inst.crossMu.Lock()
+	out := inst.slabAlloc(len(ci.Paths))
+	inst.crossMu.Unlock()
 	if i != m && inst.hasOpt[i][j] && inst.hasOpt[m][n] &&
 		inst.candBox[i][j].Overlaps(inst.candBox[m][n]) {
 		other := inst.Nets[m].Cands[n].OpticalSegs
@@ -170,6 +195,27 @@ func (inst *Instance) CrossLossDB(i, j, m, n int) []float64 {
 	inst.crossCache[key] = out
 	inst.crossMu.Unlock()
 	return out
+}
+
+// slabAlloc carves a zeroed n-slot region out of the crossing-loss slab,
+// starting a fresh block when the current one is exhausted. Callers must
+// hold crossMu. Regions are handed out once and never recycled, so a fresh
+// block's zeroing is all the initialisation they need.
+func (inst *Instance) slabAlloc(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	if len(inst.crossSlab)-inst.crossOff < n {
+		size := 4096
+		if n > size {
+			size = n
+		}
+		inst.crossSlab = make([]float64, size)
+		inst.crossOff = 0
+	}
+	s := inst.crossSlab[inst.crossOff : inst.crossOff+n : inst.crossOff+n]
+	inst.crossOff += n
+	return s
 }
 
 // InteractingNets returns, for net i, the other nets whose candidate
@@ -195,6 +241,9 @@ type Selection struct {
 }
 
 // Evaluate computes the exact power and loss legality of a choice vector.
+// It reuses instance-owned scratch, so like Repair it must not be called
+// from concurrent goroutines (the parallel pricing step only reads
+// CrossLossDB, which stays safe for concurrent use).
 func (inst *Instance) Evaluate(choice []int) (Selection, error) {
 	if len(choice) != len(inst.Nets) {
 		return Selection{}, fmt.Errorf("selection: choice length %d for %d nets",
@@ -212,7 +261,13 @@ func (inst *Instance) Evaluate(choice []int) (Selection, error) {
 		if len(cand.Paths) == 0 {
 			continue
 		}
-		extra := make([]float64, len(cand.Paths))
+		if cap(inst.evalExtra) < len(cand.Paths) {
+			inst.evalExtra = make([]float64, len(cand.Paths))
+		}
+		extra := inst.evalExtra[:len(cand.Paths)]
+		for p := range extra {
+			extra[p] = 0
+		}
 		for _, m := range inst.InteractingNets(i) {
 			lx := inst.CrossLossDB(i, j, m, choice[m])
 			for p := range extra {

@@ -103,16 +103,17 @@ func SolveLR(inst *Instance, opt LROptions) (LRResult, error) {
 
 	// Multipliers, one per (net, cand, path); initialised proportional to
 	// the net's electrical power (Algorithm 1, line 1) normalised by the
-	// loss budget so that λ·loss is commensurate with power.
-	lambda := make([][][]float64, len(inst.Nets))
+	// loss budget so that λ·loss is commensurate with power. The vector is
+	// flat — one allocation — addressed through the instance's precomputed
+	// (net, cand) path offsets.
+	lambda := make([]float64, inst.numPaths)
 	for i, n := range inst.Nets {
 		ei := n.ElectricalIndex()
 		pe := n.Cands[ei].PowerMW
-		lambda[i] = make([][]float64, len(n.Cands))
 		for j, c := range n.Cands {
-			lambda[i][j] = make([]float64, len(c.Paths))
+			off := inst.pathOff[i][j]
 			for p := range c.Paths {
-				lambda[i][j][p] = 0.1 * pe / inst.Lib.MaxLossDB
+				lambda[off+p] = 0.1 * pe / inst.Lib.MaxLossDB
 			}
 		}
 	}
@@ -159,8 +160,10 @@ func SolveLR(inst *Instance, opt LROptions) (LRResult, error) {
 			n := inst.Nets[i]
 			inter := inst.InteractingNets(i)
 			var ls, lq float64
-			for j := range n.Cands {
-				for _, l := range lambda[i][j] {
+			for j, c := range n.Cands {
+				off := inst.pathOff[i][j]
+				for p := range c.Paths {
+					l := lambda[off+p]
 					ls += l
 					lq += l * l
 				}
@@ -169,6 +172,7 @@ func SolveLR(inst *Instance, opt LROptions) (LRResult, error) {
 			bestJ, bestW := -1, 0.0
 			for j, c := range n.Cands {
 				w := c.PowerMW
+				off := inst.pathOff[i][j]
 				// Own paths: λ_p × (propagation + splitting + crossing from
 				// the previous selection).
 				for p, path := range c.Paths {
@@ -176,15 +180,16 @@ func SolveLR(inst *Instance, opt LROptions) (LRResult, error) {
 					for _, m := range inter {
 						loss += inst.CrossLossDB(i, j, m, prev[m])[p]
 					}
-					w += lambda[i][j][p] * loss
+					w += lambda[off+p] * loss
 				}
 				// Symmetric linearised term: crossing loss this candidate
 				// inflicts on the previously selected candidates' paths.
 				for _, m := range inter {
 					mj := prev[m]
 					lx := inst.CrossLossDB(m, mj, i, j)
+					moff := inst.pathOff[m][mj]
 					for p := range lx {
-						w += lambda[m][mj][p] * lx[p]
+						w += lambda[moff+p] * lx[p]
 					}
 				}
 				if bestJ < 0 || w < bestW-geom.Eps {
@@ -217,6 +222,7 @@ func SolveLR(inst *Instance, opt LROptions) (LRResult, error) {
 			inter := inst.InteractingNets(i)
 			for j, c := range n.Cands {
 				selected := choice[i] == j
+				off := inst.pathOff[i][j]
 				for p, path := range c.Paths {
 					var g float64
 					if selected {
@@ -229,10 +235,10 @@ func SolveLR(inst *Instance, opt LROptions) (LRResult, error) {
 						// Constraint (3c) reads 0 <= l_m when a_ij = 0.
 						g = -inst.Lib.MaxLossDB
 					}
-					lambda[i][j][p] += step * g * 0.01 * n.Cands[n.ElectricalIndex()].PowerMW /
+					lambda[off+p] += step * g * 0.01 * n.Cands[n.ElectricalIndex()].PowerMW /
 						inst.Lib.MaxLossDB
-					if lambda[i][j][p] < 0 {
-						lambda[i][j][p] = 0
+					if lambda[off+p] < 0 {
+						lambda[off+p] = 0
 					}
 				}
 			}

@@ -252,6 +252,124 @@ type wedge struct {
 	w    float64
 }
 
+// scored is a candidate Steiner point with its MST-length gain.
+type scored struct {
+	p    geom.Point
+	gain float64
+}
+
+// Workspace owns every transient buffer of the BI1S pipeline — the
+// incremental-MST structure, Prim scratch, Hanan/Fermat candidate lists,
+// the per-round gain pool, and the cleanup maps — so repeated tree builds
+// reuse memory instead of reallocating it. Returned trees never alias the
+// workspace. Not safe for concurrent use; give each worker its own.
+type Workspace struct {
+	inc          incrMST
+	primInTree   []bool
+	primBestDist []float64
+	primBestFrom []int
+	coordVals    []float64
+	xs, ys       []float64
+	terminalSet  map[geom.Point]bool
+	cands        []geom.Point
+	pool         []scored
+	deg          []int
+	remap        []int
+	bendPts      []geom.Point
+	bendTree     Tree
+	adjN         [][]int
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// wedgeLess is the deterministic ordering of candidate edges: weight, then
+// endpoint indices. It is a strict total order over distinct edges, so any
+// sorting algorithm produces the same sequence.
+func wedgeLess(a, b wedge) bool {
+	if a.w != b.w {
+		return a.w < b.w
+	}
+	if a.u != b.u {
+		return a.u < b.u
+	}
+	return a.v < b.v
+}
+
+// sortWedges is an in-place, allocation-free heapsort by wedgeLess
+// (sort.Slice allocates a closure and swapper on every call, which used to
+// dominate the BI1S allocation profile — one sort per candidate trial).
+func sortWedges(s []wedge) {
+	n := len(s)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftWedge(s, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		s[0], s[i] = s[i], s[0]
+		siftWedge(s, 0, i)
+	}
+}
+
+func siftWedge(s []wedge, lo, hi int) {
+	root := lo
+	for {
+		c := 2*root + 1
+		if c >= hi {
+			return
+		}
+		if c+1 < hi && wedgeLess(s[c], s[c+1]) {
+			c++
+		}
+		if !wedgeLess(s[root], s[c]) {
+			return
+		}
+		s[root], s[c] = s[c], s[root]
+		root = c
+	}
+}
+
+// scoredLess orders the per-round candidate pool: gain descending, then
+// point coordinates (equal-gain equal-point entries are interchangeable).
+func scoredLess(a, b scored) bool {
+	if a.gain != b.gain {
+		return a.gain > b.gain
+	}
+	if a.p.X != b.p.X {
+		return a.p.X < b.p.X
+	}
+	return a.p.Y < b.p.Y
+}
+
+// sortScored is an in-place, allocation-free heapsort by scoredLess.
+func sortScored(s []scored) {
+	n := len(s)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftScored(s, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		s[0], s[i] = s[i], s[0]
+		siftScored(s, 0, i)
+	}
+}
+
+func siftScored(s []scored, lo, hi int) {
+	root := lo
+	for {
+		c := 2*root + 1
+		if c >= hi {
+			return
+		}
+		if c+1 < hi && scoredLess(s[c], s[c+1]) {
+			c++
+		}
+		if !scoredLess(s[root], s[c]) {
+			return
+		}
+		s[root], s[c] = s[c], s[root]
+		root = c
+	}
+}
+
 // incrMST maintains the MST over a growing point set and scores 1-Steiner
 // candidate points incrementally. It exploits the classic property
 // MST(P ∪ {c}) ⊆ MST(P) ∪ {(c,p) : p ∈ P}: instead of re-running Prim over
@@ -271,17 +389,19 @@ type incrMST struct {
 	parent []int
 }
 
-// newIncrMST seeds the structure with the Prim MST over pts, so base is
-// identical to what mstLength(pts, metric) returns.
-func newIncrMST(pts []geom.Point, metric Metric) *incrMST {
-	m := &incrMST{metric: metric, pts: append([]geom.Point(nil), pts...)}
+// init (re)seeds the structure with the Prim MST over pts, so base is
+// identical to what mstLength(pts, metric) returns. Prim scratch is borrowed
+// from the workspace; all incrMST buffers are reused across calls.
+func (m *incrMST) init(pts []geom.Point, metric Metric, ws *Workspace) {
+	m.metric = metric
+	m.pts = append(m.pts[:0], pts...)
+	m.tree = m.tree[:0]
+	m.base = 0
 	n := len(pts)
 	if n <= 1 {
-		return m
+		return
 	}
-	inTree := make([]bool, n)
-	bestDist := make([]float64, n)
-	bestFrom := make([]int, n)
+	inTree, bestDist, bestFrom := ws.primScratch(n)
 	inTree[0] = true
 	for i := 1; i < n; i++ {
 		bestDist[i] = metric.Dist(pts[0], pts[i])
@@ -305,7 +425,167 @@ func newIncrMST(pts []geom.Point, metric Metric) *incrMST {
 			}
 		}
 	}
+}
+
+// newIncrMST seeds a standalone incremental MST with its own workspace;
+// BI1SWS uses the workspace-resident instance instead.
+func newIncrMST(pts []geom.Point, metric Metric) *incrMST {
+	m := &incrMST{}
+	m.init(pts, metric, NewWorkspace())
 	return m
+}
+
+// fermatPoints is appendFermatPoints into a fresh slice.
+func fermatPoints(terminals []geom.Point) []geom.Point {
+	return appendFermatPoints(nil, terminals)
+}
+
+// treeOver builds the MST over pts with a throwaway workspace, marking the
+// first len(terminals) points as terminals and the rest as Steiner points.
+func treeOver(pts []geom.Point, terminals []geom.Point, metric Metric) Tree {
+	ws := NewWorkspace()
+	return ws.treeOver(pts, terminals, metric)
+}
+
+// cleanup is Workspace.cleanup with a throwaway workspace.
+func cleanup(t Tree) Tree { return NewWorkspace().cleanup(t) }
+
+// primScratch returns zeroed Prim working arrays of length n from the
+// workspace, growing them as needed.
+func (ws *Workspace) primScratch(n int) (inTree []bool, bestDist []float64, bestFrom []int) {
+	if cap(ws.primInTree) < n {
+		ws.primInTree = make([]bool, n)
+		ws.primBestDist = make([]float64, n)
+		ws.primBestFrom = make([]int, n)
+	}
+	inTree = ws.primInTree[:n]
+	bestDist = ws.primBestDist[:n]
+	bestFrom = ws.primBestFrom[:n]
+	for i := 0; i < n; i++ {
+		inTree[i] = false
+		bestDist[i] = 0
+		bestFrom[i] = 0
+	}
+	return inTree, bestDist, bestFrom
+}
+
+// mstWS is MST with Prim scratch borrowed from the workspace; the returned
+// tree's node and edge slices are freshly allocated (they escape into
+// candidates), only the working arrays are reused.
+func (ws *Workspace) mstWS(terminals []geom.Point, metric Metric) Tree {
+	n := len(terminals)
+	if n == 0 {
+		panic("steiner: MST over empty terminal set")
+	}
+	t := Tree{Metric: metric, Nodes: make([]Node, n)}
+	for i, p := range terminals {
+		t.Nodes[i] = Node{Pt: p, Terminal: i}
+	}
+	if n == 1 {
+		return t
+	}
+	inTree, bestDist, bestFrom := ws.primScratch(n)
+	inTree[0] = true
+	for i := 1; i < n; i++ {
+		bestDist[i] = metric.Dist(terminals[0], terminals[i])
+		bestFrom[i] = 0
+	}
+	t.Edges = make([]Edge, 0, n-1)
+	for added := 1; added < n; added++ {
+		u, best := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !inTree[i] && bestDist[i] < best {
+				u, best = i, bestDist[i]
+			}
+		}
+		inTree[u] = true
+		t.Edges = append(t.Edges, Edge{U: bestFrom[u], V: u})
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := metric.Dist(terminals[u], terminals[i]); d < bestDist[i] {
+					bestDist[i] = d
+					bestFrom[i] = u
+				}
+			}
+		}
+	}
+	return t
+}
+
+// mstInto rebuilds t as the MST over pts, reusing t's node and edge
+// capacity; used by the bending-cost scorer, whose trees are transient.
+func (ws *Workspace) mstInto(pts []geom.Point, metric Metric, t *Tree) {
+	n := len(pts)
+	t.Metric = metric
+	if cap(t.Nodes) < n {
+		t.Nodes = make([]Node, n)
+	}
+	t.Nodes = t.Nodes[:n]
+	for i, p := range pts {
+		t.Nodes[i] = Node{Pt: p, Terminal: i}
+	}
+	t.Edges = t.Edges[:0]
+	if n <= 1 {
+		return
+	}
+	inTree, bestDist, bestFrom := ws.primScratch(n)
+	inTree[0] = true
+	for i := 1; i < n; i++ {
+		bestDist[i] = metric.Dist(pts[0], pts[i])
+		bestFrom[i] = 0
+	}
+	for added := 1; added < n; added++ {
+		u, best := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !inTree[i] && bestDist[i] < best {
+				u, best = i, bestDist[i]
+			}
+		}
+		inTree[u] = true
+		t.Edges = append(t.Edges, Edge{U: bestFrom[u], V: u})
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := metric.Dist(pts[u], pts[i]); d < bestDist[i] {
+					bestDist[i] = d
+					bestFrom[i] = u
+				}
+			}
+		}
+	}
+}
+
+// bends is Tree.Bends with the adjacency lists drawn from the workspace.
+func (ws *Workspace) bends(t Tree) int {
+	n := len(t.Nodes)
+	for len(ws.adjN) < n {
+		ws.adjN = append(ws.adjN, nil)
+	}
+	adj := ws.adjN[:n]
+	for i := range adj {
+		adj[i] = adj[i][:0]
+	}
+	for _, e := range t.Edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	bends := 0
+	for u, neigh := range adj {
+		if len(neigh) < 2 {
+			continue
+		}
+		for i := 0; i < len(neigh); i++ {
+			for j := i + 1; j < len(neigh); j++ {
+				a := t.Nodes[neigh[i]].Pt.Sub(t.Nodes[u].Pt)
+				b := t.Nodes[neigh[j]].Pt.Sub(t.Nodes[u].Pt)
+				crossz := a.X*b.Y - a.Y*b.X
+				dot := a.X*b.X + a.Y*b.Y
+				if math.Abs(crossz) > geom.Eps || dot > 0 {
+					bends++
+				}
+			}
+		}
+	}
+	return bends
 }
 
 // find is path-halving union-find lookup over m.parent.
@@ -328,16 +608,7 @@ func (m *incrMST) kruskalWith(c geom.Point, keep bool) float64 {
 	}
 	// Deterministic order: ties broken by endpoint indices (the MST total
 	// is unique either way; this fixes the edge set too).
-	sort.Slice(m.cand, func(a, b int) bool {
-		ea, eb := m.cand[a], m.cand[b]
-		if ea.w != eb.w {
-			return ea.w < eb.w
-		}
-		if ea.u != eb.u {
-			return ea.u < eb.u
-		}
-		return ea.v < eb.v
-	})
+	sortWedges(m.cand)
 	if cap(m.parent) < n+1 {
 		m.parent = make([]int, n+1)
 	}
@@ -383,48 +654,66 @@ func (m *incrMST) accept(c geom.Point) {
 // intersections of horizontal and vertical lines through terminals),
 // excluding the terminals themselves.
 func HananGrid(terminals []geom.Point) []geom.Point {
-	xs := uniqueCoords(terminals, func(p geom.Point) float64 { return p.X })
-	ys := uniqueCoords(terminals, func(p geom.Point) float64 { return p.Y })
-	isTerminal := map[geom.Point]bool{}
-	for _, t := range terminals {
-		isTerminal[t] = true
+	out := NewWorkspace().hananGrid(terminals)
+	return append([]geom.Point(nil), out...)
+}
+
+// hananGrid is HananGrid into the workspace's candidate buffer; the result
+// is valid until the next hananGrid call on the same workspace.
+func (ws *Workspace) hananGrid(terminals []geom.Point) []geom.Point {
+	ws.xs = uniqueCoordsInto(ws.xs[:0], &ws.coordVals, terminals, false)
+	ws.ys = uniqueCoordsInto(ws.ys[:0], &ws.coordVals, terminals, true)
+	if ws.terminalSet == nil {
+		ws.terminalSet = make(map[geom.Point]bool, len(terminals))
+	} else {
+		clear(ws.terminalSet)
 	}
-	var out []geom.Point
-	for _, x := range xs {
-		for _, y := range ys {
+	for _, t := range terminals {
+		ws.terminalSet[t] = true
+	}
+	out := ws.cands[:0]
+	for _, x := range ws.xs {
+		for _, y := range ws.ys {
 			p := geom.Point{X: x, Y: y}
-			if !isTerminal[p] {
+			if !ws.terminalSet[p] {
 				out = append(out, p)
 			}
 		}
 	}
+	ws.cands = out
 	return out
 }
 
-func uniqueCoords(pts []geom.Point, get func(geom.Point) float64) []float64 {
-	vals := make([]float64, 0, len(pts))
+// uniqueCoordsInto appends the deduplicated sorted X (or Y when useY) values
+// of pts to dst, staging them in *vals.
+func uniqueCoordsInto(dst []float64, vals *[]float64, pts []geom.Point, useY bool) []float64 {
+	v := (*vals)[:0]
 	for _, p := range pts {
-		vals = append(vals, get(p))
-	}
-	sort.Float64s(vals)
-	out := vals[:0]
-	for i, v := range vals {
-		if i == 0 || v > out[len(out)-1]+geom.Eps {
-			out = append(out, v)
+		if useY {
+			v = append(v, p.Y)
+		} else {
+			v = append(v, p.X)
 		}
 	}
-	return out
+	sort.Float64s(v)
+	*vals = v
+	for i, x := range v {
+		if i == 0 || x > dst[len(dst)-1]+geom.Eps {
+			dst = append(dst, x)
+		}
+	}
+	return dst
 }
 
-// fermatPoints returns approximate Fermat (Torricelli) points of terminal
-// triples, the natural Steiner candidates in the Euclidean metric. To bound
-// the candidate count only triples of mutually-nearest terminals are used.
-func fermatPoints(terminals []geom.Point) []geom.Point {
+// appendFermatPoints appends approximate Fermat (Torricelli) points of
+// terminal triples to dst, the natural Steiner candidates in the Euclidean
+// metric. To bound the candidate count only triples of mutually-nearest
+// terminals are used.
+func appendFermatPoints(dst []geom.Point, terminals []geom.Point) []geom.Point {
 	n := len(terminals)
 	if n < 3 {
-		return nil
+		return dst
 	}
-	var out []geom.Point
 	limit := n
 	if limit > 12 {
 		limit = 12
@@ -432,11 +721,11 @@ func fermatPoints(terminals []geom.Point) []geom.Point {
 	for i := 0; i < limit; i++ {
 		for j := i + 1; j < limit; j++ {
 			for k := j + 1; k < limit; k++ {
-				out = append(out, fermatPoint(terminals[i], terminals[j], terminals[k]))
+				dst = append(dst, fermatPoint(terminals[i], terminals[j], terminals[k]))
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // fermatPoint computes the geometric median of three points via Weiszfeld
@@ -481,52 +770,53 @@ type BI1SConfig struct {
 // a batch of still-profitable candidates is accepted greedily; degree-<=2
 // Steiner points are cleaned up at the end. The result spans all terminals.
 func BI1S(terminals []geom.Point, metric Metric, cfg BI1SConfig) Tree {
+	return BI1SWS(terminals, metric, cfg, nil)
+}
+
+// BI1SWS is BI1S with an explicit workspace (nil allocates a throwaway
+// one). The returned tree owns its slices; nothing aliases ws.
+func BI1SWS(terminals []geom.Point, metric Metric, cfg BI1SConfig, ws *Workspace) Tree {
 	n := len(terminals)
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	if n <= 2 {
-		return MST(terminals, metric)
+		return ws.mstWS(terminals, metric)
 	}
 	maxRounds := cfg.MaxRounds
 	if maxRounds == 0 {
 		maxRounds = 8
 	}
 
-	inc := newIncrMST(terminals, metric)
+	inc := &ws.inc
+	inc.init(terminals, metric, ws)
 
 	for round := 0; round < maxRounds; round++ {
-		cands := HananGrid(inc.pts)
+		cands := ws.hananGrid(inc.pts)
 		if metric == Euclidean {
-			cands = append(cands, fermatPoints(inc.pts)...)
+			cands = appendFermatPoints(cands, inc.pts)
+			ws.cands = cands
 		}
-		type scored struct {
-			p    geom.Point
-			gain float64
-		}
-		var pool []scored
+		pool := ws.pool[:0]
 		for _, c := range cands {
 			g := inc.base - inc.lengthWith(c)
 			if g > geom.Eps {
 				pool = append(pool, scored{p: c, gain: g})
 			}
 		}
+		ws.pool = pool
 		if len(pool) == 0 {
 			break
 		}
 		if cfg.BendWeight > 0 {
 			for i := range pool {
-				tr := treeOver(append(inc.pts[:len(inc.pts):len(inc.pts)], pool[i].p), terminals, metric)
-				pool[i].gain -= cfg.BendWeight * float64(tr.Bends()) * 1e-3
+				ws.bendPts = append(ws.bendPts[:0], inc.pts...)
+				ws.bendPts = append(ws.bendPts, pool[i].p)
+				ws.mstInto(ws.bendPts, metric, &ws.bendTree)
+				pool[i].gain -= cfg.BendWeight * float64(ws.bends(ws.bendTree)) * 1e-3
 			}
 		}
-		sort.Slice(pool, func(i, j int) bool {
-			if pool[i].gain != pool[j].gain {
-				return pool[i].gain > pool[j].gain
-			}
-			pi, pj := pool[i].p, pool[j].p
-			if pi.X != pj.X {
-				return pi.X < pj.X
-			}
-			return pi.Y < pj.Y
-		})
+		sortScored(pool)
 		accepted := 0
 		for _, s := range pool {
 			// Re-score against the tree as accepted points accumulate.
@@ -539,13 +829,13 @@ func BI1S(terminals []geom.Point, metric Metric, cfg BI1SConfig) Tree {
 			break
 		}
 	}
-	return cleanup(treeOver(inc.pts, terminals, metric))
+	return ws.cleanup(ws.treeOver(inc.pts, terminals, metric))
 }
 
 // treeOver builds the MST over pts, marking the first len(terminals) points
 // as terminals and the rest as Steiner points.
-func treeOver(pts []geom.Point, terminals []geom.Point, metric Metric) Tree {
-	t := MST(pts, metric)
+func (ws *Workspace) treeOver(pts []geom.Point, terminals []geom.Point, metric Metric) Tree {
+	t := ws.mstWS(pts, metric)
 	for i := range t.Nodes {
 		if i < len(terminals) {
 			t.Nodes[i].Terminal = i
@@ -557,10 +847,23 @@ func treeOver(pts []geom.Point, terminals []geom.Point, metric Metric) Tree {
 }
 
 // cleanup removes useless Steiner points: degree-1 Steiner leaves are
-// dropped, and degree-2 Steiner pass-throughs are spliced out.
-func cleanup(t Tree) Tree {
+// dropped, and degree-2 Steiner pass-throughs are spliced out. It mutates
+// t in place (t's slices are owned by the caller, fresh from treeOver) and
+// preserves the exact removal and reindexing order of a naive rebuild, so
+// results are unchanged; only the per-iteration allocations are gone.
+func (ws *Workspace) cleanup(t Tree) Tree {
 	for {
-		adj := t.Adjacency()
+		if cap(ws.deg) < len(t.Nodes) {
+			ws.deg = make([]int, len(t.Nodes))
+		}
+		deg := ws.deg[:len(t.Nodes)]
+		for i := range deg {
+			deg[i] = 0
+		}
+		for _, e := range t.Edges {
+			deg[e.U]++
+			deg[e.V]++
+		}
 		removed := -1
 		doSplice := false
 		var splice [2]int
@@ -568,46 +871,63 @@ func cleanup(t Tree) Tree {
 			if !nd.IsSteiner() {
 				continue
 			}
-			switch len(adj[i]) {
-			case 0, 1:
+			if deg[i] <= 2 {
 				removed = i
-			case 2:
-				removed = i
-				doSplice = true
-				splice = [2]int{adj[i][0], adj[i][1]}
-			}
-			if removed >= 0 {
+				if deg[i] == 2 {
+					doSplice = true
+					// The splice endpoints in adjacency order: Adjacency
+					// appends neighbours in edge order, so scan edges.
+					k := 0
+					for _, e := range t.Edges {
+						if e.U == i {
+							splice[k] = e.V
+							k++
+						} else if e.V == i {
+							splice[k] = e.U
+							k++
+						}
+						if k == 2 {
+							break
+						}
+					}
+				}
 				break
 			}
 		}
 		if removed < 0 {
 			return t
 		}
-		var edges []Edge
+		k := 0
 		for _, e := range t.Edges {
 			if e.U != removed && e.V != removed {
-				edges = append(edges, e)
+				t.Edges[k] = e
+				k++
 			}
 		}
+		t.Edges = t.Edges[:k]
 		if doSplice {
-			edges = append(edges, Edge{U: splice[0], V: splice[1]})
+			t.Edges = append(t.Edges, Edge{U: splice[0], V: splice[1]})
 		}
 		// Reindex nodes after dropping `removed`.
-		nodes := make([]Node, 0, len(t.Nodes)-1)
-		remap := make([]int, len(t.Nodes))
-		for i, nd := range t.Nodes {
+		if cap(ws.remap) < len(t.Nodes) {
+			ws.remap = make([]int, len(t.Nodes))
+		}
+		remap := ws.remap[:len(t.Nodes)]
+		k = 0
+		for i := range t.Nodes {
 			if i == removed {
 				remap[i] = -1
 				continue
 			}
-			remap[i] = len(nodes)
-			nodes = append(nodes, nd)
+			remap[i] = k
+			t.Nodes[k] = t.Nodes[i]
+			k++
 		}
-		for i := range edges {
-			edges[i].U = remap[edges[i].U]
-			edges[i].V = remap[edges[i].V]
+		t.Nodes = t.Nodes[:k]
+		for i := range t.Edges {
+			t.Edges[i].U = remap[t.Edges[i].U]
+			t.Edges[i].V = remap[t.Edges[i].V]
 		}
-		t = Tree{Metric: t.Metric, Nodes: nodes, Edges: edges}
 	}
 }
 
@@ -647,10 +967,16 @@ func Subdivide(t Tree, maxSegLen float64) Tree {
 // RSMTLength estimates the rectilinear Steiner minimal tree length of the
 // terminals, the wirelength model Streak-style electrical power uses.
 func RSMTLength(terminals []geom.Point) float64 {
+	return RSMTLengthWS(terminals, nil)
+}
+
+// RSMTLengthWS is RSMTLength with an explicit workspace (nil allocates a
+// throwaway one).
+func RSMTLengthWS(terminals []geom.Point, ws *Workspace) float64 {
 	if len(terminals) <= 1 {
 		return 0
 	}
-	return BI1S(terminals, Rectilinear, BI1SConfig{}).Length()
+	return BI1SWS(terminals, Rectilinear, BI1SConfig{}, ws).Length()
 }
 
 // Baselines generates up to max distinct baseline topologies for the
@@ -658,8 +984,23 @@ func RSMTLength(terminals []geom.Point) float64 {
 // under different bending-cost weights. Duplicate topologies (same length
 // and node count) are removed. At least one topology is always returned.
 func Baselines(terminals []geom.Point, metric Metric, max int) []Tree {
+	return BaselinesWS(terminals, metric, max, nil)
+}
+
+// BaselinesWS is Baselines with an explicit workspace (nil allocates a
+// throwaway one). The returned trees own their slices.
+func BaselinesWS(terminals []geom.Point, metric Metric, max int, ws *Workspace) []Tree {
 	if max <= 0 {
 		max = 3
+	}
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	if len(terminals) <= 2 {
+		// Every topology over two or fewer terminals is the same tree:
+		// BI1S, the MST, and all bend-weighted variants coincide, and the
+		// dedup below would discard all but the first. Build it once.
+		return []Tree{ws.mstWS(terminals, metric)}
 	}
 	var out []Tree
 	add := func(t Tree) {
@@ -670,15 +1011,15 @@ func Baselines(terminals []geom.Point, metric Metric, max int) []Tree {
 		}
 		out = append(out, t)
 	}
-	add(BI1S(terminals, metric, BI1SConfig{}))
+	add(BI1SWS(terminals, metric, BI1SConfig{}, ws))
 	if len(out) < max {
-		add(MST(terminals, metric))
+		add(ws.mstWS(terminals, metric))
 	}
 	for _, w := range []float64{0.5, 2.0, 8.0} {
 		if len(out) >= max {
 			break
 		}
-		add(BI1S(terminals, metric, BI1SConfig{BendWeight: w}))
+		add(BI1SWS(terminals, metric, BI1SConfig{BendWeight: w}, ws))
 	}
 	return out
 }

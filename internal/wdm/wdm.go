@@ -220,11 +220,15 @@ func AssignContext(ctx context.Context, conns []Connection, pl Placement, cfg Co
 			len(pl.InitialAssign), len(conns))
 	}
 	out := Assignment{Shares: make([][]Share, len(conns))}
-	usedSet := map[int]bool{}
+	used := make([]bool, len(pl.WDMs))
 	cArcs := cfg.Obs.Counter("wdm.arcs")
 
+	// Index scratch shared by the two orientation passes.
+	connIdx := make([]int, 0, len(conns))
+	wdmIdx := make([]int, 0, len(pl.WDMs))
+
 	for _, horizontal := range []bool{true, false} {
-		var connIdx, wdmIdx []int
+		connIdx, wdmIdx = connIdx[:0], wdmIdx[:0]
 		totalBits := 0
 		for i, c := range conns {
 			if c.Horizontal() == horizontal {
@@ -275,11 +279,18 @@ func AssignContext(ctx context.Context, conns []Connection, pl Placement, cfg Co
 			cost   int64
 			distCM float64
 		}
-		cands := make([][]arcCand, len(connIdx))
+		// One flat candidate buffer with a per-connection stride (a
+		// connection has at most one candidate per WDM): workers fill
+		// disjoint rows, so the pass needs two allocations instead of one
+		// per connection.
+		stride := len(wdmIdx)
+		candBuf := make([]arcCand, len(connIdx)*stride)
+		candN := make([]int, len(connIdx))
 		spCost := cfg.Obs.Span("wdm/cost-arcs", obs.LaneFlow, obs.S("orient", orient))
 		err := parallel.ForEachContext(ctx, len(connIdx), cfg.Workers, func(k int) error {
 			ci := connIdx[k]
 			c := conns[ci]
+			row := candBuf[k*stride : k*stride]
 			for q, w := range wdmIdx {
 				d := math.Abs(c.coord() - pl.WDMs[w].CoordCM)
 				if d <= cfg.MaxAssignDistCM+geom.Eps || w == pl.InitialAssign[ci] {
@@ -287,10 +298,11 @@ func AssignContext(ctx context.Context, conns []Connection, pl Placement, cfg Co
 					if cost > dispScale {
 						cost = dispScale
 					}
-					cands[k] = append(cands[k], arcCand{q: q, cost: cost, distCM: d})
+					row = append(row, arcCand{q: q, cost: cost, distCM: d})
 				}
 			}
-			if len(cands[k]) == 0 {
+			candN[k] = len(row)
+			if len(row) == 0 {
 				return fmt.Errorf("wdm: connection %d reaches no WDM", ci)
 			}
 			return nil
@@ -305,10 +317,14 @@ func AssignContext(ctx context.Context, conns []Connection, pl Placement, cfg Co
 			wdm    int // index into pl.WDMs
 			distCM float64
 		}
-		var arcs []connArc
+		nArcs := 0
+		for _, n := range candN {
+			nArcs += n
+		}
+		arcs := make([]connArc, 0, nArcs)
 		for k, ci := range connIdx {
 			c := conns[ci]
-			for _, a := range cands[k] {
+			for _, a := range candBuf[k*stride : k*stride+candN[k]] {
 				id := g.AddEdge(1+k, 1+len(connIdx)+a.q, c.Bits, a.cost)
 				arcs = append(arcs, connArc{id: id, conn: ci, wdm: wdmIdx[a.q], distCM: a.distCM})
 			}
@@ -327,17 +343,16 @@ func AssignContext(ctx context.Context, conns []Connection, pl Placement, cfg Co
 			if f := g.Flow(a.id); f > 0 {
 				out.Shares[a.conn] = append(out.Shares[a.conn], Share{WDM: a.wdm, Bits: f})
 				out.DisplacedBitCM += a.distCM * float64(f)
-				usedSet[a.wdm] = true
+				used[a.wdm] = true
 			}
 		}
 		spAssign.End(obs.I("arcs", len(arcs)), obs.I("flow_bits", res.Flow))
 	}
 	for w := range pl.WDMs {
-		if usedSet[w] {
+		if used[w] {
 			out.UsedWDMs = append(out.UsedWDMs, w)
 		}
 	}
-	sort.Ints(out.UsedWDMs)
 	return out, nil
 }
 

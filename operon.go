@@ -242,8 +242,21 @@ func Run(d signal.Design, cfg Config) (*Result, error) {
 // emits a flow/degraded event and bumps the flow.degraded counter on
 // Config.Obs. A nil ctx means context.Background().
 func RunContext(ctx context.Context, d signal.Design, cfg Config) (*Result, error) {
+	return RunContextWith(ctx, d, cfg, nil)
+}
+
+// RunContextWith is RunContext with a caller-held Workspace: the per-worker
+// solver scratch survives across runs, so a caller solving many designs (or
+// a serving queue slot) amortises candidate-generation allocation to near
+// zero. A nil ws uses a run-local workspace (scratch still reused across
+// nets within the run). The workspace never affects results — only
+// allocation behaviour — and must not be shared by concurrent runs.
+func RunContextWith(ctx context.Context, d signal.Design, cfg Config, ws *Workspace) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if ws == nil {
+		ws = NewWorkspace()
 	}
 	res := &Result{Design: d.Name, Flow: "operon-" + cfg.Mode.String(), Obs: cfg.Obs}
 	bpmHits0, bpmMisses0 := bpm.CacheCounters()
@@ -260,18 +273,18 @@ func RunContext(ctx context.Context, d signal.Design, cfg Config) (*Result, erro
 	if ctx.Err() != nil {
 		// The budget was gone before candidate generation even started:
 		// straight to the floor.
-		if err := res.degradeToElectricalFloor(ctx, cfg); err != nil {
+		if err := res.degradeToElectricalFloor(ctx, cfg, ws); err != nil {
 			return nil, err
 		}
 		return res, nil
 	}
 
 	stop = startStage(cfg.Obs, "stage/candidates", &res.Times.Candidates)
-	nets, err := buildCoDesignNets(ctx, hnets, cfg)
+	nets, err := buildCoDesignNets(ctx, hnets, cfg, ws.arenaOf())
 	if err != nil {
 		if ctx.Err() != nil {
 			stop(obs.I("nets", 0), obs.S("aborted", "context"))
-			if err := res.degradeToElectricalFloor(ctx, cfg); err != nil {
+			if err := res.degradeToElectricalFloor(ctx, cfg, ws); err != nil {
 				return nil, err
 			}
 			return res, nil
@@ -397,13 +410,14 @@ func RunElectricalContext(ctx context.Context, d signal.Design, cfg Config) (*Re
 	stop(obs.I("hyper_nets", len(hnets)))
 
 	stop = startStage(cfg.Obs, "stage/candidates", &res.Times.Candidates)
+	ws := NewWorkspace()
 	nets := make([]selection.Net, len(hnets))
-	if err := parallel.ForEachWorker(len(hnets), cfg.Workers, func(w, i int) error {
+	if err := parallel.ForEachScratchContext(context.Background(), ws.arenaOf(), len(hnets), cfg.Workers, func(w int, s *parallel.Scratch, i int) error {
 		var sp obs.Span
 		if cfg.Obs != nil {
 			sp = cfg.Obs.Span("net/electrical", obs.WorkerLane(w), obs.I("net", i))
 		}
-		cand, err := electricalCandidate(hnets[i], cfg)
+		cand, err := electricalCandidate(hnets[i], cfg, grabScratch(s, cfg.Obs))
 		if err != nil {
 			return err
 		}
@@ -457,31 +471,33 @@ func RunOpticalContext(ctx context.Context, d signal.Design, cfg Config) (*Resul
 	stop(obs.I("hyper_nets", len(hnets)))
 
 	if ctx.Err() != nil {
-		if err := res.degradeToElectricalFloor(ctx, cfg); err != nil {
+		if err := res.degradeToElectricalFloor(ctx, cfg, nil); err != nil {
 			return nil, err
 		}
 		return res, nil
 	}
 
 	stop = startStage(cfg.Obs, "stage/candidates", &res.Times.Candidates)
-	trees, err := baselineTrees(ctx, hnets, cfg)
+	ws := NewWorkspace()
+	trees, err := baselineTrees(ctx, hnets, cfg, ws.arenaOf())
 	if err != nil {
 		if ctx.Err() == nil {
 			return nil, err
 		}
 		stop(obs.I("nets", 0), obs.S("aborted", "context"))
-		if err := res.degradeToElectricalFloor(ctx, cfg); err != nil {
+		if err := res.degradeToElectricalFloor(ctx, cfg, ws); err != nil {
 			return nil, err
 		}
 		return res, nil
 	}
 	envs := buildEnvs(hnets, trees)
 	nets := make([]selection.Net, len(hnets))
-	if err := parallel.ForEachWorkerContext(ctx, len(hnets), cfg.Workers, func(w, i int) error {
+	if err := parallel.ForEachScratchContext(ctx, ws.arenaOf(), len(hnets), cfg.Workers, func(w int, s *parallel.Scratch, i int) error {
 		var sp obs.Span
 		if cfg.Obs != nil {
 			sp = cfg.Obs.Span("net/optical", obs.WorkerLane(w), obs.I("net", i))
 		}
+		scr := grabScratch(s, cfg.Obs)
 		in := codesign.Input{
 			Tree: trees[i][0],
 			Bits: hnets[i].BitCount(),
@@ -489,15 +505,12 @@ func RunOpticalContext(ctx context.Context, d signal.Design, cfg Config) (*Resul
 			Elec: cfg.Elec,
 			Env:  envs[i],
 		}
-		allO := make([]codesign.Label, len(trees[i][0].Edges))
-		for e := range allO {
-			allO[e] = codesign.Optical
-		}
+		allO := scr.fillLabels(len(trees[i][0].Edges), codesign.Optical)
 		var cands []codesign.Candidate
-		if cand, feasible := codesign.Evaluate(in, allO); feasible {
+		if cand, feasible := codesign.EvaluateWS(in, allO, scr.codesign); feasible {
 			cands = append(cands, cand)
 		}
-		fallback, err := electricalCandidate(hnets[i], cfg)
+		fallback, err := electricalCandidate(hnets[i], cfg, scr)
 		if err != nil {
 			return err
 		}
@@ -512,7 +525,7 @@ func RunOpticalContext(ctx context.Context, d signal.Design, cfg Config) (*Resul
 			return nil, err
 		}
 		stop(obs.I("nets", 0), obs.S("aborted", "context"))
-		if err := res.degradeToElectricalFloor(ctx, cfg); err != nil {
+		if err := res.degradeToElectricalFloor(ctx, cfg, ws); err != nil {
 			return nil, err
 		}
 		return res, nil
@@ -576,17 +589,20 @@ func process(d signal.Design, cfg Config) ([]signal.HyperNet, error) {
 	return hnets, nil
 }
 
-// baselineTrees builds the optical baseline topologies per hyper net. The
-// only possible error is ctx's: cancellation stops dispatch and surfaces
-// ctx.Err(), on which callers degrade to the electrical floor.
-func baselineTrees(ctx context.Context, hnets []signal.HyperNet, cfg Config) ([][]steiner.Tree, error) {
+// baselineTrees builds the optical baseline topologies per hyper net on the
+// per-worker Steiner workspaces of arena (the returned trees own their
+// memory — workspace scratch never escapes). The only possible error is
+// ctx's: cancellation stops dispatch and surfaces ctx.Err(), on which
+// callers degrade to the electrical floor.
+func baselineTrees(ctx context.Context, hnets []signal.HyperNet, cfg Config, arena *parallel.Arena) ([][]steiner.Tree, error) {
 	max := cfg.MaxBaselines
 	if max <= 0 {
 		max = 3
 	}
 	trees := make([][]steiner.Tree, len(hnets))
-	err := parallel.ForEachContext(ctx, len(hnets), cfg.Workers, func(i int) error {
-		trees[i] = steiner.Baselines(hnets[i].Terminals(), steiner.Euclidean, max)
+	err := parallel.ForEachScratchContext(ctx, arena, len(hnets), cfg.Workers, func(w int, s *parallel.Scratch, i int) error {
+		scr := grabScratch(s, cfg.Obs)
+		trees[i] = steiner.BaselinesWS(hnets[i].Terminals(), steiner.Euclidean, max, scr.steiner)
 		return nil
 	})
 	if err != nil {
@@ -633,8 +649,8 @@ func buildEnvs(hnets []signal.HyperNet, trees [][]steiner.Tree) [][]geom.Segment
 // ctx stops dispatch of further nets (in-flight ones finish — the pool's
 // deterministic drain) and returns ctx.Err(); the caller then degrades to
 // the electrical floor.
-func buildCoDesignNets(ctx context.Context, hnets []signal.HyperNet, cfg Config) ([]selection.Net, error) {
-	trees, err := baselineTrees(ctx, hnets, cfg)
+func buildCoDesignNets(ctx context.Context, hnets []signal.HyperNet, cfg Config, arena *parallel.Arena) ([]selection.Net, error) {
+	trees, err := baselineTrees(ctx, hnets, cfg, arena)
 	if err != nil {
 		return nil, err
 	}
@@ -643,12 +659,13 @@ func buildCoDesignNets(ctx context.Context, hnets []signal.HyperNet, cfg Config)
 	// Candidate generation is the widest fan-out of the flow; each net is
 	// tagged with the worker lane that produced it so the trace shows the
 	// pool's parallel tracks. The lane feeds telemetry only — results stay
-	// bit-identical across worker counts.
-	err = parallel.ForEachWorkerContext(ctx, len(hnets), cfg.Workers, func(w, i int) error {
+	// bit-identical across worker counts, with or without arena reuse.
+	err = parallel.ForEachScratchContext(ctx, arena, len(hnets), cfg.Workers, func(w int, s *parallel.Scratch, i int) error {
 		var sp obs.Span
 		if cfg.Obs != nil {
 			sp = cfg.Obs.Span("net/candidates", obs.WorkerLane(w), obs.I("net", i))
 		}
+		scr := grabScratch(s, cfg.Obs)
 		bits := hnets[i].BitCount()
 		var cands []codesign.Candidate
 		for _, tr := range trees[i] {
@@ -659,14 +676,14 @@ func buildCoDesignNets(ctx context.Context, hnets []signal.HyperNet, cfg Config)
 			if cfg.SubdivideCM > 0 && lossPressed(tr, envs[i], cfg.Lib, len(hnets[i].Pins)-1) {
 				tr = steiner.Subdivide(tr, cfg.SubdivideCM)
 			}
-			cs, err := codesign.Generate(codesign.Input{
+			cs, err := codesign.GenerateWS(codesign.Input{
 				Tree:       tr,
 				Bits:       bits,
 				Lib:        cfg.Lib,
 				Elec:       cfg.Elec,
 				Env:        envs[i],
 				MaxOptions: cfg.MaxCandidates,
-			})
+			}, scr.codesign)
 			if err != nil {
 				return fmt.Errorf("operon: net %d: %w", i, err)
 			}
@@ -681,7 +698,7 @@ func buildCoDesignNets(ctx context.Context, hnets []signal.HyperNet, cfg Config)
 				kept = append(kept, c)
 			}
 		}
-		fallback, err := electricalCandidate(hnets[i], cfg)
+		fallback, err := electricalCandidate(hnets[i], cfg, scr)
 		if err != nil {
 			return err
 		}
@@ -747,11 +764,11 @@ func thinCandidates(cands []codesign.Candidate, max int) []codesign.Candidate {
 }
 
 // electricalCandidate builds the a_ie fallback: an all-electrical RSMT
-// route evaluated under Eq. (6).
-func electricalCandidate(hn signal.HyperNet, cfg Config) (codesign.Candidate, error) {
-	tree := steiner.BI1S(hn.Terminals(), steiner.Rectilinear, steiner.BI1SConfig{})
+// route evaluated under Eq. (6), on the calling worker's scratch.
+func electricalCandidate(hn signal.HyperNet, cfg Config, scr *workerScratch) (codesign.Candidate, error) {
+	tree := steiner.BI1SWS(hn.Terminals(), steiner.Rectilinear, steiner.BI1SConfig{}, scr.steiner)
 	in := codesign.Input{Tree: tree, Bits: hn.BitCount(), Lib: cfg.Lib, Elec: cfg.Elec}
-	cand, _ := codesign.Evaluate(in, make([]codesign.Label, len(tree.Edges)))
+	cand, _ := codesign.EvaluateWS(in, scr.fillLabels(len(tree.Edges), codesign.Electrical), scr.codesign)
 	if !cand.AllElectrical {
 		return codesign.Candidate{}, fmt.Errorf("operon: electrical fallback is not all-electrical")
 	}

@@ -1,0 +1,81 @@
+package operon
+
+import (
+	"operon/internal/codesign"
+	"operon/internal/obs"
+	"operon/internal/parallel"
+	"operon/internal/steiner"
+)
+
+// Workspace owns the reusable per-worker solver scratch of the flow: the
+// co-design DP buffers, the incremental-Steiner buffers, and the label
+// scratch each pool worker uses during candidate generation. A Workspace
+// held across runs (RunContextWith) lets steady-state solves approach zero
+// amortised allocation; each worker slot keeps its own scratch, so any
+// Config.Workers count composes without locks. Results are bit-identical
+// with and without a Workspace — scratch reuse only changes allocation
+// behaviour.
+//
+// A Workspace must not be shared by concurrently executing runs: the pool
+// hands slot w to worker w, so two overlapping runs would alias scratch.
+// Serving layers keep one Workspace per queue slot instead (cmd/operond).
+type Workspace struct {
+	arena *parallel.Arena
+}
+
+// NewWorkspace returns an empty workspace; per-worker scratch is created on
+// first use and reused afterwards.
+func NewWorkspace() *Workspace { return &Workspace{arena: parallel.NewArena()} }
+
+// arenaOf returns the workspace's arena, tolerating a nil receiver (a nil
+// Workspace means per-run throwaway scratch).
+func (w *Workspace) arenaOf() *parallel.Arena {
+	if w == nil {
+		return nil
+	}
+	return w.arena
+}
+
+// workerScratch bundles the per-worker package workspaces used by the
+// candidate-generation stages.
+type workerScratch struct {
+	codesign *codesign.Workspace
+	steiner  *steiner.Workspace
+	labels   []codesign.Label
+}
+
+// grabScratch fetches the flow's worker scratch from s, creating it on
+// first use. Creations and reuses are counted on t (ws.worker.create /
+// ws.worker.reuse), so an instrumented run can report its workspace reuse
+// rate as reuse / (create + reuse).
+func grabScratch(s *parallel.Scratch, t *obs.Tracer) *workerScratch {
+	created := false
+	ws := s.Get("operon", func() any {
+		created = true
+		return &workerScratch{
+			codesign: codesign.NewWorkspace(),
+			steiner:  steiner.NewWorkspace(),
+		}
+	}).(*workerScratch)
+	if created {
+		t.Counter("ws.worker.create").Inc()
+	} else {
+		t.Counter("ws.worker.reuse").Inc()
+	}
+	return ws
+}
+
+// fillLabels returns a scratch label slice of length n with every entry set
+// to v. The slice is only valid until the worker's next fillLabels call;
+// codesign copies input labels into any candidate it returns, so handing it
+// to Evaluate/Generate is safe.
+func (ws *workerScratch) fillLabels(n int, v codesign.Label) []codesign.Label {
+	if cap(ws.labels) < n {
+		ws.labels = make([]codesign.Label, n)
+	}
+	ws.labels = ws.labels[:n]
+	for i := range ws.labels {
+		ws.labels[i] = v
+	}
+	return ws.labels
+}
