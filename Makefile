@@ -1,11 +1,14 @@
 GO ?= go
 
 # Packages with parallel stages or shared caches; `make check` runs these
-# under the race detector in addition to the normal test sweep.
+# under the race detector in addition to the normal test sweep. internal/ilp
+# is here for the speculative branch-and-bound workers (the determinism
+# tests assert bit-identical trees at Workers=1,2,4,8 under -race).
 RACE_PKGS = ./internal/parallel ./internal/selection ./internal/signal \
-            ./internal/wdm ./internal/optics/bpm ./internal/obs .
+            ./internal/wdm ./internal/optics/bpm ./internal/obs \
+            ./internal/ilp .
 
-.PHONY: check test race vet docs-lint serve-smoke bench trace-smoke bench-compare bench-alloc
+.PHONY: check test race vet docs-lint serve-smoke bench trace-smoke bench-compare bench-alloc bench-scale
 
 check: vet docs-lint test race
 
@@ -53,7 +56,15 @@ bench-compare:
 # Allocation-regression smoke: re-measure the suite in quick mode (single
 # benchmark iterations — wall-clock numbers are noise, allocation profiles
 # are not) and gate it against the newest committed report. CI runs this on
-# every push so hot-path allocation churn cannot land silently.
+# every push so hot-path allocation churn cannot land silently. The mega
+# cases are excluded here (bench-scale owns them).
 bench-alloc:
-	$(GO) run ./cmd/bench -quick -out /tmp/operon-bench-alloc.json
+	$(GO) run ./cmd/bench -quick -mega none -out /tmp/operon-bench-alloc.json
 	$(GO) run ./cmd/benchcmp $$(ls BENCH_*.json | sort | tail -1) /tmp/operon-bench-alloc.json
+
+# Scale-frontier smoke: run the I6 mega case (~20k nets, 6 cm die) end to
+# end — flow plus the exact-ILP slice under a tight node budget — so the
+# 10^5-column path stays exercised on every push without mega-benchmark
+# wall-clock cost.
+bench-scale:
+	$(GO) run ./cmd/bench -quick -mega I6 -mega-nodes 256 -out /tmp/operon-bench-scale.json

@@ -10,6 +10,17 @@
 //     hot-path allocation churn crept back in. Tiny entries are exempted by
 //     an absolute floor (16 allocs / 1024 bytes) — a 2→3 alloc change is
 //     not a regression signal.
+//   - Peak live heap (peak_heap_bytes, when both reports sampled it): the
+//     footprint gate for the mega cases, with a 64 MiB absolute floor so
+//     GC timing noise on small entries never trips it.
+//
+// Coverage is also gated: a benchmark present in the old report but absent
+// from the new one fails the comparison unless the new report names it in
+// its "skipped" list — losing a benchmark must be a decision, not an
+// accident. Entries only the new report has are informational ("new, no
+// baseline"). An entry named in the new report's "acknowledged" list is
+// reported but never failed: the waiver for a deliberate time-vs-memory
+// trade rides in the committed baseline where review can see it.
 //
 // Wall-clock numbers are reported for context but never gated.
 //
@@ -36,22 +47,31 @@ import (
 type report struct {
 	Date       string `json:"date"`
 	Benchmarks []struct {
-		Name        string `json:"name"`
-		AllocsPerOp int64  `json:"allocs_per_op"`
-		BytesPerOp  int64  `json:"bytes_per_op"`
+		Name          string `json:"name"`
+		AllocsPerOp   int64  `json:"allocs_per_op"`
+		BytesPerOp    int64  `json:"bytes_per_op"`
+		PeakHeapBytes int64  `json:"peak_heap_bytes"`
 	} `json:"benchmarks"`
-	Counters []struct {
+	// Skipped names the entries the new run deliberately did not execute
+	// (mega cases outside its -mega selection); they are exempt from the
+	// missing-benchmark gate.
+	Skipped []string `json:"skipped"`
+	// Acknowledged names entries whose allocation-profile change the new
+	// report declares deliberate; they are reported but not gated.
+	Acknowledged []string `json:"acknowledged"`
+	Counters     []struct {
 		Name  string `json:"name"`
 		Value int64  `json:"value"`
 	} `json:"counters"`
 }
 
-// Absolute floors under which an allocation delta is never gated: relative
-// thresholds on near-zero baselines (a 2-alloc cached hit, a 64-byte
-// response) would flake on irrelevant single-allocation shifts.
+// Absolute floors under which a delta is never gated: relative thresholds
+// on near-zero baselines (a 2-alloc cached hit, a 64-byte response, a
+// megabyte of idle heap) would flake on irrelevant shifts.
 const (
 	allocFloor = 16
 	bytesFloor = 1024
+	heapFloor  = 64 << 20 // peak live heap, 64 MiB
 )
 
 // guarded lists the counters whose growth fails the comparison: more
@@ -103,7 +123,7 @@ func main() {
 		for _, c := range newRep.Counters {
 			old, ok := oldVals[c.Name]
 			if !ok {
-				fmt.Printf("  %-24s %12d  (new counter)\n", c.Name, c.Value)
+				fmt.Printf("  %-24s %12d  (new counter, no baseline)\n", c.Name, c.Value)
 				continue
 			}
 			delta := 0.0
@@ -119,19 +139,21 @@ func main() {
 		}
 	}
 	if failures > 0 {
-		fail("%d guarded measure(s) regressed more than %.0f%%", failures, 100**threshold)
+		fail("%d guarded measure(s) failed (regression beyond %.0f%% or lost coverage)", failures, 100**threshold)
 	}
 }
 
 // compareAllocs gates the allocation profile of every benchmark entry both
-// reports share: an entry fails when allocs_per_op or bytes_per_op grew by
-// more than threshold AND the growth clears the absolute floor. Entries
-// only one report has are informational.
+// reports share: an entry fails when allocs_per_op, bytes_per_op, or the
+// sampled peak heap grew by more than threshold AND the growth clears the
+// matching absolute floor, unless the new report acknowledges the entry.
+// Entries only the new report has are informational; entries only the old
+// report has fail unless the new report's skipped list names them.
 func compareAllocs(oldRep, newRep report, threshold float64) int {
-	type profile struct{ allocs, bytes int64 }
+	type profile struct{ allocs, bytes, peak int64 }
 	oldVals := map[string]profile{}
 	for _, b := range oldRep.Benchmarks {
-		oldVals[b.Name] = profile{b.AllocsPerOp, b.BytesPerOp}
+		oldVals[b.Name] = profile{b.AllocsPerOp, b.BytesPerOp, b.PeakHeapBytes}
 	}
 	if len(oldVals) == 0 {
 		fmt.Println("benchcmp: old report has no benchmarks section; skipping alloc gate")
@@ -145,21 +167,52 @@ func compareAllocs(oldRep, newRep report, threshold float64) int {
 		bad := new-old > floor && (old == 0 || delta > threshold)
 		return fmt.Sprintf("%d -> %d (%+.1f%%)", old, new, 100*delta), bad
 	}
+	acked := map[string]bool{}
+	for _, name := range newRep.Acknowledged {
+		acked[name] = true
+	}
 	failures := 0
+	seen := map[string]bool{}
 	for _, b := range newRep.Benchmarks {
+		seen[b.Name] = true
 		old, ok := oldVals[b.Name]
 		if !ok {
-			fmt.Printf("  %-32s allocs %12d, bytes %12d  (new entry)\n", b.Name, b.AllocsPerOp, b.BytesPerOp)
+			fmt.Printf("  %-32s allocs %12d, bytes %12d  (new, no baseline)\n", b.Name, b.AllocsPerOp, b.BytesPerOp)
 			continue
 		}
 		aStr, aBad := gate(old.allocs, b.AllocsPerOp, allocFloor)
 		bStr, bBad := gate(old.bytes, b.BytesPerOp, bytesFloor)
 		status := ""
-		if aBad || bBad {
+		hBad := false
+		if old.peak > 0 && b.PeakHeapBytes > 0 {
+			_, hBad = gate(old.peak, b.PeakHeapBytes, heapFloor)
+		}
+		switch {
+		case (aBad || bBad || hBad) && acked[b.Name]:
+			// The new report declares this change deliberate; report it
+			// without failing so the trade stays visible in the log.
+			status = "  acknowledged"
+		case aBad || bBad || hBad:
 			status = "  REGRESSION"
 			failures++
 		}
 		fmt.Printf("  %-32s allocs %s, bytes %s%s\n", b.Name, aStr, bStr, status)
+	}
+	// Coverage gate: every old entry must either still run or be declared
+	// skipped by the new report.
+	skipped := map[string]bool{}
+	for _, name := range newRep.Skipped {
+		skipped[name] = true
+	}
+	for _, b := range oldRep.Benchmarks {
+		switch {
+		case seen[b.Name]:
+		case skipped[b.Name]:
+			fmt.Printf("  %-32s (skipped by new report)\n", b.Name)
+		default:
+			fmt.Printf("  %-32s MISSING from new report (not in its skipped list)\n", b.Name)
+			failures++
+		}
 	}
 	return failures
 }

@@ -76,12 +76,30 @@ func (s Spec) Validate() error {
 
 // Generate builds the design for a spec.
 func Generate(spec Spec) (signal.Design, error) {
-	if err := spec.Validate(); err != nil {
+	die := geom.Rect{Hi: geom.Point{X: spec.DieCM, Y: spec.DieCM}}
+	d := signal.Design{Name: spec.Name, Die: die}
+	err := GenerateGroups(spec, func(g signal.Group) error {
+		d.Groups = append(d.Groups, g)
+		return nil
+	})
+	if err != nil {
 		return signal.Design{}, err
+	}
+	return d, nil
+}
+
+// GenerateGroups streams the groups of a spec one at a time to fn, in the
+// same deterministic order Generate materialises them. Mega-scale cases
+// (I6–I8, up to 100k+ nets) can be consumed chunk by chunk — counted,
+// filtered, or written out — without holding the whole design in memory;
+// Generate itself is this stream plus an append. A non-nil error from fn
+// stops the stream and is returned verbatim.
+func GenerateGroups(spec Spec, fn func(signal.Group) error) error {
+	if err := spec.Validate(); err != nil {
+		return err
 	}
 	rng := rand.New(rand.NewSource(spec.Seed))
 	die := geom.Rect{Hi: geom.Point{X: spec.DieCM, Y: spec.DieCM}}
-	d := signal.Design{Name: spec.Name, Die: die}
 
 	targetBits := int(float64(spec.Groups)*spec.BitsPerGroup + 0.5)
 	remaining := targetBits
@@ -106,11 +124,14 @@ func Generate(spec Spec) (signal.Design, error) {
 		if local {
 			span = spec.LocalSpanCM
 		}
-		d.Groups = append(d.Groups, makeGroup(rng, fmt.Sprintf("%s_g%d", spec.Name, g),
+		grp := makeGroup(rng, fmt.Sprintf("%s_g%d", spec.Name, g),
 			bits, spec.MinSinkClusters+rng.Intn(spec.MaxSinkClusters-spec.MinSinkClusters+1),
-			die, span, spec.RegionSpreadCM, spec.LanePitchCM))
+			die, span, spec.RegionSpreadCM, spec.LanePitchCM)
+		if err := fn(grp); err != nil {
+			return err
+		}
 	}
-	return d, nil
+	return nil
 }
 
 // makeGroup builds one bundle: a driver region and nSinks sink regions at
@@ -220,9 +241,46 @@ func Table1Specs() []Spec {
 	}
 }
 
-// SpecByName returns the Table-1 spec with the given name.
+// MegaSpecs returns the scale-frontier cases beyond the paper's Table 1:
+// synthetic designs one to two orders of magnitude larger than I1–I5,
+// probing where the flow's near-linear stages and the exact ILP's
+// branch-and-bound wall actually sit.
+//
+//	I6:  ~20k nets,  2500 groups,  6 cm die
+//	I7:  ~50k nets,  6250 groups,  8 cm die
+//	I8: ~102k nets, 12500 groups, 10 cm die
+//
+// Like the Table-1 specs they are fully deterministic (fixed seeds); use
+// GenerateGroups to consume them without materialising the whole design.
+func MegaSpecs() []Spec {
+	common := func(s Spec) Spec {
+		s.BitsJitter = 2
+		s.MinSinkClusters = 1
+		s.MaxSinkClusters = 2
+		s.LocalFraction = 0.2
+		s.LocalSpanCM = 0.15
+		s.RegionSpreadCM = 0.02
+		s.LanePitchCM = 0.2
+		return s
+	}
+	return []Spec{
+		common(Spec{Name: "I6", DieCM: 6, Groups: 2500, BitsPerGroup: 8,
+			GlobalSpanCM: 1.6, Seed: 106}),
+		common(Spec{Name: "I7", DieCM: 8, Groups: 6250, BitsPerGroup: 8,
+			GlobalSpanCM: 2.0, Seed: 107}),
+		common(Spec{Name: "I8", DieCM: 10, Groups: 12500, BitsPerGroup: 8.2,
+			GlobalSpanCM: 2.4, Seed: 108}),
+	}
+}
+
+// SpecByName returns the Table-1 or mega-case spec with the given name.
 func SpecByName(name string) (Spec, error) {
 	for _, s := range Table1Specs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	for _, s := range MegaSpecs() {
 		if s.Name == name {
 			return s, nil
 		}

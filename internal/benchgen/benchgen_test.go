@@ -1,6 +1,7 @@
 package benchgen
 
 import (
+	"fmt"
 	"testing"
 
 	"operon/internal/optics"
@@ -129,5 +130,84 @@ func within(got, want int, frac float64) bool {
 func TestSpecByNameUnknown(t *testing.T) {
 	if _, err := SpecByName("nope"); err == nil {
 		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestMegaSpecsNetCounts(t *testing.T) {
+	// The scale-frontier cases hit their target net counts; counting goes
+	// through the streaming generator so the 100k-net I8 never has to be
+	// materialised as one design.
+	wantNets := map[string]int{"I6": 20000, "I7": 50000, "I8": 102500}
+	for _, spec := range MegaSpecs() {
+		groups, nets := 0, 0
+		if err := GenerateGroups(spec, func(g signal.Group) error {
+			groups++
+			nets += len(g.Bits)
+			return nil
+		}); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if nets != wantNets[spec.Name] {
+			t.Errorf("%s: #Net = %d, want %d", spec.Name, nets, wantNets[spec.Name])
+		}
+		if groups != spec.Groups {
+			t.Errorf("%s: groups = %d, want %d", spec.Name, groups, spec.Groups)
+		}
+	}
+}
+
+func TestGenerateGroupsMatchesGenerate(t *testing.T) {
+	// The streaming and materialised paths are the same generator: group
+	// order, sizes, and geometry must agree exactly.
+	spec, err := SpecByName("I6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	err = GenerateGroups(spec, func(g signal.Group) error {
+		if i >= len(d.Groups) {
+			t.Fatalf("stream produced more than %d groups", len(d.Groups))
+		}
+		ref := d.Groups[i]
+		if g.Name != ref.Name || len(g.Bits) != len(ref.Bits) {
+			t.Fatalf("group %d: stream %s/%d bits vs generate %s/%d bits",
+				i, g.Name, len(g.Bits), ref.Name, len(ref.Bits))
+		}
+		if g.Bits[0].Driver != ref.Bits[0].Driver {
+			t.Fatalf("group %d: geometry differs", i)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(d.Groups) {
+		t.Fatalf("stream produced %d of %d groups", i, len(d.Groups))
+	}
+}
+
+func TestGenerateGroupsStopsOnError(t *testing.T) {
+	spec, err := SpecByName("I8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	sentinel := fmt.Errorf("stop")
+	if err := GenerateGroups(spec, func(signal.Group) error {
+		calls++
+		if calls == 3 {
+			return sentinel
+		}
+		return nil
+	}); err != sentinel {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn called %d times after early stop", calls)
 	}
 }

@@ -52,7 +52,8 @@ func TestRowsInvariantAcrossTree(t *testing.T) {
 		if len(p.LP.Rows) != wantRows {
 			t.Fatalf("trial %d: problem rows grew from %d to %d", trial, wantRows, len(p.LP.Rows))
 		}
-		if r.LPRows != wantRows {
+		// Presolve may shrink the row set; branching must never grow it.
+		if r.LPRows > wantRows {
 			t.Fatalf("trial %d: solver used %d rows for a %d-row problem (bounds must not become rows)",
 				trial, r.LPRows, wantRows)
 		}

@@ -186,17 +186,10 @@ type Options struct {
 // effectiveBudget resolves the time budget of opt into the context to poll
 // for cancellation and the earliest applicable deadline: the legacy Deadline
 // field merged with the context's own deadline (zero time when neither is
-// set). Both simplex engines call it once per solve.
+// set). Both simplex engines call it once per solve; it delegates to
+// ResolveBudget so all layers share one deadline source.
 func (opt Options) effectiveBudget() (context.Context, time.Time) {
-	ctx := opt.Ctx
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	deadline := opt.Deadline
-	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
-		deadline = d
-	}
-	return ctx, deadline
+	return ResolveBudget(opt.Ctx, opt.Deadline)
 }
 
 const (
@@ -211,17 +204,42 @@ func Solve(p Problem) (Solution, error) {
 	return SolveWithOptions(p, Options{})
 }
 
-// SolveWithOptions runs the revised simplex method on p under the given
-// resource bounds, falling back to the dense oracle on numerical
-// breakdown (singular refactorisation that cannot be recovered).
+// SolveWithOptions runs presolve and then the revised simplex method on the
+// reduced problem under the given resource bounds, falling back to the
+// dense oracle on numerical breakdown (singular refactorisation that cannot
+// be recovered). The solution is postsolved back to the full variable
+// space, so callers never see the reduction.
 func SolveWithOptions(p Problem, opt Options) (Solution, error) {
-	s, err := NewBoundedSolver(p)
+	ps, err := Presolve(p, nil, nil, nil)
 	if err != nil {
 		return Solution{}, err
 	}
-	sol, _, err := s.SolveBounds(nil, nil, nil, opt)
+	if opt.Obs != nil {
+		opt.Obs.Counter("lp.presolve_rows").Add(int64(ps.RowsRemoved))
+		opt.Obs.Counter("lp.presolve_cols").Add(int64(ps.ColsRemoved))
+	}
+	switch ps.Outcome {
+	case PresolveInfeasible:
+		return Solution{Status: Infeasible}, nil
+	case PresolveUnbounded:
+		return Solution{Status: Unbounded}, nil
+	case PresolveSolved:
+		return Solution{Status: Optimal, Objective: ps.Offset, X: ps.Postsolve(nil, nil)}, nil
+	}
+	s, err := NewBoundedSolver(ps.P)
+	if err != nil {
+		return Solution{}, err
+	}
+	sol, _, err := s.SolveBounds(ps.Lo, ps.Up, nil, opt)
 	if errors.Is(err, ErrNumerical) {
 		return SolveDenseWithOptions(p, opt)
 	}
-	return sol, err
+	if err != nil {
+		return Solution{}, err
+	}
+	if sol.Status == Optimal {
+		sol.X = ps.Postsolve(sol.X, nil)
+		sol.Objective += ps.Offset
+	}
+	return sol, nil
 }

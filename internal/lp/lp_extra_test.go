@@ -34,9 +34,13 @@ func TestDeadlineAborts(t *testing.T) {
 }
 
 func TestTableauMemoryBudget(t *testing.T) {
+	// Coupled GE rows so presolve cannot solve the problem outright (a
+	// presolve-solved problem never allocates solver workspace at all).
 	p := Problem{NumVars: 4, Objective: []float64{1, 1, 1, 1}}
 	for i := 0; i < 4; i++ {
-		p.Rows = append(p.Rows, Row{Terms: []Term{{i, 1}}, Sense: LE, RHS: 1})
+		p.Rows = append(p.Rows, Row{
+			Terms: []Term{{i, 1}, {(i + 1) % 4, 1}}, Sense: GE, RHS: 1,
+		})
 	}
 	// A budget too small for even this tiny tableau triggers ErrTooLarge.
 	_, err := SolveWithOptions(p, Options{MaxTableauBytes: 8})

@@ -36,7 +36,10 @@ type BoundedSolver struct {
 	prob Problem
 	// A is the column-compressed constraint matrix (structural plus slack
 	// columns), capitalised after the conventional simplex notation Ax = b.
-	A    csc
+	A csc
+	// ar is the row-compressed mirror of A, built once and shared by clones;
+	// the devex weight update walks it row-wise.
+	ar   csr
 	m    int // rows
 	n    int // structural columns
 	nTot int // n + m (slacks)
@@ -62,6 +65,12 @@ type BoundedSolver struct {
 
 	// Dense scratch vectors, length m.
 	dir, rho, y, sigma []float64
+
+	// Devex reference weights per column plus the update-pass scratch: dvAcc
+	// accumulates the pivot row's entries (length nTot, kept zeroed between
+	// updates), dvTouch lists the columns written so only they are re-zeroed.
+	dw, dvAcc []float64
+	dvTouch   []int32
 
 	// Factorisation scratch, reused across refactorisations (refactor ran
 	// hot enough that its ~15 per-call allocations dominated the LP
@@ -99,6 +108,7 @@ func NewBoundedSolver(p Problem) (*BoundedSolver, error) {
 	}
 	s := &BoundedSolver{prob: p}
 	s.A = buildCSC(p)
+	s.ar = buildCSR(&s.A)
 	s.m = len(p.Rows)
 	s.n = p.NumVars
 	s.nTot = s.A.n
@@ -108,6 +118,13 @@ func NewBoundedSolver(p Problem) (*BoundedSolver, error) {
 	for i, r := range p.Rows {
 		s.b[i] = r.RHS
 	}
+	s.allocState()
+	return s, nil
+}
+
+// allocState allocates the per-solver mutable state (bounds, basis, scratch
+// vectors, devex weights); the immutable problem matrices are not touched.
+func (s *BoundedSolver) allocState() {
 	s.lo = make([]float64, s.nTot)
 	s.up = make([]float64, s.nTot)
 	s.basic = make([]int32, s.m)
@@ -118,16 +135,35 @@ func NewBoundedSolver(p Problem) (*BoundedSolver, error) {
 	s.rho = make([]float64, s.m)
 	s.y = make([]float64, s.m)
 	s.sigma = make([]float64, s.m)
-	return s, nil
+	s.dw = make([]float64, s.nTot)
+	s.dvAcc = make([]float64, s.nTot)
+}
+
+// Clone returns an independent solver over the same problem, sharing the
+// immutable matrices (CSC columns, CSR rows, costs, RHS) with the receiver
+// and allocating fresh mutable state. Sharing is read-only, so the clone is
+// safe to drive from a different goroutine than the receiver; parallel
+// branch and bound hands each worker one clone instead of rebuilding the
+// sparse storage per worker.
+func (s *BoundedSolver) Clone() *BoundedSolver {
+	c := &BoundedSolver{
+		prob: s.prob, A: s.A, ar: s.ar,
+		m: s.m, n: s.n, nTot: s.nTot,
+		c: s.c, b: s.b,
+	}
+	c.allocState()
+	return c
 }
 
 // NumRows returns the constraint-row count of the underlying problem; it is
 // invariant across SolveBounds calls (branch and bound asserts this).
 func (s *BoundedSolver) NumRows() int { return s.m }
 
-// workspaceBytes estimates the revised-simplex working memory.
+// workspaceBytes estimates the revised-simplex working memory (the CSC
+// store plus its CSR mirror, per-column state incl. devex weights, and the
+// dense row scratch).
 func (s *BoundedSolver) workspaceBytes() int64 {
-	return int64(s.A.nnz())*12 + int64(s.nTot)*21 + int64(s.m)*44 +
+	return int64(s.A.nnz())*24 + int64(s.nTot)*41 + int64(s.m)*44 +
 		int64(refactorEvery)*16
 }
 
@@ -660,6 +696,10 @@ const (
 // basis. Returns Optimal (phase 1: feasible), Infeasible (phase 1 only),
 // Unbounded (phase 2 only), or IterLimit.
 func (s *BoundedSolver) primal(kind phaseKind) Status {
+	// Each phase starts a fresh devex reference framework: the phase-1
+	// gradient and the problem objective price against different costs, so
+	// weights learned in one phase are meaningless in the other.
+	s.resetDevex()
 	for {
 		if s.expired() {
 			return IterLimit
@@ -715,6 +755,11 @@ func (s *BoundedSolver) primal(kind phaseKind) Status {
 			}
 			return Unbounded
 		}
+		if leave >= 0 {
+			// Must run against the pre-pivot basis: it BTRANs e_leave
+			// through the eta file applyStep is about to extend.
+			s.devexUpdate(enter, leave, d)
+		}
 		if err := s.applyStep(enter, dir, d, t, leave, leaveAtUp); err != nil {
 			s.numErr = err
 			return IterLimit
@@ -748,11 +793,14 @@ func (s *BoundedSolver) infeasGradient() bool {
 }
 
 // priceEnter chooses the entering column: partial pricing over cyclic
-// chunks (Dantzig within the first chunk containing a candidate), Bland's
-// lowest-index rule under stall. cost is nil in phase 1 (nonbasic columns
-// have zero infeasibility cost). Returns (-1, 0) at phase optimality,
-// otherwise the column and +1 (enter rising from lower) or −1 (falling
-// from upper).
+// chunks with devex reference-weight scoring (rc²/weight, largest wins)
+// within the first chunk containing a candidate, and Bland's lowest-index
+// rule under stall. Devex approximates steepest-edge pricing at a fraction
+// of the cost — long thin columns that barely move the objective per unit
+// step score low — and on the selection-shaped LPs cuts the pivot count
+// well below Dantzig's. cost is nil in phase 1 (nonbasic columns have zero
+// infeasibility cost). Returns (-1, 0) at phase optimality, otherwise the
+// column and +1 (enter rising from lower) or −1 (falling from upper).
 func (s *BoundedSolver) priceEnter(y []float64, cost []float64) (int, int) {
 	rcOf := func(j int) float64 {
 		rc := -s.A.dot(y, j)
@@ -793,10 +841,12 @@ func (s *BoundedSolver) priceEnter(y []float64, cost []float64) (int, int) {
 		end := scanned + chunk
 		for ; scanned < end && scanned < s.nTot; scanned++ {
 			j := (s.scanAt + scanned) % s.nTot
-			if score, dir := eligible(j); dir != 0 {
-				// score is negative; more negative is better. Ties take
-				// the lowest column index for determinism.
-				if score < bestScore-tol || (score < bestScore+tol && (best < 0 || j < best)) {
+			if rc, dir := eligible(j); dir != 0 {
+				// Devex score: squared reduced cost over the reference
+				// weight. Exact comparisons with lowest-column-index ties
+				// keep the choice deterministic.
+				score := rc * rc / s.dw[j]
+				if score > bestScore || (score == bestScore && best >= 0 && j < best) {
 					bestScore = score
 					best, bestDir = j, dir
 				}
@@ -808,6 +858,78 @@ func (s *BoundedSolver) priceEnter(y []float64, cost []float64) (int, int) {
 		}
 	}
 	return -1, 0
+}
+
+// devexResetAbove bounds the devex weights; a weight outgrowing it resets
+// the reference framework (Forrest–Goldfarb's safeguard against drift).
+const devexResetAbove = 1e7
+
+// resetDevex restores the devex reference framework: every column weight 1,
+// making the first pricing pass of a phase pure Dantzig.
+func (s *BoundedSolver) resetDevex() {
+	for j := range s.dw {
+		s.dw[j] = 1
+	}
+}
+
+// devexUpdate refreshes the devex reference weights after the ratio test
+// picked (enter, leave): each nonbasic column's weight grows to at least
+// its squared pivot-row ratio times the entering weight, and the leaving
+// column re-enters the nonbasic set with the entering column's weight
+// transferred through the pivot element. It BTRANs e_leave through the
+// current eta file and walks the touched rows of the CSR mirror, so it must
+// run against the pre-pivot basis (before applyStep extends the file).
+func (s *BoundedSolver) devexUpdate(enter, leave int, d []float64) {
+	aq := d[leave]
+	if math.Abs(aq) < pivTol {
+		return
+	}
+	wq := s.dw[enter]
+	// sigma is free scratch here: phase 1 rebuilds its gradient at the top
+	// of every iteration and phase 2 never reads it.
+	rho := s.sigma
+	for i := range rho {
+		rho[i] = 0
+	}
+	rho[leave] = 1
+	s.etas.btran(rho)
+	acc, touched := s.dvAcc, s.dvTouch[:0]
+	for i := 0; i < s.m; i++ {
+		if rho[i] == 0 {
+			continue
+		}
+		for t, end := s.ar.rowStart[i], s.ar.rowStart[i+1]; t < end; t++ {
+			j := s.ar.colIdx[t]
+			if acc[j] == 0 {
+				touched = append(touched, j)
+			}
+			acc[j] += rho[i] * s.ar.val[t]
+		}
+	}
+	reset := false
+	for _, j := range touched {
+		alpha := acc[j]
+		acc[j] = 0
+		if int(j) == enter || s.pos[j] >= 0 {
+			continue
+		}
+		r := alpha / aq
+		if cand := r * r * wq; cand > s.dw[j] {
+			s.dw[j] = cand
+			if cand > devexResetAbove {
+				reset = true
+			}
+		}
+	}
+	s.dvTouch = touched
+	if w := wq / (aq * aq); w > 1 {
+		s.dw[s.basic[leave]] = w
+	} else {
+		s.dw[s.basic[leave]] = 1
+	}
+	if reset {
+		s.resetDevex()
+	}
 }
 
 // ratioPhase2 finds the blocking step for a primal-feasible basis.

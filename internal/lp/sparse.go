@@ -39,6 +39,43 @@ func (a *csc) scatter(v []float64, j int, t float64) {
 	}
 }
 
+// csr is a row-compressed mirror of a csc matrix. The revised simplex keeps
+// one for the devex weight update, which walks the rows touched by the
+// BTRANed pivot row — a column-only store would make that O(nnz) per row
+// probe instead of a direct slice scan.
+type csr struct {
+	rowStart []int32
+	colIdx   []int32
+	val      []float64
+}
+
+// buildCSR transposes a into row-major form; column indices are ascending
+// within each row (deterministic scan order for the devex update).
+func buildCSR(a *csc) csr {
+	r := csr{
+		rowStart: make([]int32, a.m+1),
+		colIdx:   make([]int32, len(a.val)),
+		val:      make([]float64, len(a.val)),
+	}
+	for _, ri := range a.rowIdx {
+		r.rowStart[ri+1]++
+	}
+	for i := 0; i < a.m; i++ {
+		r.rowStart[i+1] += r.rowStart[i]
+	}
+	cursor := make([]int32, a.m)
+	copy(cursor, r.rowStart[:a.m])
+	for j := 0; j < a.n; j++ {
+		for t := a.colStart[j]; t < a.colStart[j+1]; t++ {
+			i := a.rowIdx[t]
+			r.colIdx[cursor[i]] = int32(j)
+			r.val[cursor[i]] = a.val[t]
+			cursor[i]++
+		}
+	}
+	return r
+}
+
 // buildCSC assembles the extended matrix [A | I] from the problem rows.
 // Duplicate terms on the same (row, variable) pair accumulate, matching the
 // dense engine. Entries within each column are sorted by row index.

@@ -10,6 +10,7 @@ import (
 	"operon/internal/ilp"
 	"operon/internal/lp"
 	"operon/internal/obs"
+	"operon/internal/parallel"
 )
 
 // ILPOptions tunes the exact solver.
@@ -32,6 +33,13 @@ type ILPOptions struct {
 	MaxNodes int
 	// MaxTableauBytes caps the LP tableau memory (zero = library default).
 	MaxTableauBytes int64
+	// Workers sets the parallelism of the branch-and-bound search (zero =
+	// one per CPU, 1 = serial). The search is deterministic at any value —
+	// see package ilp for the contract.
+	Workers int
+	// Arena, when non-nil, supplies per-worker solver scratch reused across
+	// solves; it must not be shared by concurrent SolveILP calls.
+	Arena *parallel.Arena
 	// Obs, when non-nil, receives a selection/ilp span plus the branch-and-
 	// bound node events and LP counters of the underlying solvers.
 	Obs *obs.Tracer
@@ -80,6 +88,8 @@ func SolveILP(inst *Instance, opt ILPOptions) (ILPResult, error) {
 		TimeLimit:       opt.TimeLimit,
 		MaxNodes:        opt.MaxNodes,
 		MaxTableauBytes: opt.MaxTableauBytes,
+		Workers:         opt.Workers,
+		Arena:           opt.Arena,
 		Obs:             opt.Obs,
 	})
 	sp.End(obs.I("nodes", ir.Nodes), obs.S("status", ir.Status.String()))

@@ -302,7 +302,8 @@ func RunContextWith(ctx context.Context, d signal.Design, cfg Config, ws *Worksp
 	switch cfg.Mode {
 	case ModeILP:
 		ir, err := selection.SolveILP(inst, selection.ILPOptions{
-			Ctx: ctx, TimeLimit: cfg.ILPTimeLimit, MaxNodes: cfg.ILPMaxNodes, Obs: cfg.Obs,
+			Ctx: ctx, TimeLimit: cfg.ILPTimeLimit, MaxNodes: cfg.ILPMaxNodes,
+			Workers: cfg.Workers, Arena: ws.arenaOf(), Obs: cfg.Obs,
 		})
 		if err != nil {
 			return nil, err
