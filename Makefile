@@ -6,9 +6,9 @@ GO ?= go
 # tests assert bit-identical trees at Workers=1,2,4,8 under -race).
 RACE_PKGS = ./internal/parallel ./internal/selection ./internal/signal \
             ./internal/wdm ./internal/optics/bpm ./internal/obs \
-            ./internal/ilp .
+            ./internal/serve ./internal/ilp .
 
-.PHONY: check test race vet docs-lint serve-smoke bench trace-smoke bench-compare bench-alloc bench-scale
+.PHONY: check test race vet docs-lint serve-smoke bench trace-smoke bench-compare bench-alloc bench-scale load-smoke load-compare
 
 check: vet docs-lint test race
 
@@ -68,3 +68,16 @@ bench-alloc:
 # wall-clock cost.
 bench-scale:
 	$(GO) run ./cmd/bench -quick -mega I6 -mega-nodes 256 -out /tmp/operon-bench-scale.json
+
+# SLO gate: replay a deterministic request mix (hot-key skew, bursts, mixed
+# budgets) against the in-process serving stack and fail when client-observed
+# p50/p95/p99 latency or the error rate regress beyond generous thresholds
+# against the newest committed LOAD_*.json baseline. The *.tmp report path is
+# gitignored, so CI never dirties the tree.
+load-smoke:
+	$(GO) run ./cmd/loadgen -requests 40 -check -out LOAD_smoke.json.tmp
+
+# Fuller local run against the committed baseline: same gate, more requests,
+# report left beside the baseline for inspection (still gitignored).
+load-compare:
+	$(GO) run ./cmd/loadgen -requests 120 -check -out LOAD_compare.json.tmp

@@ -149,27 +149,31 @@ func BenchmarkILP(b *testing.B) {
 
 // BenchmarkObsOverhead measures the cost of the observability layer on the
 // end-to-end flow: Nil is the production default (Config.Obs == nil, the
-// whole instrumentation path reduces to nil checks), Nop pays span/event
-// recording into a discarding sink, Collector additionally retains
-// everything in memory. Nil vs the committed BENCH numbers is the < 2%
-// regression budget; Nil vs Nop bounds what turning tracing on costs.
+// whole instrumentation path reduces to nil checks), Telemetry is the
+// operond serving configuration (counters and per-stage latency histograms
+// recorded, spans discarded — obs.New(nil)), Nop pays span/event recording
+// into a discarding sink, Collector additionally retains everything in
+// memory. Nil vs the committed BENCH numbers is the < 2% regression budget;
+// Nil vs Telemetry bounds what the serving metrics cost; Nil vs Nop bounds
+// what turning tracing on costs.
 func BenchmarkObsOverhead(b *testing.B) {
 	d := design(b, "I1")
 	for _, tc := range []struct {
-		name string
-		sink func() obs.Sink // nil = run uninstrumented
+		name   string
+		tracer func() *obs.Tracer // nil = run uninstrumented
 	}{
 		{"Nil", nil},
-		{"Nop", func() obs.Sink { return obs.Nop{} }},
-		{"Collector", func() obs.Sink { return &obs.Collector{} }},
+		{"Telemetry", func() *obs.Tracer { return obs.New(nil) }},
+		{"Nop", func() *obs.Tracer { return obs.New(obs.Nop{}) }},
+		{"Collector", func() *obs.Tracer { return obs.New(&obs.Collector{}) }},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			cfg := operon.DefaultConfig()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if tc.sink != nil {
-					cfg.Obs = obs.New(tc.sink())
+				if tc.tracer != nil {
+					cfg.Obs = tc.tracer()
 				}
 				if _, err := operon.Run(d, cfg); err != nil {
 					b.Fatal(err)

@@ -121,6 +121,22 @@ type Report struct {
 	// regressions that wall-clock noise would hide. All entries except the
 	// benchtime-dependent bpm.cache_* pair are deterministic.
 	Counters []obs.CounterValue `json:"counters,omitempty"`
+	// Histograms summarises the per-stage latency distributions of one
+	// untimed instrumented flow run (its own tracer, so Counters above stay
+	// comparable across reports): clustering, baselines, candidate
+	// generation, selection, WDM, and the FD-BPM leaf. Wall-clock
+	// quantiles are machine-dependent like ns/op; benchcmp reports them but
+	// never gates on them.
+	Histograms []HistEntry `json:"histograms,omitempty"`
+}
+
+// HistEntry is one per-stage latency histogram summary in the report.
+type HistEntry struct {
+	Name  string  `json:"name"`
+	Count int64   `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
 }
 
 func main() {
@@ -527,6 +543,27 @@ func main() {
 	tracer.Counter("bpm.cache_hits").Add(hits)
 	tracer.Counter("bpm.cache_misses").Add(misses)
 	rep.Counters = tracer.Snapshot()
+
+	// One more untimed instrumented flow run fills the per-stage latency
+	// histograms. It runs on its own tracer: folding it into the counter
+	// tracer above would shift lp.pivots & co. and break counter
+	// comparability with committed baselines.
+	histTracer := obs.New(nil)
+	hcfg := cfg
+	hcfg.Obs = histTracer
+	if _, err := operon.Run(d, hcfg); err != nil {
+		fatal(err)
+	}
+	const msPerNs = 1e-6
+	for _, h := range histTracer.HistogramSnapshots() {
+		rep.Histograms = append(rep.Histograms, HistEntry{
+			Name:  h.Name,
+			Count: h.Count,
+			P50MS: h.Quantile(0.50) * msPerNs,
+			P90MS: h.Quantile(0.90) * msPerNs,
+			P99MS: h.Quantile(0.99) * msPerNs,
+		})
+	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -63,6 +63,14 @@ type report struct {
 		Name  string `json:"name"`
 		Value int64  `json:"value"`
 	} `json:"counters"`
+	// Histograms is the per-stage latency summary newer reports carry.
+	// Wall-clock quantiles are machine-dependent, so the section is
+	// reported for context and never gated.
+	Histograms []struct {
+		Name  string  `json:"name"`
+		Count int64   `json:"count"`
+		P99MS float64 `json:"p99_ms"`
+	} `json:"histograms"`
 }
 
 // Absolute floors under which a delta is never gated: relative thresholds
@@ -138,6 +146,24 @@ func main() {
 			fmt.Printf("  %-24s %12d -> %12d  (%+.1f%%)%s\n", c.Name, old, c.Value, 100*delta, status)
 		}
 	}
+	// Per-stage latency histograms: informational only. A histogram block in
+	// the new report with no counterpart in the baseline is the expected
+	// state right after the block was introduced — report it as new, never
+	// gate it.
+	if len(newRep.Histograms) > 0 {
+		oldP99 := map[string]float64{}
+		for _, h := range oldRep.Histograms {
+			oldP99[h.Name] = h.P99MS
+		}
+		for _, h := range newRep.Histograms {
+			if old, ok := oldP99[h.Name]; ok {
+				fmt.Printf("  hist %-24s p99 %8.2f ms -> %8.2f ms (n=%d, not gated)\n", h.Name, old, h.P99MS, h.Count)
+			} else {
+				fmt.Printf("  hist %-24s p99 %8.2f ms (n=%d)  (new, no baseline)\n", h.Name, h.P99MS, h.Count)
+			}
+		}
+	}
+
 	if failures > 0 {
 		fail("%d guarded measure(s) failed (regression beyond %.0f%% or lost coverage)", failures, 100**threshold)
 	}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGenRequestsDeterministic pins the replayability contract: the same
+// (mix, n, seed) triple yields an identical schedule, a different seed a
+// different one.
+func TestGenRequestsDeterministic(t *testing.T) {
+	a := genRequests("smoke", 50, 7)
+	b := genRequests("smoke", 50, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := genRequests("smoke", 50, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if len(a) != 50 {
+		t.Fatalf("schedule length %d, want 50", len(a))
+	}
+}
+
+// TestGenRequestsMixShape checks hot-key skew and burst structure: the hot
+// bench dominates the smoke mix and the schedule contains both back-to-back
+// dispatches and pauses.
+func TestGenRequestsMixShape(t *testing.T) {
+	specs := genRequests("smoke", 400, 3)
+	byBench := map[string]int{}
+	zeroDelay, pauses := 0, 0
+	for _, s := range specs {
+		byBench[s.Bench]++
+		if s.DelayMS == 0 {
+			zeroDelay++
+		} else {
+			pauses++
+		}
+	}
+	if hot := byBench["I1"]; hot < 200 {
+		t.Errorf("hot key I1 got %d/400 requests, want majority", hot)
+	}
+	if zeroDelay == 0 || pauses == 0 {
+		t.Errorf("schedule has no burst structure: %d immediate, %d paused", zeroDelay, pauses)
+	}
+	// The hopeless mix must be all 1 ms budgets.
+	for _, s := range genRequests("hopeless", 50, 1) {
+		if s.TimeoutMS != 1 {
+			t.Fatalf("hopeless mix emitted timeout %d ms", s.TimeoutMS)
+		}
+	}
+}
+
+// TestCompareSLO pins the gate: within thresholds passes, latency blowups
+// and error-rate growth fail, degraded/429 changes never gate.
+func TestCompareSLO(t *testing.T) {
+	base := &Report{
+		LatencyMS: LatencyMS{P50: 100, P95: 200, P99: 300},
+		Rates:     ReportRates{Error: 0.00, TooMany: 0.05, Degraded: 0.10},
+		Counts:    ReportCounts{OK: 50},
+	}
+	slo := SLO{LatencyFactor: 10, ErrorPP: 2}
+
+	ok := &Report{
+		LatencyMS: LatencyMS{P50: 500, P95: 1500, P99: 2900},
+		Rates:     ReportRates{Error: 0.01, TooMany: 0.50, Degraded: 0.90},
+		Counts:    ReportCounts{OK: 40},
+	}
+	if v := compareSLO(base, ok, slo); len(v) != 0 {
+		t.Errorf("within-threshold run flagged: %v", v)
+	}
+
+	slow := &Report{
+		LatencyMS: LatencyMS{P50: 100, P95: 200, P99: 3100},
+		Counts:    ReportCounts{OK: 40},
+	}
+	if v := compareSLO(base, slow, slo); len(v) != 1 {
+		t.Errorf("p99 blowup: got %v, want 1 violation", v)
+	}
+
+	flaky := &Report{
+		LatencyMS: LatencyMS{P50: 100, P95: 200, P99: 300},
+		Rates:     ReportRates{Error: 0.05},
+		Counts:    ReportCounts{OK: 40},
+	}
+	if v := compareSLO(base, flaky, slo); len(v) != 1 {
+		t.Errorf("error-rate growth: got %v, want 1 violation", v)
+	}
+
+	dead := &Report{Counts: ReportCounts{OK: 0}}
+	if v := compareSLO(base, dead, slo); len(v) == 0 {
+		t.Error("all-failed run passed the gate")
+	}
+}
+
+// TestBaselineRoundTrip writes a report, rediscovers it as the newest
+// baseline, and reads it back intact.
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	old := &Report{Mix: "smoke", LatencyMS: LatencyMS{P99: 1}}
+	cur := &Report{Mix: "smoke", LatencyMS: LatencyMS{P99: 2}}
+	if err := writeReport(dir+"/LOAD_2026-01-01.json", old); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeReport(dir+"/LOAD_2026-08-08.json", cur); err != nil {
+		t.Fatal(err)
+	}
+	path, err := newestBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != dir+"/LOAD_2026-08-08.json" {
+		t.Fatalf("newest baseline = %s", path)
+	}
+	got, err := readReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LatencyMS.P99 != 2 {
+		t.Fatalf("round-trip lost data: %+v", got)
+	}
+	if _, err := newestBaseline(t.TempDir()); err == nil {
+		t.Error("empty dir produced a baseline")
+	}
+}
+
+// TestReplayEndToEnd replays a small hopeless mix against the real
+// in-process serving stack: every request must come back 200+degraded
+// (never an error), the latency summary must be populated, and the /metrics
+// exposition must pass the lint before shutdown.
+func TestReplayEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up the full serving stack")
+	}
+	base, shutdown, err := bootInProcess(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := genRequests("hopeless", 6, 11)
+	rep, err := replay(base, specs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Counts.Errors != 0 {
+		t.Errorf("hopeless mix produced %d errors, want 0", rep.Counts.Errors)
+	}
+	if rep.Counts.OK+rep.Counts.TooMany != 6 {
+		t.Errorf("outcomes don't add up: %+v", rep.Counts)
+	}
+	if rep.Counts.Degraded != rep.Counts.OK {
+		t.Errorf("hopeless mix: %d/%d OK responses degraded, want all", rep.Counts.Degraded, rep.Counts.OK)
+	}
+	if rep.Counts.OK > 0 && rep.LatencyMS.P50 <= 0 {
+		t.Errorf("latency summary empty: %+v", rep.LatencyMS)
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Errorf("throughput %f, want > 0", rep.ThroughputRPS)
+	}
+}

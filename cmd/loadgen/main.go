@@ -1,0 +1,160 @@
+// Command loadgen replays deterministic request mixes against operond and
+// gates the result on committed SLOs.
+//
+// The generator is seeded: a mix is a reproducible schedule of solve
+// requests with hot-key skew (one benchmark dominates, like a production
+// hot shard), burst arrivals (back-to-back dispatches separated by pauses)
+// and mixed time budgets (generous, tight, and deliberately hopeless ones
+// that must come back degraded, never failed). The target is either a
+// remote operond (-url) or a full in-process serving stack — the real
+// internal/serve Server on an ephemeral listener — so CI needs no daemon.
+//
+// After the run, loadgen reports client-observed p50/p95/p99 latency,
+// throughput, and error/429/degraded rates, writes them to LOAD_<date>.json
+// (or -out), and — with -check — compares against the newest committed
+// LOAD_*.json baseline, exiting non-zero when latency or error SLOs
+// regress beyond the (deliberately generous, CI-noise-tolerant)
+// thresholds. In-process runs also lint the server's /metrics Prometheus
+// exposition before shutting down.
+//
+// Usage:
+//
+//	go run ./cmd/loadgen -requests 60 -check -out LOAD_ci.json.tmp
+//	go run ./cmd/loadgen -url http://prod-host:8080 -mix soak
+//
+// CI runs `make load-smoke`; `make load-compare` prints the delta against
+// the committed baseline without rewriting it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	operon "operon"
+	"operon/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+
+	var (
+		url         = flag.String("url", "", "target operond base URL (empty = boot an in-process server)")
+		mix         = flag.String("mix", "smoke", "request mix: smoke, soak or hopeless")
+		requests    = flag.Int("requests", 60, "total requests to replay")
+		concurrency = flag.Int("concurrency", 4, "client connections issuing requests")
+		seed        = flag.Int64("seed", 1, "mix generator seed")
+		queueLen    = flag.Int("queue", 16, "in-process server queue length")
+		srvConc     = flag.Int("server-concurrency", 2, "in-process server solve concurrency")
+		out         = flag.String("out", "", "report path (default LOAD_<date>.json; *.tmp paths are gitignored)")
+		baseline    = flag.String("baseline", "", "baseline report to compare against (default: newest committed LOAD_*.json)")
+		check       = flag.Bool("check", false, "exit non-zero when the run regresses the baseline SLOs")
+		latFactor   = flag.Float64("slo-latency-factor", 10, "allowed p50/p95/p99 growth over baseline (CI machines vary widely)")
+		errPP       = flag.Float64("slo-error-pp", 2, "allowed error-rate growth over baseline, percentage points")
+		noWrite     = flag.Bool("no-write", false, "skip writing the report file")
+	)
+	flag.Parse()
+
+	base := *url
+	var shutdown func() error
+	if base == "" {
+		var err error
+		base, shutdown, err = bootInProcess(*queueLen, *srvConc)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	specs := genRequests(*mix, *requests, *seed)
+	rep, err := replay(base, specs, *concurrency)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Mix = *mix
+	rep.Seed = *seed
+	rep.Generated = time.Now().UTC().Format(time.RFC3339)
+
+	if shutdown != nil {
+		if err := shutdown(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	printReport(os.Stdout, rep)
+
+	if !*noWrite {
+		path := *out
+		if path == "" {
+			path = fmt.Sprintf("LOAD_%s.json", time.Now().UTC().Format("2006-01-02"))
+		}
+		if err := writeReport(path, rep); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("report written to %s", path)
+	}
+
+	if *check {
+		basePath := *baseline
+		if basePath == "" {
+			basePath, err = newestBaseline(".")
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		baseRep, err := readReport(basePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		violations := compareSLO(baseRep, rep, SLO{LatencyFactor: *latFactor, ErrorPP: *errPP})
+		fmt.Printf("\nSLO gate vs %s:\n", basePath)
+		if len(violations) == 0 {
+			fmt.Println("  ok — within thresholds")
+			return
+		}
+		for _, v := range violations {
+			fmt.Printf("  REGRESSION: %s\n", v)
+		}
+		os.Exit(1)
+	}
+}
+
+// bootInProcess starts the real serving stack on an ephemeral listener and
+// returns its base URL plus a shutdown hook that also lints the /metrics
+// Prometheus exposition before tearing the server down.
+func bootInProcess(queueLen, concurrency int) (string, func() error, error) {
+	cfg := operon.DefaultConfig()
+	srv := serve.New(serve.Options{
+		Config:         cfg,
+		QueueLen:       queueLen,
+		Concurrency:    concurrency,
+		DefaultTimeout: time.Minute,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	shutdown := func() error {
+		if err := lintMetrics(base); err != nil {
+			return err
+		}
+		srv.Abort()
+		if err := httpSrv.Close(); err != nil {
+			return err
+		}
+		srv.Shutdown()
+		if err := <-errc; err != http.ErrServerClosed {
+			return err
+		}
+		return nil
+	}
+	return base, shutdown, nil
+}

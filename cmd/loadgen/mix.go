@@ -1,0 +1,92 @@
+package main
+
+import (
+	"math/rand"
+)
+
+// reqSpec is one scheduled request of a mix: which benchmark, what time
+// budget, and how long the dispatcher pauses before releasing it (zero
+// inside a burst, tens of milliseconds between bursts).
+type reqSpec struct {
+	Bench     string
+	TimeoutMS int64
+	DelayMS   int
+}
+
+// kindWeight is one benchmark class of a mix with its selection weight:
+// hot-key skew is expressed by giving one bench most of the mass.
+type kindWeight struct {
+	bench     string
+	timeoutMS int64
+	weight    float64
+}
+
+// mixKinds returns the weighted request classes of a named mix.
+//
+//	smoke    — the CI gate: hot-key skew onto I1 (production hot shard),
+//	           some I2/I3, a tight-budget slice and a hopeless 1 ms slice
+//	           that must degrade rather than fail.
+//	soak     — the same shape over the bigger benches, generous budgets.
+//	hopeless — every request under a 1 ms budget: pure degradation-ladder
+//	           stress, every response must still be 200.
+func mixKinds(mix string) []kindWeight {
+	switch mix {
+	case "soak":
+		return []kindWeight{
+			{bench: "I4", timeoutMS: 10_000, weight: 0.55},
+			{bench: "I5", timeoutMS: 10_000, weight: 0.25},
+			{bench: "I2", timeoutMS: 10_000, weight: 0.15},
+			{bench: "I5", timeoutMS: 1, weight: 0.05},
+		}
+	case "hopeless":
+		return []kindWeight{
+			{bench: "I1", timeoutMS: 1, weight: 0.7},
+			{bench: "I3", timeoutMS: 1, weight: 0.3},
+		}
+	default: // smoke
+		return []kindWeight{
+			{bench: "I1", timeoutMS: 2000, weight: 0.55},
+			{bench: "I2", timeoutMS: 2000, weight: 0.15},
+			{bench: "I3", timeoutMS: 2000, weight: 0.10},
+			{bench: "I1", timeoutMS: 300, weight: 0.12},
+			{bench: "I3", timeoutMS: 1, weight: 0.08},
+		}
+	}
+}
+
+// genRequests expands a named mix into a deterministic request schedule:
+// the same (mix, n, seed) triple always yields byte-identical specs, so a
+// regression hunt can replay the exact load that tripped the gate. Arrivals
+// come in bursts: runs of 2–7 back-to-back dispatches separated by 5–25 ms
+// pauses.
+func genRequests(mix string, n int, seed int64) []reqSpec {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := mixKinds(mix)
+	total := 0.0
+	for _, k := range kinds {
+		total += k.weight
+	}
+	specs := make([]reqSpec, 0, n)
+	burstLeft := 0
+	for i := 0; i < n; i++ {
+		delay := 0
+		if burstLeft == 0 {
+			burstLeft = 2 + rng.Intn(6)
+			if i > 0 {
+				delay = 5 + rng.Intn(21)
+			}
+		}
+		burstLeft--
+		pick := rng.Float64() * total
+		k := kinds[len(kinds)-1]
+		for _, cand := range kinds {
+			if pick < cand.weight {
+				k = cand
+				break
+			}
+			pick -= cand.weight
+		}
+		specs = append(specs, reqSpec{Bench: k.bench, TimeoutMS: k.timeoutMS, DelayMS: delay})
+	}
+	return specs
+}

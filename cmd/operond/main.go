@@ -4,8 +4,14 @@
 // context deadline; an exceeded budget never errors — the flow degrades
 // along its ladder (ILP incumbent → LR → electrical floor) and the response
 // reports degraded=true with a stop_reason. Shutdown is graceful the same
-// way: SIGINT/SIGTERM cancels the in-flight solves, which return their
-// degraded results to any waiting clients before the listener drains.
+// way: SIGINT/SIGTERM flips /healthz to 503 (the drain signal), cancels the
+// in-flight solves, which return their degraded results to any waiting
+// clients before the listener drains.
+//
+// Telemetry: /metrics serves Prometheus text exposition (request and
+// per-stage latency histograms, serving gauges, solver counters),
+// /metrics.json the same snapshot as JSON; every request is logged as one
+// structured slog record carrying the X-Request-Id echoed to the client.
 //
 // Usage:
 //
@@ -24,7 +30,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -33,6 +41,8 @@ import (
 	"time"
 
 	operon "operon"
+	"operon/internal/obs"
+	"operon/internal/serve"
 )
 
 func main() {
@@ -47,13 +57,25 @@ func main() {
 		defTimeout  = flag.Duration("default-timeout", 60*time.Second, "time budget for requests without timeout_ms")
 		maxTimeout  = flag.Duration("max-timeout", 10*time.Minute, "upper clamp on requested budgets (0 = unclamped)")
 		grace       = flag.Duration("grace", 30*time.Second, "shutdown grace period for draining handlers")
+		logFormat   = flag.String("log", "text", "request log format: text, json or off")
 		smoke       = flag.Bool("smoke", false, "self-test: solve one benchmark under a 1 ms budget in-process and exit")
 	)
 	flag.Parse()
 
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := operon.DefaultConfig()
 	cfg.Workers = *workers
-	srv := newServer(cfg, *queueLen, *concurrency, *defTimeout, *maxTimeout)
+	srv := serve.New(serve.Options{
+		Config:         cfg,
+		QueueLen:       *queueLen,
+		Concurrency:    *concurrency,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		Logger:         logger,
+	})
 
 	if *smoke {
 		if err := runSmoke(srv); err != nil {
@@ -62,7 +84,7 @@ func main() {
 		return
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -77,34 +99,58 @@ func main() {
 	}
 	log.Print("shutting down: cancelling in-flight solves")
 	// Cancel the solves first so synchronous handlers receive their degraded
-	// results, then drain the listener, then stop the workers.
-	srv.abort()
+	// results (and /healthz starts answering 503), then drain the listener,
+	// then stop the workers.
+	srv.Abort()
 	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
-	srv.shutdown()
+	srv.Shutdown()
 	log.Print("bye")
+}
+
+// newLogger builds the slog request logger for the chosen wire format.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	case "off":
+		return slog.New(slog.NewTextHandler(io.Discard, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log format %q (want text, json or off)", format)
+	}
 }
 
 // runSmoke drives one solve through a real HTTP round trip on an ephemeral
 // port: a benchmark under a deliberately hopeless 1 ms budget must come
-// back 200 with degraded=true, stop_reason="deadline", and a non-zero
-// feasible power — the degradation ladder observed end to end. CI runs this
-// as `make serve-smoke`.
-func runSmoke(srv *server) error {
+// back 200 with degraded=true, stop_reason="deadline", a non-zero feasible
+// power, and an echoed X-Request-Id — the degradation ladder and the
+// telemetry stack observed end to end. The Prometheus exposition is run
+// through the line-by-line linter, and the JSON mirror must report the
+// degradation counter and a populated end-to-end histogram. CI runs this as
+// `make serve-smoke`.
+func runSmoke(srv *serve.Server) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv.handler()}
+	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 	base := "http://" + ln.Addr().String()
 
-	resp, err := http.Post(base+"/solve", "application/json",
+	req, err := http.NewRequest(http.MethodPost, base+"/solve",
 		bytes.NewBufferString(`{"bench":"I3","timeout_ms":1}`))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", "smoke-1")
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err
 	}
@@ -112,7 +158,10 @@ func runSmoke(srv *server) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("smoke: /solve status %d, want 200", resp.StatusCode)
 	}
-	var sr solveResponse
+	if got := resp.Header.Get("X-Request-Id"); got != "smoke-1" {
+		return fmt.Errorf("smoke: X-Request-Id %q, want smoke-1", got)
+	}
+	var sr serve.SolveResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
 		return fmt.Errorf("smoke: decode /solve: %w", err)
 	}
@@ -134,7 +183,21 @@ func runSmoke(srv *server) error {
 	if hr.StatusCode != http.StatusOK {
 		return fmt.Errorf("smoke: /healthz status %d", hr.StatusCode)
 	}
-	mr, err := http.Get(base + "/metrics")
+
+	pr, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	expo, err := io.ReadAll(pr.Body)
+	pr.Body.Close()
+	if err != nil {
+		return err
+	}
+	if err := obs.LintExposition(expo); err != nil {
+		return fmt.Errorf("smoke: /metrics exposition invalid: %w", err)
+	}
+
+	mr, err := http.Get(base + "/metrics.json")
 	if err != nil {
 		return err
 	}
@@ -143,11 +206,12 @@ func runSmoke(srv *server) error {
 			Name  string `json:"name"`
 			Value int64  `json:"value"`
 		} `json:"counters"`
+		Histograms []obs.HistogramSnapshot `json:"histograms"`
 	}
 	err = json.NewDecoder(mr.Body).Decode(&metrics)
 	mr.Body.Close()
 	if err != nil {
-		return fmt.Errorf("smoke: decode /metrics: %w", err)
+		return fmt.Errorf("smoke: decode /metrics.json: %w", err)
 	}
 	degradedCount := int64(0)
 	for _, c := range metrics.Counters {
@@ -158,14 +222,23 @@ func runSmoke(srv *server) error {
 	if degradedCount < 1 {
 		return fmt.Errorf("smoke: flow.degraded counter not bumped")
 	}
+	e2e := false
+	for _, h := range metrics.Histograms {
+		if h.Name == "request/e2e" && h.Count >= 1 {
+			e2e = true
+		}
+	}
+	if !e2e {
+		return fmt.Errorf("smoke: request/e2e histogram not populated")
+	}
 
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	srv.abort()
+	srv.Abort()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		return err
 	}
-	srv.shutdown()
+	srv.Shutdown()
 	if err := <-errc; err != http.ErrServerClosed {
 		return err
 	}

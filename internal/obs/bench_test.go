@@ -32,6 +32,24 @@ func BenchmarkCounterAdd(b *testing.B) {
 	}
 }
 
+func BenchmarkHistogramRecordNil(b *testing.B) {
+	var tr *Tracer
+	h := tr.Histogram("request/e2e")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i))
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	tr := New(Nop{})
+	h := tr.Histogram("request/e2e")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i) * 1000)
+	}
+}
+
 func BenchmarkSpanCollector(b *testing.B) {
 	tr := New(&Collector{})
 	b.ReportAllocs()

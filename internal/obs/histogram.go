@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bound latency histogram: log-linear bucket bounds
+// chosen once at registration (so snapshots from different processes or
+// different runs are always merge-able and byte-comparable), lock-free
+// atomic recording, and quantile estimation over the snapshot. Values are
+// nanoseconds. A nil *Histogram (from a nil Tracer) is valid: Record is a
+// no-op and Snapshot returns the zero snapshot, so instrumented hot paths
+// record unconditionally without branching on the tracer — the same
+// contract as Counter.
+type Histogram struct {
+	name   string
+	bounds []int64 // ascending upper bounds; bucket i covers (bounds[i-1], bounds[i]]
+	counts []atomic.Int64
+	sum    atomic.Int64
+}
+
+// NewHistogram builds a standalone histogram (outside any Tracer — the BPM
+// package keeps a process-global one this way). bounds must be ascending
+// and non-empty; the histogram gets one overflow bucket past the last
+// bound.
+func NewHistogram(name string, bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = LatencyBounds()
+	}
+	return &Histogram{
+		name:   name,
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// LatencyBounds returns the default log-linear latency bounds: five linear
+// sub-buckets per decade from 10 µs to 100 s (36 bounds plus the overflow
+// bucket). The range covers everything the flow produces, from a cached
+// BPM hit to a mega-case mega-solve; resolution tracks magnitude, so p99
+// estimation error stays proportional everywhere. The slice is freshly
+// allocated and deterministic.
+func LatencyBounds() []int64 {
+	bounds := []int64{10_000} // 10 µs
+	for decade := int64(10_000); decade <= 10_000_000_000; decade *= 10 {
+		for _, m := range []int64{2, 4, 6, 8, 10} {
+			bounds = append(bounds, decade*m)
+		}
+	}
+	return bounds
+}
+
+// Record adds one observation (nanoseconds; negative values clamp to 0).
+// Lock-free: a binary search over the fixed bounds plus two atomic adds.
+func (h *Histogram) Record(ns int64) {
+	if h == nil {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	// sort.Search over the tiny fixed bounds slice; idx is the first bound
+	// >= ns, len(bounds) for overflow.
+	idx := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= ns })
+	h.counts[idx].Add(1)
+	h.sum.Add(ns)
+}
+
+// RecordDuration records d as nanoseconds.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+
+// Name returns the histogram's registered name ("" for nil).
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Snapshot captures the current state. Concurrent Records may land between
+// the bucket loads — the snapshot is then a momentary interleaving, never
+// corrupt: Count is derived from the bucket counts so the cumulative-bucket
+// invariant (+Inf bucket == Count) holds exactly, while Sum may be off by
+// the in-flight observations. A nil histogram snapshots to the zero value.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Name:   h.name,
+		Bounds: h.bounds, // fixed at registration; shared, never mutated
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Merge folds a snapshot's observations into the histogram — the receiving
+// end of cross-source aggregation (the flow folds the process-global BPM
+// histogram's per-run delta into the run tracer this way). The bounds must
+// match; mismatched bounds return an error and fold nothing.
+func (h *Histogram) Merge(s HistogramSnapshot) error {
+	if h == nil || s.Count == 0 && s.Sum == 0 {
+		return nil
+	}
+	if len(s.Counts) != len(h.counts) || !boundsEqual(h.bounds, s.Bounds) {
+		return fmt.Errorf("obs: merge into %q: bucket bounds differ", h.name)
+	}
+	for i, c := range s.Counts {
+		if c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.sum.Add(s.Sum)
+	return nil
+}
+
+// boundsEqual compares two bound slices.
+func boundsEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HistogramSnapshot is one histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	// Name is the histogram's registered name.
+	Name string `json:"name"`
+	// Bounds are the ascending bucket upper bounds in nanoseconds; the
+	// final (overflow) bucket has no bound.
+	Bounds []int64 `json:"bounds"`
+	// Counts are the per-bucket (non-cumulative) observation counts;
+	// len(Counts) == len(Bounds)+1.
+	Counts []int64 `json:"counts"`
+	// Count is the total number of observations (the sum of Counts).
+	Count int64 `json:"count"`
+	// Sum is the sum of all recorded values in nanoseconds.
+	Sum int64 `json:"sum"`
+}
+
+// Sub returns the snapshot minus a base taken earlier from the same
+// histogram — the per-window delta used to attribute a shared (e.g.
+// process-global) histogram's traffic to one run. Bounds must match; on
+// mismatch the receiver is returned unchanged (callers diff snapshots of
+// the same histogram, where bounds are fixed by construction).
+func (s HistogramSnapshot) Sub(base HistogramSnapshot) HistogramSnapshot {
+	if len(base.Counts) != len(s.Counts) || !boundsEqual(s.Bounds, base.Bounds) {
+		return s
+	}
+	out := HistogramSnapshot{
+		Name:   s.Name,
+		Bounds: s.Bounds,
+		Counts: make([]int64, len(s.Counts)),
+		Count:  s.Count - base.Count,
+		Sum:    s.Sum - base.Sum,
+	}
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] - base.Counts[i]
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) in nanoseconds by linear
+// interpolation inside the bucket holding the target rank. Observations in
+// the overflow bucket report the last bound (a deliberate under-estimate:
+// the histogram cannot resolve beyond its range). Returns 0 for an empty
+// snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			if i >= len(s.Bounds) {
+				return float64(s.Bounds[len(s.Bounds)-1])
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = float64(s.Bounds[i-1])
+			}
+			hi := float64(s.Bounds[i])
+			frac := (target - cum) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return float64(s.Bounds[len(s.Bounds)-1])
+}
+
+// Mean returns the mean observation in nanoseconds (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramNilSafe pins the nil contract: a nil tracer yields a nil
+// histogram whose every method is a safe no-op.
+func TestHistogramNilSafe(t *testing.T) {
+	var tr *Tracer
+	h := tr.Histogram("request/e2e")
+	if h != nil {
+		t.Fatalf("nil tracer returned non-nil histogram")
+	}
+	h.Record(123)
+	h.RecordDuration(time.Second)
+	if err := h.Merge(HistogramSnapshot{Count: 1}); err != nil {
+		t.Fatalf("nil merge: %v", err)
+	}
+	if s := h.Snapshot(); s.Count != 0 || s.Name != "" {
+		t.Fatalf("nil snapshot = %+v, want zero", s)
+	}
+	if got := tr.HistogramSnapshots(); got != nil {
+		t.Fatalf("nil tracer snapshots = %v, want nil", got)
+	}
+}
+
+// TestHistogramBasic checks counts, sum, and bucket placement against the
+// documented bound semantics (bucket i covers (bounds[i-1], bounds[i]]).
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram("t", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 10, 11, 100, 999, 1000, 1001, -3} {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 8 {
+		t.Fatalf("count = %d, want 8", s.Count)
+	}
+	// -3 clamps to 0. Buckets: <=10: {5,10,0}=3; <=100: {11,100}=2;
+	// <=1000: {999,1000}=2; overflow: {1001}=1.
+	want := []int64{3, 2, 2, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if wantSum := int64(5 + 10 + 11 + 100 + 999 + 1000 + 1001); s.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", s.Sum, wantSum)
+	}
+}
+
+// TestLatencyBoundsShape pins the default bounds: deterministic, ascending,
+// log-linear from 10 µs to 100 s.
+func TestLatencyBoundsShape(t *testing.T) {
+	b := LatencyBounds()
+	if len(b) != 36 {
+		t.Fatalf("len = %d, want 36", len(b))
+	}
+	if b[0] != 10_000 || b[len(b)-1] != 100_000_000_000 {
+		t.Fatalf("range = [%d, %d], want [10µs, 100s]", b[0], b[len(b)-1])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending at %d: %d <= %d", i, b[i], b[i-1])
+		}
+	}
+	// Registration-time determinism: two calls agree.
+	if !boundsEqual(b, LatencyBounds()) {
+		t.Fatal("LatencyBounds not deterministic")
+	}
+}
+
+// TestHistogramQuantileOracle drives random workloads through a histogram
+// and compares its quantile estimates against the exact sorted-slice
+// quantile; the estimate must land within the width of the bucket holding
+// the true value (the histogram's resolution limit).
+func TestHistogramQuantileOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		h := NewHistogram("q", LatencyBounds())
+		n := 100 + rng.Intn(2000)
+		vals := make([]int64, n)
+		for i := range vals {
+			// Log-uniform over the histogram range so every decade gets
+			// traffic.
+			exp := 4 + rng.Float64()*6 // 10^4 .. 10^10 ns
+			v := int64(pow10(exp))
+			vals[i] = v
+			h.Record(v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		s := h.Snapshot()
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+			idx := int(q * float64(n-1))
+			exact := float64(vals[idx])
+			got := s.Quantile(q)
+			lo, hi := bucketRangeOf(s, exact)
+			if got < lo || got > hi {
+				t.Fatalf("trial %d q%.2f: estimate %.0f outside oracle bucket [%.0f, %.0f] (exact %.0f)",
+					trial, q, got, lo, hi, exact)
+			}
+		}
+	}
+}
+
+// pow10 is a float 10^x without importing math for one call site.
+func pow10(x float64) float64 {
+	r := 1.0
+	for x >= 1 {
+		r *= 10
+		x--
+	}
+	// Linear blend for the fractional part is accurate enough for test
+	// input generation (we only need log-ish spread, not exact powers).
+	return r * (1 + 9*x/10)
+}
+
+// bucketRangeOf returns the [lo, hi] bounds of the bucket containing v.
+func bucketRangeOf(s HistogramSnapshot, v float64) (float64, float64) {
+	lo := 0.0
+	for _, b := range s.Bounds {
+		if v <= float64(b) {
+			return lo, float64(b)
+		}
+		lo = float64(b)
+	}
+	return lo, float64(s.Bounds[len(s.Bounds)-1])
+}
+
+// TestHistogramConcurrent hammers Record from many goroutines while
+// snapshots are taken concurrently; run under -race via make race. The
+// final snapshot must account for every observation, and intermediate
+// snapshots must always satisfy Count == sum(Counts).
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram("c", LatencyBounds())
+	const goroutines = 8
+	const perG = 5000
+
+	stop := make(chan struct{})
+	snapDone := make(chan struct{})
+	go func() { // concurrent snapshotter
+		defer close(snapDone)
+		for {
+			s := h.Snapshot()
+			var total int64
+			for _, c := range s.Counts {
+				total += c
+			}
+			if total != s.Count {
+				t.Errorf("torn snapshot: Count %d != sum(Counts) %d", s.Count, total)
+				return
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				h.Record(int64(rng.Intn(1_000_000_000)))
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(stop)
+	<-snapDone
+
+	if s := h.Snapshot(); s.Count != goroutines*perG {
+		t.Fatalf("final count %d, want %d", s.Count, goroutines*perG)
+	}
+}
+
+// TestHistogramMergeSub pins the delta/merge cycle used to attribute the
+// process-global BPM histogram to individual runs: snapshot, record,
+// snapshot, Sub, Merge into a fresh histogram — the merged state must equal
+// the delta exactly.
+func TestHistogramMergeSub(t *testing.T) {
+	src := NewHistogram("src", LatencyBounds())
+	src.Record(50_000)
+	base := src.Snapshot()
+	src.Record(2_000_000)
+	src.Record(70_000_000)
+	delta := src.Snapshot().Sub(base)
+	if delta.Count != 2 || delta.Sum != 72_000_000 {
+		t.Fatalf("delta = count %d sum %d, want 2 / 72ms", delta.Count, delta.Sum)
+	}
+
+	dst := NewHistogram("dst", LatencyBounds())
+	dst.Record(1)
+	if err := dst.Merge(delta); err != nil {
+		t.Fatal(err)
+	}
+	s := dst.Snapshot()
+	if s.Count != 3 || s.Sum != 72_000_001 {
+		t.Fatalf("merged = count %d sum %d, want 3 / 72ms+1", s.Count, s.Sum)
+	}
+
+	// Mismatched bounds must refuse.
+	odd := NewHistogram("odd", []int64{1, 2, 3})
+	if err := odd.Merge(delta); err == nil {
+		t.Fatal("merge across mismatched bounds did not error")
+	}
+}
+
+// TestTracerHistogramRegistry pins stable pointers, name sorting, and the
+// empty-histogram filter of HistogramSnapshots.
+func TestTracerHistogramRegistry(t *testing.T) {
+	tr := New(Nop{})
+	h1 := tr.Histogram("b/second")
+	h2 := tr.Histogram("a/first")
+	if tr.Histogram("b/second") != h1 {
+		t.Fatal("histogram pointer not stable")
+	}
+	tr.Histogram("c/empty") // never records; must not appear
+	h1.Record(100)
+	h2.Record(200)
+	snaps := tr.HistogramSnapshots()
+	if len(snaps) != 2 || snaps[0].Name != "a/first" || snaps[1].Name != "b/second" {
+		names := make([]string, len(snaps))
+		for i, s := range snaps {
+			names[i] = s.Name
+		}
+		t.Fatalf("snapshots = %v, want [a/first b/second]", names)
+	}
+}
+
+// TestRegistrySnapshot wires counters, gauges, and histograms through one
+// Registry and checks the unified snapshot (including nil-registry safety
+// and gauge replacement).
+func TestRegistrySnapshot(t *testing.T) {
+	var nilReg *Registry
+	nilReg.Gauge("x", "", func() float64 { return 1 })
+	if s := nilReg.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+
+	tr := New(Nop{})
+	tr.Counter("lp.pivots").Add(7)
+	tr.Histogram("request/e2e").Record(5_000_000)
+	reg := NewRegistry(tr)
+	reg.Gauge("queue_depth", "jobs waiting", func() float64 { return 3 })
+	reg.Gauge("queue_depth", "jobs waiting", func() float64 { return 4 }) // replaces
+	RuntimeGauges(reg)
+
+	s := reg.Snapshot()
+	if len(s.Counters) != 1 || s.Counters[0].Name != "lp.pivots" || s.Counters[0].Value != 7 {
+		t.Fatalf("counters = %+v", s.Counters)
+	}
+	if len(s.Histograms) != 1 || s.Histograms[0].Count != 1 {
+		t.Fatalf("histograms = %+v", s.Histograms)
+	}
+	byName := map[string]float64{}
+	for _, g := range s.Gauges {
+		byName[g.Name] = g.Value
+	}
+	if byName["queue_depth"] != 4 {
+		t.Fatalf("queue_depth = %v, want replaced value 4", byName["queue_depth"])
+	}
+	if byName["go_heap_live_bytes"] <= 0 {
+		t.Fatalf("go_heap_live_bytes = %v, want > 0", byName["go_heap_live_bytes"])
+	}
+	if _, ok := byName["go_goroutines"]; !ok {
+		t.Fatal("go_goroutines gauge missing")
+	}
+	// Gauges sorted by name.
+	for i := 1; i < len(s.Gauges); i++ {
+		if s.Gauges[i].Name < s.Gauges[i-1].Name {
+			t.Fatalf("gauges not sorted: %q after %q", s.Gauges[i].Name, s.Gauges[i-1].Name)
+		}
+	}
+}

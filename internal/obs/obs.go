@@ -93,6 +93,7 @@ type Tracer struct {
 
 	mu       sync.Mutex
 	counters map[string]*Counter
+	hists    map[string]*Histogram
 	closed   bool
 }
 
@@ -103,7 +104,12 @@ func New(sink Sink) *Tracer {
 	if sink == nil {
 		sink = Nop{}
 	}
-	return &Tracer{sink: sink, epoch: time.Now(), counters: map[string]*Counter{}}
+	return &Tracer{
+		sink:     sink,
+		epoch:    time.Now(),
+		counters: map[string]*Counter{},
+		hists:    map[string]*Histogram{},
+	}
 }
 
 // now returns the tracer-relative timestamp.
@@ -209,6 +215,43 @@ func (t *Tracer) Counter(name string) *Counter {
 		t.counters[name] = c
 	}
 	return c
+}
+
+// Histogram returns the latency histogram registered under name, creating
+// it with the default LatencyBounds on first use. Like Counter, the
+// returned pointer is stable for the tracer's lifetime and recording is
+// lock-free; a nil tracer returns a nil (no-op) histogram. All histograms
+// of a tracer share the default bounds, so any two are merge-able.
+func (t *Tracer) Histogram(name string) *Histogram {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h, ok := t.hists[name]
+	if !ok {
+		h = NewHistogram(name, nil)
+		t.hists[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshots returns the current histogram states sorted by name
+// (deterministic for JSON diffs), skipping histograms that never recorded.
+func (t *Tracer) HistogramSnapshots() []HistogramSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	snaps := make([]HistogramSnapshot, 0, len(t.hists))
+	for _, h := range t.hists {
+		if s := h.Snapshot(); s.Count > 0 {
+			snaps = append(snaps, s)
+		}
+	}
+	t.mu.Unlock()
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Name < snaps[j].Name })
+	return snaps
 }
 
 // Snapshot returns the current counter values sorted by name (deterministic

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type of the text exposition format
+// version this package writes.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4), hand-rolled — the repo takes no
+// client-library dependency. Mapping:
+//
+//   - counters ("lp.pivots") become `operon_lp_pivots_total` counter
+//     series;
+//   - gauges keep their registered name under the operon_ prefix, except
+//     names already starting with go_ (the runtime gauges), which are
+//     conventional as-is;
+//   - histograms ("request/e2e", nanosecond buckets) become
+//     `operon_request_e2e_seconds` histogram families: cumulative
+//     `_bucket{le="..."}` series in seconds ending at le="+Inf", plus
+//     `_sum` (seconds) and `_count`.
+//
+// Families are emitted in the snapshot's (name-sorted) order, each with
+// one # HELP and one # TYPE line, so output for a fixed snapshot is
+// byte-deterministic.
+func WritePrometheus(w io.Writer, snap RegistrySnapshot) error {
+	var b strings.Builder
+	for _, c := range snap.Counters {
+		name := promName(c.Name)
+		if !strings.HasSuffix(name, "_total") {
+			name += "_total"
+		}
+		fmt.Fprintf(&b, "# HELP %s Cumulative count of %s events.\n", name, c.Name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n", name)
+		fmt.Fprintf(&b, "%s %d\n", name, c.Value)
+	}
+	for _, g := range snap.Gauges {
+		name := promName(g.Name)
+		help := g.Help
+		if help == "" {
+			help = "Gauge " + g.Name + "."
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n", name, escapeHelp(help))
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(&b, "%s %s\n", name, formatFloat(g.Value))
+	}
+	for _, h := range snap.Histograms {
+		name := promName(h.Name) + "_seconds"
+		fmt.Fprintf(&b, "# HELP %s Latency distribution of %s.\n", name, h.Name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, formatFloat(float64(bound)/1e9), cum)
+		}
+		cum += h.Counts[len(h.Counts)-1]
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(&b, "%s_sum %s\n", name, formatFloat(float64(h.Sum)/1e9))
+		fmt.Fprintf(&b, "%s_count %d\n", name, cum)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName maps an internal metric name ("lp.pivots", "request/e2e") onto
+// a valid Prometheus metric name: separators become underscores and the
+// operon_ namespace prefix is added, except for go_* runtime gauges which
+// are idiomatic unprefixed.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	s := b.String()
+	if strings.HasPrefix(s, "go_") {
+		return s
+	}
+	return "operon_" + s
+}
+
+// escapeHelp escapes the characters the exposition format requires escaped
+// in # HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a float the way Prometheus clients conventionally do:
+// shortest representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// testSnapshot builds a registry snapshot covering all three families.
+func testSnapshot() RegistrySnapshot {
+	tr := New(Nop{})
+	tr.Counter("lp.pivots").Add(42)
+	tr.Counter("http.requests").Add(3)
+	h := tr.Histogram("request/e2e")
+	h.Record(5_000_000)   // 5 ms
+	h.Record(150_000_000) // 150 ms
+	reg := NewRegistry(tr)
+	reg.Gauge("queue_depth", "jobs waiting in the bounded queue", func() float64 { return 2 })
+	reg.Gauge("go_goroutines", "current goroutine count", func() float64 { return 11 })
+	return reg.Snapshot()
+}
+
+// TestWritePrometheusRoundTrip renders a full snapshot and validates it
+// with the line-by-line linter — the writer and the schema gate must agree
+// on the format.
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := LintExposition([]byte(out)); err != nil {
+		t.Fatalf("writer output fails lint: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE operon_lp_pivots_total counter",
+		"operon_lp_pivots_total 42",
+		"# TYPE operon_queue_depth gauge",
+		"operon_queue_depth 2",
+		"# TYPE go_goroutines gauge", // runtime gauges keep the go_ prefix
+		"# TYPE operon_request_e2e_seconds histogram",
+		`operon_request_e2e_seconds_bucket{le="+Inf"} 2`,
+		"operon_request_e2e_seconds_count 2",
+		"operon_request_e2e_seconds_sum 0.155",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets: the 10 ms bucket holds only the 5 ms sample, the
+	// 200 ms bucket both.
+	if !strings.Contains(out, `operon_request_e2e_seconds_bucket{le="0.01"} 1`) {
+		t.Fatalf("10 ms bucket not cumulative-1:\n%s", out)
+	}
+	if !strings.Contains(out, `operon_request_e2e_seconds_bucket{le="0.2"} 2`) {
+		t.Fatalf("200 ms bucket not cumulative-2:\n%s", out)
+	}
+}
+
+// TestWritePrometheusDeterministic pins byte-stable output for a fixed
+// snapshot (the exposition is diffable across scrapes).
+func TestWritePrometheusDeterministic(t *testing.T) {
+	snap := testSnapshot()
+	var a, b strings.Builder
+	if err := WritePrometheus(&a, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("exposition not deterministic for a fixed snapshot")
+	}
+}
+
+// TestPromName pins the name mapping.
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"lp.pivots":    "operon_lp_pivots",
+		"request/e2e":  "operon_request_e2e",
+		"stage/wdm":    "operon_stage_wdm",
+		"go_heap":      "go_heap",
+		"ws.worker.9x": "operon_ws_worker_9x",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestLintExpositionRejects feeds the linter malformed documents; each must
+// fail.
+func TestLintExpositionRejects(t *testing.T) {
+	for name, doc := range map[string]string{
+		"no TYPE":           "operon_x_total 1\n",
+		"bad type":          "# TYPE operon_x woble\noperon_x 1\n",
+		"bad value":         "# TYPE operon_x gauge\noperon_x one\n",
+		"bad name":          "# TYPE operon_x gauge\n0peron 1\n",
+		"negative counter":  "# TYPE operon_x_total counter\noperon_x_total -4\n",
+		"no inf bucket":     "# TYPE operon_h histogram\noperon_h_bucket{le=\"1\"} 1\noperon_h_sum 1\noperon_h_count 1\n",
+		"non-cumulative":    "# TYPE operon_h histogram\noperon_h_bucket{le=\"1\"} 5\noperon_h_bucket{le=\"+Inf\"} 3\noperon_h_sum 1\noperon_h_count 3\n",
+		"count mismatch":    "# TYPE operon_h histogram\noperon_h_bucket{le=\"+Inf\"} 3\noperon_h_sum 1\noperon_h_count 4\n",
+		"missing sum":       "# TYPE operon_h histogram\noperon_h_bucket{le=\"+Inf\"} 3\noperon_h_count 3\n",
+		"unquoted le":       "# TYPE operon_h histogram\noperon_h_bucket{le=1} 1\noperon_h_bucket{le=\"+Inf\"} 1\noperon_h_sum 1\noperon_h_count 1\n",
+		"descending bounds": "# TYPE operon_h histogram\noperon_h_bucket{le=\"2\"} 1\noperon_h_bucket{le=\"1\"} 2\noperon_h_bucket{le=\"+Inf\"} 2\noperon_h_sum 1\noperon_h_count 2\n",
+	} {
+		if err := LintExposition([]byte(doc)); err == nil {
+			t.Errorf("%s: lint accepted malformed document:\n%s", name, doc)
+		}
+	}
+}

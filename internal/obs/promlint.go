@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition validates a Prometheus text exposition document line by
+// line — the schema gate for the /metrics endpoint, in the same spirit as
+// cmd/tracecheck for Chrome traces. Checks:
+//
+//   - every line is a # HELP / # TYPE comment or a `name[{labels}] value`
+//     sample with a valid metric name and a parseable float value;
+//   - every sample's family was declared by a preceding # TYPE with a
+//     known type (counter, gauge, histogram, summary, untyped);
+//   - histogram families carry _bucket series with parseable le labels in
+//     ascending order, cumulative non-decreasing counts, a final
+//     le="+Inf" bucket, and _sum/_count series with _count equal to the
+//     +Inf bucket;
+//   - counter and gauge samples are finite numbers (counters additionally
+//     non-negative).
+//
+// Returns nil for a valid document; the error names the first offending
+// line.
+func LintExposition(data []byte) error {
+	types := map[string]string{}
+	type bucket struct {
+		le  float64
+		inf bool
+		val float64
+	}
+	buckets := map[string][]bucket{}
+	sums := map[string]bool{}
+	counts := map[string]float64{}
+
+	lines := strings.Split(string(data), "\n")
+	for n, line := range lines {
+		ctx := fmt.Sprintf("line %d %q", n+1, line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("obs: %s: comment is neither # HELP nor # TYPE", ctx)
+			}
+			if !validMetricName(fields[2]) {
+				return fmt.Errorf("obs: %s: invalid metric name %q", ctx, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("obs: %s: # TYPE without a type", ctx)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("obs: %s: unknown type %q", ctx, fields[3])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("obs: %s: %v", ctx, err)
+		}
+		family, series := familyOf(name, types)
+		typ, ok := types[family]
+		if !ok {
+			return fmt.Errorf("obs: %s: sample %q has no preceding # TYPE", ctx, name)
+		}
+		switch typ {
+		case "counter":
+			if value < 0 {
+				return fmt.Errorf("obs: %s: negative counter value", ctx)
+			}
+		case "histogram":
+			switch series {
+			case "bucket":
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("obs: %s: histogram bucket without le label", ctx)
+				}
+				b := bucket{val: value}
+				if le == "+Inf" {
+					b.inf = true
+				} else if b.le, err = strconv.ParseFloat(le, 64); err != nil {
+					return fmt.Errorf("obs: %s: unparseable le %q", ctx, le)
+				}
+				buckets[family] = append(buckets[family], b)
+			case "sum":
+				sums[family] = true
+			case "count":
+				counts[family] = value
+			default:
+				return fmt.Errorf("obs: %s: histogram sample %q is not _bucket/_sum/_count", ctx, name)
+			}
+		}
+	}
+
+	// Cross-series histogram invariants.
+	fams := make([]string, 0, len(types))
+	for f, t := range types {
+		if t == "histogram" {
+			fams = append(fams, f)
+		}
+	}
+	sort.Strings(fams)
+	for _, f := range fams {
+		bs := buckets[f]
+		if len(bs) == 0 {
+			return fmt.Errorf("obs: histogram %s has no _bucket series", f)
+		}
+		if !bs[len(bs)-1].inf {
+			return fmt.Errorf("obs: histogram %s does not end with le=\"+Inf\"", f)
+		}
+		for i := 1; i < len(bs); i++ {
+			if bs[i].val < bs[i-1].val {
+				return fmt.Errorf("obs: histogram %s buckets not cumulative at index %d", f, i)
+			}
+			if !bs[i].inf && bs[i].le <= bs[i-1].le {
+				return fmt.Errorf("obs: histogram %s le bounds not ascending at index %d", f, i)
+			}
+		}
+		if !sums[f] {
+			return fmt.Errorf("obs: histogram %s has no _sum series", f)
+		}
+		cnt, ok := counts[f]
+		if !ok {
+			return fmt.Errorf("obs: histogram %s has no _count series", f)
+		}
+		if inf := bs[len(bs)-1].val; cnt != inf {
+			return fmt.Errorf("obs: histogram %s _count %g != +Inf bucket %g", f, cnt, inf)
+		}
+	}
+	return nil
+}
+
+// parseSample splits a sample line into metric name, label map, and value.
+func parseSample(line string) (string, map[string]string, float64, error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var name string
+	labels := map[string]string{}
+	if brace >= 0 {
+		name = rest[:brace]
+		end := strings.IndexByte(rest, '}')
+		if end < brace {
+			return "", nil, 0, fmt.Errorf("unterminated label set")
+		}
+		for _, pair := range strings.Split(rest[brace+1:end], ",") {
+			if pair == "" {
+				continue
+			}
+			eq := strings.IndexByte(pair, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("label %q without =", pair)
+			}
+			val, err := strconv.Unquote(strings.TrimSpace(pair[eq+1:]))
+			if err != nil {
+				return "", nil, 0, fmt.Errorf("label %q value not quoted", pair)
+			}
+			labels[strings.TrimSpace(pair[:eq])] = val
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("sample without value")
+		}
+		name, rest = rest[:sp], strings.TrimSpace(rest[sp+1:])
+	}
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	// The value may be followed by an optional timestamp; take field 0.
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", nil, 0, fmt.Errorf("sample without value")
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparseable value %q", fields[0])
+	}
+	return name, labels, v, nil
+}
+
+// familyOf resolves a sample name to its declared family: histogram
+// samples use the family name plus a _bucket/_sum/_count suffix, others
+// are their own family. Returns the family and the stripped suffix ("" for
+// a plain sample).
+func familyOf(name string, types map[string]string) (family, series string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+				return base, suf[1:]
+			}
+		}
+	}
+	return name, ""
+}
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}

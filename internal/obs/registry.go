@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/metrics"
+	"sort"
+	"sync"
+)
+
+// GaugeValue is one gauge's sampled value.
+type GaugeValue struct {
+	// Name is the gauge's registered name.
+	Name string `json:"name"`
+	// Help is the one-line description emitted as Prometheus # HELP.
+	Help string `json:"help,omitempty"`
+	// Value is the sample taken at snapshot time.
+	Value float64 `json:"value"`
+}
+
+// gauge is one registered sampling callback.
+type gauge struct {
+	name, help string
+	fn         func() float64
+}
+
+// Registry unifies the three telemetry families behind one snapshot API:
+// the counters and histograms of a Tracer plus sampled gauges (queue depth,
+// in-flight solves, runtime heap). The serving layer snapshots it for both
+// the Prometheus and the JSON metrics endpoints. Nil-safe like the rest of
+// the package: a nil *Registry snapshots to the zero value and ignores
+// registrations, and gauges are only sampled at snapshot time, so an idle
+// registry costs nothing on any hot path.
+type Registry struct {
+	tracer *Tracer
+
+	mu     sync.Mutex
+	gauges []gauge
+}
+
+// NewRegistry returns a registry drawing counters and histograms from t
+// (which may be nil — the registry then serves gauges only).
+func NewRegistry(t *Tracer) *Registry { return &Registry{tracer: t} }
+
+// Tracer returns the registry's counter/histogram source (nil for a nil
+// registry).
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
+}
+
+// Gauge registers a sampling callback under name. fn runs on every
+// Snapshot and must be safe for concurrent use. Registering the same name
+// twice replaces the earlier callback.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.gauges {
+		if r.gauges[i].name == name {
+			r.gauges[i] = gauge{name, help, fn}
+			return
+		}
+	}
+	r.gauges = append(r.gauges, gauge{name, help, fn})
+}
+
+// RegistrySnapshot is one consistent-enough view of the registry: counters
+// and histograms are atomic snapshots, gauges are point samples taken
+// during the call.
+type RegistrySnapshot struct {
+	// Counters is the name-sorted counter snapshot.
+	Counters []CounterValue `json:"counters"`
+	// Gauges is the name-sorted gauge sample set.
+	Gauges []GaugeValue `json:"gauges,omitempty"`
+	// Histograms is the name-sorted histogram snapshot set.
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot samples every gauge and snapshots the tracer's counters and
+// histograms. Safe for concurrent use with recording.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	if r == nil {
+		return RegistrySnapshot{}
+	}
+	snap := RegistrySnapshot{
+		Counters:   r.tracer.Snapshot(),
+		Histograms: r.tracer.HistogramSnapshots(),
+	}
+	r.mu.Lock()
+	gs := append([]gauge(nil), r.gauges...)
+	r.mu.Unlock()
+	for _, g := range gs {
+		snap.Gauges = append(snap.Gauges, GaugeValue{Name: g.name, Help: g.help, Value: g.fn()})
+	}
+	sort.Slice(snap.Gauges, func(i, j int) bool { return snap.Gauges[i].Name < snap.Gauges[j].Name })
+	return snap
+}
+
+// Names of the runtime/metrics samples RuntimeGauges reads per snapshot.
+const (
+	metricHeapLive   = "/memory/classes/heap/objects:bytes"
+	metricGoroutines = "/sched/goroutines:goroutines"
+)
+
+// RuntimeGauges registers the Go runtime health gauges on r: live heap
+// bytes and goroutine count via runtime/metrics, and the cumulative GC
+// stop-the-world pause total via runtime.ReadMemStats (runtime/metrics
+// exposes pause distributions, not an exact total — MemStats does). All
+// three are sampled only at snapshot (scrape) time.
+func RuntimeGauges(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.Gauge("go_heap_live_bytes", "live heap memory (runtime/metrics heap objects)", func() float64 {
+		return readRuntimeMetric(metricHeapLive)
+	})
+	r.Gauge("go_goroutines", "current goroutine count", func() float64 {
+		return readRuntimeMetric(metricGoroutines)
+	})
+	r.Gauge("go_gc_pause_total_seconds", "cumulative GC stop-the-world pause time", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.PauseTotalNs) / 1e9
+	})
+}
+
+// readRuntimeMetric samples one runtime/metrics value as a float64,
+// returning 0 for kinds it does not understand (future runtimes may change
+// a metric's type; a gauge reading 0 beats a crash at scrape time).
+func readRuntimeMetric(name string) float64 {
+	sample := []metrics.Sample{{Name: name}}
+	metrics.Read(sample)
+	switch sample[0].Value.Kind() {
+	case metrics.KindUint64:
+		return float64(sample[0].Value.Uint64())
+	case metrics.KindFloat64:
+		return sample[0].Value.Float64()
+	default:
+		return 0
+	}
+}

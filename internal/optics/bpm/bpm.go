@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Config sets the numerical and material parameters.
@@ -505,6 +506,7 @@ func SimulateUncached(cfg Config, stages int) (Result, error) {
 // propagation polls ctx once per Crank–Nicolson step and returns ctx.Err()
 // on cancellation.
 func SimulateUncachedContext(ctx context.Context, cfg Config, stages int) (Result, error) {
+	start := time.Now()
 	cas, err := NewCascade(cfg, stages)
 	if err != nil {
 		return Result{}, err
@@ -530,5 +532,6 @@ func SimulateUncachedContext(ctx context.Context, cfg Config, stages int) (Resul
 			res.PerArmLossDB = append(res.PerArmLossDB, math.Inf(1))
 		}
 	}
+	recordSimDuration(start)
 	return res, nil
 }

@@ -1,0 +1,632 @@
+// Package serve implements the operond HTTP serving layer: a bounded job
+// queue drained by per-slot workers (each owning a reusable solver
+// workspace), per-request deadlines mapped onto context deadlines with
+// graceful degradation, and the production telemetry stack — per-request
+// and per-stage latency histograms, Prometheus text exposition at
+// /metrics (JSON mirror at /metrics.json), structured slog request logs
+// joined to traces by generated request IDs, and a drain-aware /healthz.
+//
+// The package exists so that cmd/operond (the daemon) and cmd/loadgen
+// (the SLO harness) share one server implementation: loadgen can boot the
+// real serving stack in-process and replay request mixes against it
+// without a subprocess.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	operon "operon"
+	"operon/internal/benchgen"
+	"operon/internal/obs"
+	"operon/internal/signal"
+)
+
+// SolveRequest is the JSON body of POST /solve. Exactly one of Bench or
+// Design selects the input; the rest tune the solve.
+type SolveRequest struct {
+	// Bench names a built-in benchmark (benchgen.SpecByName, "I1".."I8").
+	Bench string `json:"bench,omitempty"`
+	// Design is an inline signal.Design; used when Bench is empty.
+	Design *signal.Design `json:"design,omitempty"`
+	// Mode is the selection algorithm: "lr" (default), "ilp" or "greedy".
+	Mode string `json:"mode,omitempty"`
+	// TimeoutMS is the per-request time budget in milliseconds; it becomes
+	// the context deadline of the solve. Zero means the server default, and
+	// values above the server maximum are clamped down. An exceeded budget
+	// never fails the request: the flow degrades and the response carries
+	// degraded=true with a stop_reason.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// SkipWDM disables the WDM placement/assignment stage.
+	SkipWDM bool `json:"skip_wdm,omitempty"`
+	// Async enqueues the job and returns 202 with its id immediately; poll
+	// GET /jobs/{id} for the result. Synchronous requests block until done.
+	Async bool `json:"async,omitempty"`
+}
+
+// SolveResponse is the JSON result of a finished solve.
+type SolveResponse struct {
+	Design     string  `json:"design"`
+	Flow       string  `json:"flow"`
+	PowerMW    float64 `json:"power_mw"`
+	Violations int     `json:"violations"`
+	HyperNets  int     `json:"hyper_nets"`
+	WDMsUsed   int     `json:"wdms_used"`
+	// Degraded and StopReason mirror operon.Result: the routing is feasible
+	// either way, but a degraded one took a fallback rung of the ladder.
+	Degraded   bool   `json:"degraded"`
+	StopReason string `json:"stop_reason,omitempty"`
+	// RequestID echoes the X-Request-Id the solve ran under, so async
+	// pollers can join results to logs and traces too.
+	RequestID string `json:"request_id,omitempty"`
+	// TimeoutMS is the budget actually applied (after default/clamp).
+	TimeoutMS int64 `json:"timeout_ms"`
+	// QueueMS is how long the job waited in the bounded queue before a
+	// worker picked it up.
+	QueueMS   float64 `json:"queue_ms"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// JobState is the lifecycle of a queued solve.
+type JobState string
+
+// The job lifecycle: queued -> running -> done | failed.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Job is one queued solve and its eventual outcome, as serialised by
+// GET /jobs/{id}.
+type Job struct {
+	ID     string         `json:"id"`
+	State  JobState       `json:"state"`
+	Result *SolveResponse `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+
+	reqID    string
+	design   signal.Design
+	cfg      operon.Config
+	timeout  time.Duration
+	enqueued time.Time
+	done     chan struct{}
+}
+
+// SolveFunc is the solver the job workers invoke; tests inject a stub here
+// to exercise queueing and shutdown without running the real flow. The
+// workspace is the calling queue slot's — reused across every job the slot
+// serves, never shared between slots.
+type SolveFunc func(ctx context.Context, d signal.Design, cfg operon.Config, ws *operon.Workspace) (*operon.Result, error)
+
+// Options configures New.
+type Options struct {
+	// Config is the per-solve template (workers, library, mode default).
+	// Its Obs field is replaced by the server's own tracer so every solve
+	// feeds the shared counters and stage histograms.
+	Config operon.Config
+	// QueueLen bounds the job queue; a full queue returns 429. Min 1.
+	QueueLen int
+	// Concurrency is the number of solves run in parallel (and the number
+	// of long-lived solver workspaces). Min 1.
+	Concurrency int
+	// DefaultTimeout applies to requests without timeout_ms.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps requested budgets (0 = unclamped).
+	MaxTimeout time.Duration
+	// Logger receives the structured request and solve records; nil
+	// discards them.
+	Logger *slog.Logger
+}
+
+// Server is the operond HTTP state: a bounded job queue drained by a fixed
+// set of worker goroutines, all solving under a shared base context that
+// shutdown cancels so in-flight solves degrade and return promptly, plus
+// the telemetry registry every handler and worker reports into.
+type Server struct {
+	cfg            operon.Config
+	tracer         *obs.Tracer
+	reg            *obs.Registry
+	log            *slog.Logger
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	solve          SolveFunc
+
+	hQueueWait *obs.Histogram // request/queue_wait: enqueue -> worker pickup
+	hSolve     *obs.Histogram // request/solve: solve wall clock
+	hE2E       *obs.Histogram // request/e2e: enqueue -> result published
+
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	queue    chan *Job
+	wg       sync.WaitGroup
+	start    time.Time
+	inflight atomic.Int64
+	draining atomic.Bool
+	reqSeq   atomic.Int64
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+	seq  int
+}
+
+// New assembles a server, wires its telemetry registry, and starts its
+// worker goroutines. Call Shutdown (after the HTTP listener has drained)
+// to stop the workers.
+func New(opts Options) *Server {
+	if opts.QueueLen < 1 {
+		opts.QueueLen = 1
+	}
+	if opts.Concurrency < 1 {
+		opts.Concurrency = 1
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	tracer := obs.New(nil) // counters + histograms; spans/events are discarded
+	cfg := opts.Config
+	cfg.Obs = tracer
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:            cfg,
+		tracer:         tracer,
+		log:            logger,
+		defaultTimeout: opts.DefaultTimeout,
+		maxTimeout:     opts.MaxTimeout,
+		solve:          operon.RunContextWith,
+		hQueueWait:     tracer.Histogram("request/queue_wait"),
+		hSolve:         tracer.Histogram("request/solve"),
+		hE2E:           tracer.Histogram("request/e2e"),
+		baseCtx:        ctx,
+		cancel:         cancel,
+		queue:          make(chan *Job, opts.QueueLen),
+		start:          time.Now(),
+		jobs:           map[string]*Job{},
+	}
+	s.reg = newRegistry(s)
+	for i := 0; i < opts.Concurrency; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// SetSolve replaces the solver (tests inject stubs that block or fail).
+// Call before serving traffic.
+func (s *Server) SetSolve(fn SolveFunc) { s.solve = fn }
+
+// Tracer returns the server's shared tracer (counters, stage and request
+// histograms across every solve).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// Registry returns the unified telemetry registry behind /metrics.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Abort cancels the base context: every in-flight solve observes the
+// cancellation at its next check point and degrades to a feasible result.
+// The HTTP handlers stay up, so synchronous callers still receive those
+// degraded payloads — but /healthz flips to 503 immediately so load
+// balancers stop routing new traffic here. Call it before (or instead of)
+// draining the listener.
+func (s *Server) Abort() {
+	s.draining.Store(true)
+	s.cancel()
+}
+
+// Shutdown stops the workers after the listener has drained: no handler may
+// enqueue concurrently with it. It cancels the base context (if Abort has
+// not already), closes the queue, and waits for the workers — queued jobs
+// still execute, degrading instantly under the cancelled context.
+func (s *Server) Shutdown() {
+	s.draining.Store(true)
+	s.cancel()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// worker drains the job queue until shutdown closes it. Each worker — one
+// queue slot — owns a solver workspace for its whole lifetime, so the
+// per-worker solver scratch inside the flow is reused across requests and
+// steady-state serving stops allocating candidate-generation buffers.
+// Workspaces are never shared between slots, so concurrent solves stay
+// isolated.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	ws := operon.NewWorkspace()
+	for j := range s.queue {
+		s.runJob(j, ws)
+	}
+}
+
+// runJob executes one queued solve under the job's deadline, parented to
+// the server's base context so shutdown degrades it too. It owns the
+// request-latency histograms (queue wait, solve wall, end-to-end) and the
+// per-solve structured log record.
+func (s *Server) runJob(j *Job, ws *operon.Workspace) {
+	queueWait := time.Since(j.enqueued)
+	s.hQueueWait.RecordDuration(queueWait)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	s.setState(j, JobRunning, nil, "")
+	ctx, cancel := context.WithTimeout(s.baseCtx, j.timeout)
+	defer cancel()
+	// The span joins traces to logs through the request id; with the
+	// default (discarding) sink only its attrs cost anything, and only
+	// nanoseconds.
+	sp := s.tracer.Span("request/solve", obs.LaneFlow, obs.S("request_id", j.reqID))
+	start := time.Now()
+	res, err := s.solve(ctx, j.design, j.cfg, ws)
+	solveDur := time.Since(start)
+	s.hSolve.RecordDuration(solveDur)
+
+	logAttrs := []any{
+		"request_id", j.reqID,
+		"job_id", j.ID,
+		"design", j.design.Name,
+		"mode", j.cfg.Mode.String(),
+		"workers", j.cfg.Workers,
+		"timeout_ms", j.timeout.Milliseconds(),
+		"queue_ms", float64(queueWait) / float64(time.Millisecond),
+		"solve_ms", float64(solveDur) / float64(time.Millisecond),
+	}
+	if err != nil {
+		sp.End(obs.S("error", err.Error()))
+		s.tracer.Counter("http.solve_errors").Inc()
+		s.setState(j, JobFailed, nil, err.Error())
+		s.log.Error("solve failed", append(logAttrs, "error", err.Error())...)
+	} else {
+		sp.End(obs.S("stop_reason", string(res.StopReason)), obs.I("degraded", boolInt(res.Degraded)))
+		if res.Degraded {
+			s.tracer.Counter("http.degraded").Inc()
+		}
+		resp := s.responseOf(res, j, queueWait, solveDur)
+		s.setState(j, JobDone, resp, "")
+		s.log.Info("solve done", append(logAttrs,
+			"degraded", res.Degraded,
+			"stop_reason", string(res.StopReason),
+			"power_mw", res.PowerMW,
+		)...)
+	}
+	s.hE2E.RecordDuration(time.Since(j.enqueued))
+	close(j.done)
+}
+
+// boolInt maps a bool onto the 0/1 convention of numeric span attrs.
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// responseOf projects an operon.Result onto the wire format.
+func (s *Server) responseOf(res *operon.Result, j *Job, queueWait, elapsed time.Duration) *SolveResponse {
+	return &SolveResponse{
+		Design:     res.Design,
+		Flow:       res.Flow,
+		PowerMW:    res.PowerMW,
+		Violations: res.Selection.Violations,
+		HyperNets:  len(res.HyperNets),
+		WDMsUsed:   res.WDMStats.FinalWDMs,
+		Degraded:   res.Degraded,
+		StopReason: string(res.StopReason),
+		RequestID:  j.reqID,
+		TimeoutMS:  j.timeout.Milliseconds(),
+		QueueMS:    float64(queueWait) / float64(time.Millisecond),
+		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+	}
+}
+
+// setState publishes a job transition under the server lock.
+func (s *Server) setState(j *Job, st JobState, resp *SolveResponse, errMsg string) {
+	s.mu.Lock()
+	j.State = st
+	j.Result = resp
+	j.Error = errMsg
+	s.mu.Unlock()
+}
+
+// jobView returns a consistent copy of a job for serialisation.
+func (s *Server) jobView(j *Job) Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Job{ID: j.ID, State: j.State, Result: j.Result, Error: j.Error}
+}
+
+// Handler builds the operond route table:
+//
+//	POST /solve         run a solve (sync, or async with {"async":true})
+//	GET  /jobs/{id}     poll an async job
+//	GET  /healthz       liveness, queue depth, in-flight solves, uptime;
+//	                    503 once shutdown has begun (drain signal)
+//	GET  /metrics       Prometheus text exposition (histograms included)
+//	GET  /metrics.json  the same registry snapshot as JSON
+//
+// Every request is wrapped in the request-ID + structured-log middleware:
+// the response carries X-Request-Id (honouring one supplied by the client)
+// and one slog record per request is emitted with method, path, status,
+// and duration.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/jobs/", s.handleJob)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	return s.withRequestLog(mux)
+}
+
+// statusWriter records the status a handler wrote so the request log can
+// report it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader implements http.ResponseWriter.
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Write implements io.Writer, defaulting the status to 200 like net/http.
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// withRequestLog is the request-ID + structured-log middleware. The ID is
+// taken from the client's X-Request-Id when present (truncated to 64
+// bytes), generated otherwise, stored back into the request header for
+// downstream handlers, and echoed on the response. One slog record per
+// request carries method, path, status, and wall time; solve-level detail
+// (queue wait, stop reason) is logged by runJob under the same request_id.
+func (s *Server) withRequestLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = fmt.Sprintf("r-%d", s.reqSeq.Add(1))
+		} else if len(id) > 64 {
+			id = id[:64]
+		}
+		r.Header.Set("X-Request-Id", id)
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.tracer.Counter("http.requests").Inc()
+		if sw.status == http.StatusTooManyRequests {
+			s.tracer.Counter("http.429").Inc()
+		} else if sw.status >= 500 {
+			s.tracer.Counter("http.5xx").Inc()
+		}
+		s.log.Info("request",
+			"request_id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration_ms", float64(time.Since(start))/float64(time.Millisecond),
+		)
+	})
+}
+
+// reqPool recycles request-decode scratch across handler invocations, and
+// bufPool the response-encode buffers: the handler path allocates neither at
+// steady state, matching the workspace reuse of the solve path.
+var (
+	reqPool = sync.Pool{New: func() any { return new(SolveRequest) }}
+	bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+)
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeJSON writes v with the given status, encoding through a pooled
+// buffer so a failed encode can still become a 500 and the handler path
+// reuses its scratch.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(buf)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":"encode response: %v"}`, err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleSolve validates the request, enqueues a job (429 when the queue is
+// full), and either returns its id (async) or blocks for the result.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	req := reqPool.Get().(*SolveRequest)
+	defer reqPool.Put(req)
+	*req = SolveRequest{}
+	if err := json.NewDecoder(r.Body).Decode(req); err != nil {
+		httpError(w, http.StatusBadRequest, "parse request: %v", err)
+		return
+	}
+	j, err := s.NewJob(*req, r.Header.Get("X-Request-Id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.DropJob(j)
+		httpError(w, http.StatusTooManyRequests, "job queue full (%d slots)", cap(s.queue))
+		return
+	}
+	if req.Async {
+		writeJSON(w, http.StatusAccepted, s.jobView(j))
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// The client went away; the job keeps running and stays pollable.
+		httpError(w, http.StatusRequestTimeout, "client cancelled; poll /jobs/%s", j.ID)
+		return
+	}
+	v := s.jobView(j)
+	if v.State == JobFailed {
+		httpError(w, http.StatusInternalServerError, "%s", v.Error)
+		return
+	}
+	writeJSON(w, http.StatusOK, v.Result)
+}
+
+// NewJob resolves a request into a registered, runnable job. reqID tags the
+// job's telemetry; "" is valid (direct API use without the middleware).
+func (s *Server) NewJob(req SolveRequest, reqID string) (*Job, error) {
+	design, err := resolveDesign(req)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.cfg
+	cfg.SkipWDM = req.SkipWDM
+	if cfg.Mode, err = ParseMode(req.Mode); err != nil {
+		return nil, err
+	}
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.defaultTimeout
+	}
+	if s.maxTimeout > 0 && timeout > s.maxTimeout {
+		timeout = s.maxTimeout
+	}
+	s.mu.Lock()
+	s.seq++
+	j := &Job{
+		ID:       fmt.Sprintf("job-%d", s.seq),
+		State:    JobQueued,
+		reqID:    reqID,
+		design:   design,
+		cfg:      cfg,
+		timeout:  timeout,
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+	s.jobs[j.ID] = j
+	s.mu.Unlock()
+	return j, nil
+}
+
+// Timeout returns the budget resolved for the job (after default/clamp).
+func (j *Job) Timeout() time.Duration { return j.timeout }
+
+// DropJob unregisters a job that never made it into the queue.
+func (s *Server) DropJob(j *Job) {
+	s.mu.Lock()
+	delete(s.jobs, j.ID)
+	s.mu.Unlock()
+}
+
+// resolveDesign materialises the request's input design.
+func resolveDesign(req SolveRequest) (signal.Design, error) {
+	if req.Bench != "" {
+		spec, err := benchgen.SpecByName(req.Bench)
+		if err != nil {
+			return signal.Design{}, err
+		}
+		return benchgen.Generate(spec)
+	}
+	if req.Design == nil {
+		return signal.Design{}, fmt.Errorf("request needs \"bench\" or \"design\"")
+	}
+	if err := req.Design.Validate(); err != nil {
+		return signal.Design{}, err
+	}
+	return *req.Design, nil
+}
+
+// ParseMode maps the wire mode string onto operon.Mode ("" = lr).
+func ParseMode(mode string) (operon.Mode, error) {
+	switch mode {
+	case "", "lr":
+		return operon.ModeLR, nil
+	case "ilp":
+		return operon.ModeILP, nil
+	case "greedy":
+		return operon.ModeGreedy, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want lr, ilp or greedy)", mode)
+	}
+}
+
+// handleJob serves GET /jobs/{id}.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobView(j))
+}
+
+// handleHealth serves GET /healthz: liveness, queue depth, in-flight
+// solves, and uptime. Once shutdown has begun (Abort or Shutdown) it
+// returns 503 with draining=true so load balancers stop routing new
+// traffic while in-flight solves finish degrading.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	draining := s.draining.Load()
+	if draining {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"ok":             !draining,
+		"draining":       draining,
+		"queue_depth":    len(s.queue),
+		"queue_cap":      cap(s.queue),
+		"inflight":       s.inflight.Load(),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format: every counter, gauge, and latency histogram of the registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	_ = obs.WritePrometheus(w, s.reg.Snapshot())
+}
+
+// handleMetricsJSON serves GET /metrics.json: the same registry snapshot
+// as JSON. The "counters" key keeps the pre-Prometheus wire shape, so
+// existing consumers (cmd/bench tooling, the smoke tests) parse it
+// unchanged; gauges and histograms ride alongside.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+}

@@ -148,15 +148,23 @@ func (s StageTimes) Total() time.Duration {
 
 // startStage opens one "stage/..." span on the flow lane and returns its
 // stop function. Stopping stores the span's own duration into slot, which
-// keeps StageTimes an exact derived view of the recorded spans; with no
-// tracer attached it degrades to a plain wall-clock measurement.
+// keeps StageTimes an exact derived view of the recorded spans, and records
+// the same duration into the tracer's per-stage latency histogram (so a
+// long-lived tracer — a serving process — accumulates stage latency
+// distributions across runs, not just the last run's means). With no tracer
+// attached it degrades to a plain wall-clock measurement.
 func startStage(t *obs.Tracer, name string, slot *time.Duration) func(attrs ...obs.Attr) {
 	if t == nil {
 		start := time.Now()
 		return func(...obs.Attr) { *slot = time.Since(start) }
 	}
 	sp := t.Span(name, obs.LaneFlow)
-	return func(attrs ...obs.Attr) { *slot = sp.End(attrs...) }
+	h := t.Histogram(name)
+	return func(attrs ...obs.Attr) {
+		d := sp.End(attrs...)
+		*slot = d
+		h.RecordDuration(d)
+	}
 }
 
 // Result is the outcome of one flow run.
@@ -260,7 +268,11 @@ func RunContextWith(ctx context.Context, d signal.Design, cfg Config, ws *Worksp
 	}
 	res := &Result{Design: d.Name, Flow: "operon-" + cfg.Mode.String(), Obs: cfg.Obs}
 	bpmHits0, bpmMisses0 := bpm.CacheCounters()
-	defer res.foldBPMCounters(cfg, bpmHits0, bpmMisses0)
+	var bpmSim0 obs.HistogramSnapshot
+	if cfg.Obs != nil {
+		bpmSim0 = bpm.SimDurations()
+	}
+	defer res.foldBPMCounters(cfg, bpmHits0, bpmMisses0, bpmSim0)
 
 	stop := startStage(cfg.Obs, "stage/process", &res.Times.Process)
 	hnets, err := process(d, cfg)
@@ -375,16 +387,22 @@ func lrOptions(ctx context.Context, cfg Config) selection.LROptions {
 }
 
 // foldBPMCounters adds the process-global BPM simulation-cache deltas of
-// this run to the tracer's bpm.cache_hits / bpm.cache_misses counters. The
-// cache is process-wide, so concurrent instrumented runs each fold in
-// whatever traffic happened during their window.
-func (r *Result) foldBPMCounters(cfg Config, hits0, misses0 int64) {
+// this run to the tracer's bpm.cache_hits / bpm.cache_misses counters, and
+// merges the window's uncached-propagation latency delta into the tracer's
+// bpm/simulate histogram. The cache is process-wide, so concurrent
+// instrumented runs each fold in whatever traffic happened during their
+// window.
+func (r *Result) foldBPMCounters(cfg Config, hits0, misses0 int64, sim0 obs.HistogramSnapshot) {
 	if cfg.Obs == nil {
 		return
 	}
 	hits, misses := bpm.CacheCounters()
 	cfg.Obs.Counter("bpm.cache_hits").Add(hits - hits0)
 	cfg.Obs.Counter("bpm.cache_misses").Add(misses - misses0)
+	if delta := bpm.SimDurations().Sub(sim0); delta.Count > 0 {
+		// Same fixed default bounds on both sides, so the merge never fails.
+		_ = cfg.Obs.Histogram("bpm/simulate").Merge(delta)
+	}
 }
 
 // RunElectrical is the Streak-style baseline [14]: every hyper net is
@@ -651,12 +669,18 @@ func buildEnvs(hnets []signal.HyperNet, trees [][]steiner.Tree) [][]geom.Segment
 // deterministic drain) and returns ctx.Err(); the caller then degrades to
 // the electrical floor.
 func buildCoDesignNets(ctx context.Context, hnets []signal.HyperNet, cfg Config, arena *parallel.Arena) ([]selection.Net, error) {
+	blStart := time.Now()
 	trees, err := baselineTrees(ctx, hnets, cfg, arena)
 	if err != nil {
 		return nil, err
 	}
+	// The baseline-topology sweep is the first half of the candidates
+	// stage; its own histogram separates Steiner construction from the
+	// co-design DP in the serving-side latency breakdown.
+	cfg.Obs.Histogram("stage/baselines").RecordDuration(time.Since(blStart))
 	envs := buildEnvs(hnets, trees)
 	nets := make([]selection.Net, len(hnets))
+	netHist := cfg.Obs.Histogram("net/candidates")
 	// Candidate generation is the widest fan-out of the flow; each net is
 	// tagged with the worker lane that produced it so the trace shows the
 	// pool's parallel tracks. The lane feeds telemetry only — results stay
@@ -706,7 +730,7 @@ func buildCoDesignNets(ctx context.Context, hnets []signal.HyperNet, cfg Config,
 		kept = thinCandidates(kept, cfg.MaxCandidatesPerNet-1)
 		nets[i] = selection.Net{Bits: bits, Cands: append(kept, fallback)}
 		if cfg.Obs != nil {
-			sp.End(obs.I("cands", len(nets[i].Cands)))
+			netHist.RecordDuration(sp.End(obs.I("cands", len(nets[i].Cands))))
 		}
 		return nil
 	})
