@@ -8,7 +8,7 @@ RACE_PKGS = ./internal/parallel ./internal/selection ./internal/signal \
             ./internal/wdm ./internal/optics/bpm ./internal/obs \
             ./internal/serve ./internal/ilp .
 
-.PHONY: check test race vet docs-lint serve-smoke bench trace-smoke bench-compare bench-alloc bench-scale load-smoke load-compare
+.PHONY: check test race vet docs-lint serve-smoke bench trace-smoke bench-compare bench-alloc bench-scale load-smoke load-compare eco-smoke
 
 check: vet docs-lint test race
 
@@ -81,3 +81,10 @@ load-smoke:
 # report left beside the baseline for inspection (still gitignored).
 load-compare:
 	$(GO) run ./cmd/loadgen -requests 120 -check -out LOAD_compare.json.tmp
+
+# Incremental re-synthesis smoke: a tiny concurrent edit-loop (sticky
+# sessions, one-pin moves, full-reuse probes) against the in-process server.
+# Any request error fails the gate; the session path must stay clean under
+# concurrency.
+eco-smoke:
+	$(GO) run ./cmd/loadgen -mix eco -requests 24 -sessions 3 -max-errors 0 -no-write

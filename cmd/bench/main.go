@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -522,6 +524,109 @@ func main() {
 		setNodesPerSec(mNodes, mElapsed)
 	}
 
+	// ECO: incremental re-synthesis. A session re-solve after a one-pin edit
+	// must beat the cold solve by >= 10x (the small-edit gate): only the
+	// touched group re-clusters, its nets regenerate candidates, and the
+	// untouched groups reuse clustering, trees, and candidate sets verbatim.
+	// The pin alternates between two positions so every iteration dirties
+	// exactly one group and the allocation profile is steady. WDM is skipped
+	// on both sides so the gate compares the incremental stages, not the
+	// (reused-anyway) placement.
+	ecoD := mustDesign("I3")
+	ecoCfg := cfg
+	ecoCfg.SkipWDM = true
+	ecoCold := record("ECO/Cold/I3", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := operon.Run(ecoD, ecoCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ecoP0 := ecoD.Groups[0].Bits[0].Driver
+	ecoP1 := ecoP0
+	ecoP1.X += 0.01
+	sess := operon.NewSession(ecoD, ecoCfg)
+	if _, _, err := sess.Resolve(context.Background()); err != nil {
+		fatal(err)
+	}
+	ecoToggle := false
+	ecoSmall := record("ECO/SmallEdit/I3", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := ecoP0
+			if !ecoToggle {
+				p = ecoP1
+			}
+			ecoToggle = !ecoToggle
+			if _, err := sess.Apply(operon.MoveTerminal(0, 0, -1, p)); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := sess.Resolve(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	speedup(&rep, "eco small-edit resolve vs cold", ecoCold.NsPerOp, ecoSmall.NsPerOp)
+	if !*quick && ecoSmall.NsPerOp > 0 && ecoCold.NsPerOp/ecoSmall.NsPerOp < 10 {
+		fatal(fmt.Errorf("ECO small-edit speedup %.1fx is below the 10x gate (cold %.0f ns/op, resolve %.0f ns/op)",
+			ecoCold.NsPerOp/ecoSmall.NsPerOp, ecoCold.NsPerOp, ecoSmall.NsPerOp))
+	}
+
+	// The same one-pin edit through the full pipeline (WDM on) and an edit
+	// touching every group — both informational, no gate: the first shows
+	// what the end-to-end interactive latency looks like, the second bounds
+	// the worst case (a resolve that reuses nothing still must not be slower
+	// than cold by more than the dirty-tracking overhead).
+	sessFull := operon.NewSession(ecoD, cfg)
+	if _, _, err := sessFull.Resolve(context.Background()); err != nil {
+		fatal(err)
+	}
+	fullToggle := false
+	record("ECO/SmallEditFullPipeline/I3", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := ecoP0
+			if !fullToggle {
+				p = ecoP1
+			}
+			fullToggle = !fullToggle
+			if _, err := sessFull.Apply(operon.MoveTerminal(0, 0, -1, p)); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := sessFull.Resolve(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	sessAll := operon.NewSession(ecoD, ecoCfg)
+	if _, _, err := sessAll.Resolve(context.Background()); err != nil {
+		fatal(err)
+	}
+	allToggle := false
+	record("ECO/AllGroups/I3", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dx := 0.01
+			if allToggle {
+				dx = 0
+			}
+			allToggle = !allToggle
+			edits := make([]operon.Edit, len(ecoD.Groups))
+			for gi := range ecoD.Groups {
+				p := ecoD.Groups[gi].Bits[0].Driver
+				p.X += dx
+				edits[gi] = operon.MoveTerminal(gi, 0, -1, p)
+			}
+			if _, err := sessAll.Apply(edits...); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := sessAll.Resolve(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	// One untimed instrumented pass over the deterministic solver workloads
 	// embeds the behaviour counters in the report. The Nop sink keeps the
 	// pass cheap: only the atomic counters accumulate.
@@ -543,6 +648,30 @@ func main() {
 	tracer.Counter("bpm.cache_hits").Add(hits)
 	tracer.Counter("bpm.cache_misses").Add(misses)
 	rep.Counters = tracer.Snapshot()
+
+	// One untimed instrumented session pass (cold solve + one-pin edit +
+	// resolve) embeds the ws.session.* reuse counters. It runs on its own
+	// tracer and only those counters are folded in: the resolve also bumps
+	// lp.pivots & co., which must stay comparable with committed baselines.
+	ecoTracer := obs.New(nil)
+	ecoObsCfg := ecoCfg
+	ecoObsCfg.Obs = ecoTracer
+	es := operon.NewSession(ecoD, ecoObsCfg)
+	if _, _, err := es.Resolve(context.Background()); err != nil {
+		fatal(err)
+	}
+	if _, err := es.Apply(operon.MoveTerminal(0, 0, -1, ecoP1)); err != nil {
+		fatal(err)
+	}
+	if _, _, err := es.Resolve(context.Background()); err != nil {
+		fatal(err)
+	}
+	for _, c := range ecoTracer.Snapshot() {
+		if strings.HasPrefix(c.Name, "ws.session.") {
+			rep.Counters = append(rep.Counters, c)
+		}
+	}
+	sort.Slice(rep.Counters, func(i, j int) bool { return rep.Counters[i].Name < rep.Counters[j].Name })
 
 	// One more untimed instrumented flow run fills the per-stage latency
 	// histograms. It runs on its own tracer: folding it into the counter

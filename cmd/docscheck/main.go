@@ -7,10 +7,10 @@
 //
 //	docscheck [dir ...]
 //
-// With no arguments the audited set is the flow package and the solver
-// substrate: ., internal/lp, internal/ilp, internal/mcmf,
-// internal/selection, internal/obs. Exit status 1 lists every uncommented
-// identifier as file:line: name.
+// With no arguments the audited set is the flow package, the solver
+// substrate, and the serving layer: ., internal/lp, internal/ilp,
+// internal/mcmf, internal/selection, internal/obs, internal/serve. Exit
+// status 1 lists every uncommented identifier as file:line: name.
 package main
 
 import (
@@ -33,6 +33,7 @@ var defaultDirs = []string{
 	"internal/mcmf",
 	"internal/selection",
 	"internal/obs",
+	"internal/serve",
 }
 
 func main() {

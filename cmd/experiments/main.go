@@ -7,6 +7,7 @@
 //	experiments -table1 -skip-ilp          # fast Table 1 without the ILP
 //	experiments -table1 -ilp-limit 300s    # the paper used 3000 s
 //	experiments -fig3b -fig8 -fig9
+//	experiments -eco                       # incremental re-synthesis sweep
 package main
 
 import (
@@ -30,15 +31,16 @@ func main() {
 		fig9     = flag.Bool("fig9", false, "run Fig. 9 (power hotspots on I2)")
 		ablation = flag.Bool("ablation", false, "run the design-choice ablation study")
 		robust   = flag.Bool("robustness", false, "run the temperature guard-band extension study")
+		eco      = flag.Bool("eco", false, "run the incremental re-synthesis (ECO) speedup sweep")
 		skipILP  = flag.Bool("skip-ilp", false, "omit the ILP columns of Table 1")
 		ilpLimit = flag.Duration("ilp-limit", 60*time.Second, "ILP time limit per case")
 		cases    = flag.String("cases", "", "comma-separated case filter, e.g. I2,I3")
 	)
 	flag.Parse()
 	if *all {
-		*table1, *fig3b, *fig8, *fig9, *ablation, *robust = true, true, true, true, true, true
+		*table1, *fig3b, *fig8, *fig9, *ablation, *robust, *eco = true, true, true, true, true, true, true
 	}
-	if !*table1 && !*fig3b && !*fig8 && !*fig9 && !*ablation && !*robust {
+	if !*table1 && !*fig3b && !*fig8 && !*fig9 && !*ablation && !*robust && !*eco {
 		flag.Usage()
 		return
 	}
@@ -102,6 +104,14 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(experiments.FormatRobustness("I2", rows))
+		fmt.Println()
+	}
+	if *eco {
+		rows, err := experiments.ECO("I3")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatECO(rows))
 	}
 }
 

@@ -5,7 +5,11 @@
 // requests with hot-key skew (one benchmark dominates, like a production
 // hot shard), burst arrivals (back-to-back dispatches separated by pauses)
 // and mixed time budgets (generous, tight, and deliberately hopeless ones
-// that must come back degraded, never failed). The target is either a
+// that must come back degraded, never failed). The eco mix is different in
+// kind: it replays the interactive editing workload — concurrent sticky
+// sessions each looping POST /sessions/{id}/edit with deterministic
+// one-pin moves (and periodic empty-script full-reuse probes), exercising
+// the incremental re-synthesis path end to end. The target is either a
 // remote operond (-url) or a full in-process serving stack — the real
 // internal/serve Server on an ephemeral listener — so CI needs no daemon.
 //
@@ -45,7 +49,7 @@ func main() {
 
 	var (
 		url         = flag.String("url", "", "target operond base URL (empty = boot an in-process server)")
-		mix         = flag.String("mix", "smoke", "request mix: smoke, soak or hopeless")
+		mix         = flag.String("mix", "smoke", "request mix: smoke, soak, hopeless or eco (sticky-session edit loop)")
 		requests    = flag.Int("requests", 60, "total requests to replay")
 		concurrency = flag.Int("concurrency", 4, "client connections issuing requests")
 		seed        = flag.Int64("seed", 1, "mix generator seed")
@@ -57,6 +61,8 @@ func main() {
 		latFactor   = flag.Float64("slo-latency-factor", 10, "allowed p50/p95/p99 growth over baseline (CI machines vary widely)")
 		errPP       = flag.Float64("slo-error-pp", 2, "allowed error-rate growth over baseline, percentage points")
 		noWrite     = flag.Bool("no-write", false, "skip writing the report file")
+		sessions    = flag.Int("sessions", 4, "concurrent sticky sessions (eco mix only)")
+		maxErrors   = flag.Int("max-errors", -1, "exit non-zero when errors exceed this count (-1 = off)")
 	)
 	flag.Parse()
 
@@ -70,8 +76,13 @@ func main() {
 		}
 	}
 
-	specs := genRequests(*mix, *requests, *seed)
-	rep, err := replay(base, specs, *concurrency)
+	var rep *Report
+	var err error
+	if *mix == "eco" {
+		rep, err = replayEco(base, *requests, *sessions, *seed)
+	} else {
+		rep, err = replay(base, genRequests(*mix, *requests, *seed), *concurrency)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,6 +97,10 @@ func main() {
 	}
 
 	printReport(os.Stdout, rep)
+
+	if *maxErrors >= 0 && rep.Counts.Errors > int64(*maxErrors) {
+		log.Fatalf("error gate: %d errors > %d allowed", rep.Counts.Errors, *maxErrors)
+	}
 
 	if !*noWrite {
 		path := *out

@@ -19,6 +19,8 @@
 //	curl -s localhost:8080/solve -d '{"bench":"I2","timeout_ms":2000}'
 //	curl -s localhost:8080/solve -d '{"bench":"I3","async":true}'
 //	curl -s localhost:8080/jobs/job-1
+//	curl -s localhost:8080/sessions -d '{"bench":"I3","skip_wdm":true}'
+//	curl -s localhost:8080/sessions/sess-1/edit -d '{"edits":[{"kind":"move","group":0,"bit":0,"sink":-1,"x":1.2,"y":0.8}]}'
 //	curl -s localhost:8080/metrics
 //
 // See -h for all options and DESIGN.md §8 for the API reference.
@@ -59,6 +61,8 @@ func main() {
 		grace       = flag.Duration("grace", 30*time.Second, "shutdown grace period for draining handlers")
 		logFormat   = flag.String("log", "text", "request log format: text, json or off")
 		smoke       = flag.Bool("smoke", false, "self-test: solve one benchmark under a 1 ms budget in-process and exit")
+		sessionTTL  = flag.Duration("session-ttl", 10*time.Minute, "idle lifetime of sticky editing sessions before eviction")
+		maxSessions = flag.Int("max-sessions", 64, "cap on concurrent sticky sessions (LRU evicts past it)")
 	)
 	flag.Parse()
 
@@ -75,6 +79,8 @@ func main() {
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
 		Logger:         logger,
+		SessionTTL:     *sessionTTL,
+		MaxSessions:    *maxSessions,
 	})
 
 	if *smoke {

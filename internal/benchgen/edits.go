@@ -1,0 +1,183 @@
+package benchgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"operon/internal/geom"
+	"operon/internal/signal"
+)
+
+// EditOp is a flow-agnostic design edit used to drive incremental
+// re-synthesis from benches, load generators, and the serving API. It
+// mirrors the root package's Edit constructors without importing them
+// (benchgen must stay import-light so the root package's tests can use it),
+// and doubles as the JSON wire format of the /sessions/{id}/edit endpoint.
+type EditOp struct {
+	// Kind is one of "move", "add_terminal", "remove_terminal",
+	// "add_group", "remove_group", "budget".
+	Kind string `json:"kind"`
+	// Group indexes the edited group (terminal edits, remove_group).
+	Group int `json:"group,omitempty"`
+	// Bit indexes the edited bit within the group (terminal edits).
+	Bit int `json:"bit,omitempty"`
+	// Sink indexes the sink within the bit; -1 addresses the driver.
+	Sink int `json:"sink,omitempty"`
+	// X is the new terminal x-coordinate in cm (move, add_terminal).
+	X float64 `json:"x,omitempty"`
+	// Y is the new terminal y-coordinate in cm (move, add_terminal).
+	Y float64 `json:"y,omitempty"`
+	// Budget is the new optical loss budget in dB (kind "budget").
+	Budget float64 `json:"budget,omitempty"`
+	// Name names the appended group (kind "add_group").
+	Name string `json:"name,omitempty"`
+	// NewBits carries the appended group's bits (kind "add_group").
+	NewBits []signal.Bit `json:"new_bits,omitempty"`
+}
+
+// MoveScript generates n small terminal moves against design d: each op
+// nudges one randomly chosen driver or sink by at most 2% of the die span,
+// clamped to the die. Deterministic in (d, n, seed). Small moves keep the
+// dirty set to the touched groups, making this the canonical "small edit"
+// workload of the ECO benches.
+func MoveScript(d signal.Design, n int, seed int64) []EditOp {
+	rng := rand.New(rand.NewSource(seed))
+	span := d.Die.Hi.X - d.Die.Lo.X
+	if dy := d.Die.Hi.Y - d.Die.Lo.Y; dy > span {
+		span = dy
+	}
+	ops := make([]EditOp, 0, n)
+	for len(ops) < n {
+		gi := rng.Intn(len(d.Groups))
+		g := d.Groups[gi]
+		bi := rng.Intn(len(g.Bits))
+		b := g.Bits[bi]
+		sink := rng.Intn(len(b.Sinks)+1) - 1 // -1 = driver
+		var p geom.Point
+		if sink < 0 {
+			p = b.Driver
+		} else {
+			p = b.Sinks[sink]
+		}
+		p.X = clamp(p.X+(rng.Float64()-0.5)*0.04*span, d.Die.Lo.X, d.Die.Hi.X)
+		p.Y = clamp(p.Y+(rng.Float64()-0.5)*0.04*span, d.Die.Lo.Y, d.Die.Hi.Y)
+		ops = append(ops, EditOp{Kind: "move", Group: gi, Bit: bi, Sink: sink, X: p.X, Y: p.Y})
+	}
+	return ops
+}
+
+// EditScript generates a mixed, validity-aware edit script of n ops against
+// design d: mostly terminal moves, with occasional terminal adds/removes,
+// group adds/removes, and budget changes. Ops are generated against a
+// scratch copy that each op is applied to, so every op's indices are valid
+// at its position in the script. Deterministic in (d, n, seed).
+func EditScript(d signal.Design, n int, seed int64) []EditOp {
+	rng := rand.New(rand.NewSource(seed))
+	cur := copyDesign(d)
+	ops := make([]EditOp, 0, n)
+	for len(ops) < n {
+		op, ok := genOp(rng, &cur)
+		if !ok {
+			continue
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// genOp draws one valid op against cur and applies it so subsequent ops see
+// the edited design. Returns ok=false when the drawn kind is inapplicable
+// (e.g. remove_group on a one-group design).
+func genOp(rng *rand.Rand, cur *signal.Design) (EditOp, bool) {
+	d := *cur
+	span := d.Die.Hi.X - d.Die.Lo.X
+	if dy := d.Die.Hi.Y - d.Die.Lo.Y; dy > span {
+		span = dy
+	}
+	randPt := func() geom.Point {
+		return geom.Point{
+			X: d.Die.Lo.X + rng.Float64()*(d.Die.Hi.X-d.Die.Lo.X),
+			Y: d.Die.Lo.Y + rng.Float64()*(d.Die.Hi.Y-d.Die.Lo.Y),
+		}
+	}
+	switch k := rng.Intn(10); {
+	case k < 5: // move (half the mix)
+		gi := rng.Intn(len(d.Groups))
+		g := d.Groups[gi]
+		bi := rng.Intn(len(g.Bits))
+		b := &cur.Groups[gi].Bits[bi]
+		sink := rng.Intn(len(b.Sinks)+1) - 1
+		var p geom.Point
+		if sink < 0 {
+			p = b.Driver
+		} else {
+			p = b.Sinks[sink]
+		}
+		p.X = clamp(p.X+(rng.Float64()-0.5)*0.04*span, d.Die.Lo.X, d.Die.Hi.X)
+		p.Y = clamp(p.Y+(rng.Float64()-0.5)*0.04*span, d.Die.Lo.Y, d.Die.Hi.Y)
+		if sink < 0 {
+			b.Driver = p
+		} else {
+			b.Sinks[sink] = p
+		}
+		return EditOp{Kind: "move", Group: gi, Bit: bi, Sink: sink, X: p.X, Y: p.Y}, true
+	case k < 7: // add_terminal
+		gi := rng.Intn(len(d.Groups))
+		bi := rng.Intn(len(d.Groups[gi].Bits))
+		p := randPt()
+		cur.Groups[gi].Bits[bi].Sinks = append(cur.Groups[gi].Bits[bi].Sinks, p)
+		return EditOp{Kind: "add_terminal", Group: gi, Bit: bi, X: p.X, Y: p.Y}, true
+	case k < 8: // remove_terminal
+		gi := rng.Intn(len(d.Groups))
+		bi := rng.Intn(len(d.Groups[gi].Bits))
+		b := &cur.Groups[gi].Bits[bi]
+		if len(b.Sinks) < 2 {
+			return EditOp{}, false
+		}
+		si := rng.Intn(len(b.Sinks))
+		b.Sinks = append(b.Sinks[:si], b.Sinks[si+1:]...)
+		return EditOp{Kind: "remove_terminal", Group: gi, Bit: bi, Sink: si}, true
+	case k < 9: // add_group or remove_group, alternating by coin
+		if rng.Intn(2) == 0 && len(d.Groups) > 1 {
+			gi := rng.Intn(len(d.Groups))
+			cur.Groups = append(cur.Groups[:gi], cur.Groups[gi+1:]...)
+			return EditOp{Kind: "remove_group", Group: gi}, true
+		}
+		name := fmt.Sprintf("eco_g%d", rng.Intn(1<<20))
+		bits := make([]signal.Bit, 2+rng.Intn(3))
+		for i := range bits {
+			bits[i] = signal.Bit{Driver: randPt(), Sinks: []geom.Point{randPt()}}
+		}
+		cur.Groups = append(cur.Groups, signal.Group{Name: name, Bits: bits})
+		return EditOp{Kind: "add_group", Name: name, NewBits: bits}, true
+	default: // budget nudge, ±10% around 10 dB
+		return EditOp{Kind: "budget", Budget: 9 + 2*rng.Float64()}, true
+	}
+}
+
+// copyDesign deep-copies a design for the generator's scratch tracking.
+func copyDesign(d signal.Design) signal.Design {
+	out := d
+	out.Groups = make([]signal.Group, len(d.Groups))
+	for i, g := range d.Groups {
+		ng := g
+		ng.Bits = make([]signal.Bit, len(g.Bits))
+		for j, b := range g.Bits {
+			nb := b
+			nb.Sinks = append([]geom.Point(nil), b.Sinks...)
+			ng.Bits[j] = nb
+		}
+		out.Groups[i] = ng
+	}
+	return out
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

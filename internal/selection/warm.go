@@ -1,0 +1,107 @@
+package selection
+
+// Cross-solve reuse helpers for incremental (ECO) re-synthesis. The crossing
+// loss between two candidates is a pure function of the two candidates'
+// geometry and the optical library, so cached values survive across solves
+// whenever the nets that produced them are carried over unchanged — only the
+// net indices move. These helpers remap index space; the caller (the root
+// package's Session) is responsible for only mapping nets whose candidate
+// lists are verbatim reuses of the previous solve.
+
+// SeedCrossCache copies the crossing-loss memo of a previous instance into
+// inst for every cached pair whose two nets both survive into the new
+// instance. newToPrev[i] gives the previous index of new net i, or -1 when
+// the net is new or rebuilt; mapped nets must carry candidate lists reused
+// verbatim from the previous solve (same geometry, same order), which the
+// bit-identity of the memoised values depends on. Value slices are shared,
+// not copied — they are write-once. Returns the number of entries seeded;
+// zero (and no seeding) when the libraries differ.
+func (inst *Instance) SeedCrossCache(prev *Instance, newToPrev []int) int {
+	if prev == nil || inst.Lib != prev.Lib || len(newToPrev) != len(inst.Nets) {
+		return 0
+	}
+	prevToNew := make([]int, len(prev.Nets))
+	for i := range prevToNew {
+		prevToNew[i] = -1
+	}
+	for i, pi := range newToPrev {
+		if pi >= 0 && pi < len(prev.Nets) {
+			prevToNew[pi] = i
+		}
+	}
+	prev.crossMu.RLock()
+	defer prev.crossMu.RUnlock()
+	inst.crossMu.Lock()
+	defer inst.crossMu.Unlock()
+	seeded := 0
+	for k, v := range prev.crossCache {
+		if k.i >= len(prevToNew) || k.m >= len(prevToNew) {
+			continue
+		}
+		ni, nm := prevToNew[k.i], prevToNew[k.m]
+		if ni < 0 || nm < 0 {
+			continue
+		}
+		// Defensive bounds: a mapped net must still own the cached candidate
+		// indices, and the path count must match the cached vector.
+		if k.j >= len(inst.Nets[ni].Cands) || k.n >= len(inst.Nets[nm].Cands) {
+			continue
+		}
+		if len(v) != len(inst.Nets[ni].Cands[k.j].Paths) {
+			continue
+		}
+		inst.crossCache[pairKey{ni, k.j, nm, k.n}] = v
+		seeded++
+	}
+	return seeded
+}
+
+// RemapLambda transfers a previous solve's final Lagrangian multipliers onto
+// a new instance's path layout: new net i inherits the multiplier segment of
+// previous net newToPrev[i] when the candidate structure matches (same
+// candidate count and per-candidate path counts); new or rebuilt nets fall
+// back to the standard initialisation (0.1 × electrical power / loss
+// budget). Returns nil when prevLambda does not match prev's path layout, in
+// which case callers should solve cold. The result is intended for
+// LROptions.WarmStart — note that warm-started LR follows a different dual
+// trajectory than a cold solve and is therefore opt-in (see Session.WarmDuals).
+func RemapLambda(prev *Instance, prevLambda []float64, next *Instance, newToPrev []int) []float64 {
+	if prev == nil || next == nil || len(prevLambda) != prev.numPaths ||
+		len(newToPrev) != len(next.Nets) {
+		return nil
+	}
+	lambda := make([]float64, next.numPaths)
+	for i, n := range next.Nets {
+		pi := newToPrev[i]
+		if ok := pi >= 0 && pi < len(prev.Nets) && sameCandShape(n, prev.Nets[pi]); ok {
+			for j, c := range n.Cands {
+				copy(lambda[next.pathOff[i][j]:next.pathOff[i][j]+len(c.Paths)],
+					prevLambda[prev.pathOff[pi][j]:prev.pathOff[pi][j]+len(c.Paths)])
+			}
+			continue
+		}
+		pe := n.Cands[n.ElectricalIndex()].PowerMW
+		for j, c := range n.Cands {
+			off := next.pathOff[i][j]
+			for p := range c.Paths {
+				lambda[off+p] = 0.1 * pe / next.Lib.MaxLossDB
+			}
+		}
+	}
+	return lambda
+}
+
+// sameCandShape reports whether two nets have identical candidate counts and
+// per-candidate path counts — the condition for multiplier segments to be
+// transferable between their layouts.
+func sameCandShape(a, b Net) bool {
+	if len(a.Cands) != len(b.Cands) {
+		return false
+	}
+	for j := range a.Cands {
+		if len(a.Cands[j].Paths) != len(b.Cands[j].Paths) {
+			return false
+		}
+	}
+	return true
+}

@@ -55,16 +55,16 @@ type SolveRequest struct {
 
 // SolveResponse is the JSON result of a finished solve.
 type SolveResponse struct {
-	Design     string  `json:"design"`
-	Flow       string  `json:"flow"`
-	PowerMW    float64 `json:"power_mw"`
-	Violations int     `json:"violations"`
-	HyperNets  int     `json:"hyper_nets"`
-	WDMsUsed   int     `json:"wdms_used"`
+	Design     string  `json:"design"`     // design name
+	Flow       string  `json:"flow"`       // flow identifier (operon version tag)
+	PowerMW    float64 `json:"power_mw"`   // total routed power
+	Violations int     `json:"violations"` // loss-budget violations after repair
+	HyperNets  int     `json:"hyper_nets"` // hyper nets routed
+	WDMsUsed   int     `json:"wdms_used"`  // WDM links placed
 	// Degraded and StopReason mirror operon.Result: the routing is feasible
 	// either way, but a degraded one took a fallback rung of the ladder.
 	Degraded   bool   `json:"degraded"`
-	StopReason string `json:"stop_reason,omitempty"`
+	StopReason string `json:"stop_reason,omitempty"` // why degradation fired
 	// RequestID echoes the X-Request-Id the solve ran under, so async
 	// pollers can join results to logs and traces too.
 	RequestID string `json:"request_id,omitempty"`
@@ -73,7 +73,7 @@ type SolveResponse struct {
 	// QueueMS is how long the job waited in the bounded queue before a
 	// worker picked it up.
 	QueueMS   float64 `json:"queue_ms"`
-	ElapsedMS float64 `json:"elapsed_ms"`
+	ElapsedMS float64 `json:"elapsed_ms"` // solve wall clock in milliseconds
 }
 
 // JobState is the lifecycle of a queued solve.
@@ -90,10 +90,10 @@ const (
 // Job is one queued solve and its eventual outcome, as serialised by
 // GET /jobs/{id}.
 type Job struct {
-	ID     string         `json:"id"`
-	State  JobState       `json:"state"`
-	Result *SolveResponse `json:"result,omitempty"`
-	Error  string         `json:"error,omitempty"`
+	ID     string         `json:"id"`               // job identifier ("job-N")
+	State  JobState       `json:"state"`            // lifecycle state
+	Result *SolveResponse `json:"result,omitempty"` // set once done
+	Error  string         `json:"error,omitempty"`  // set once failed
 
 	reqID    string
 	design   signal.Design
@@ -127,6 +127,12 @@ type Options struct {
 	// Logger receives the structured request and solve records; nil
 	// discards them.
 	Logger *slog.Logger
+	// SessionTTL is the idle lifetime of sticky editing sessions before
+	// eviction (0 = 10 minutes).
+	SessionTTL time.Duration
+	// MaxSessions caps concurrent sticky sessions; the least recently used
+	// session is evicted when a create exceeds it (0 = 64).
+	MaxSessions int
 }
 
 // Server is the operond HTTP state: a bounded job queue drained by a fixed
@@ -158,6 +164,12 @@ type Server struct {
 	mu   sync.Mutex
 	jobs map[string]*Job
 	seq  int
+
+	sessMu   sync.Mutex
+	sessions map[string]*session
+	sessSeq  int
+	sessTTL  time.Duration
+	sessMax  int
 }
 
 // New assembles a server, wires its telemetry registry, and starts its
@@ -195,6 +207,7 @@ func New(opts Options) *Server {
 		jobs:           map[string]*Job{},
 	}
 	s.reg = newRegistry(s)
+	s.initSessions(opts)
 	for i := 0; i < opts.Concurrency; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -349,6 +362,10 @@ func (s *Server) jobView(j *Job) Job {
 //
 //	POST /solve         run a solve (sync, or async with {"async":true})
 //	GET  /jobs/{id}     poll an async job
+//	POST /sessions      create a sticky editing session (runs the cold solve)
+//	POST /sessions/{id}/edit  apply an edit script, re-solve incrementally
+//	GET  /sessions/{id}       session metadata + resolve latency quantiles
+//	DELETE /sessions/{id}     drop the session
 //	GET  /healthz       liveness, queue depth, in-flight solves, uptime;
 //	                    503 once shutdown has begun (drain signal)
 //	GET  /metrics       Prometheus text exposition (histograms included)
@@ -362,6 +379,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
 	mux.HandleFunc("/jobs/", s.handleJob)
+	mux.HandleFunc("/sessions", s.handleSessions)
+	mux.HandleFunc("/sessions/", s.handleSession)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)

@@ -36,6 +36,8 @@ func newRegistry(s *Server) *obs.Registry {
 			}
 			return float64(r) / float64(c+r)
 		})
+	reg.Gauge("sessions_active", "Live sticky editing sessions.",
+		func() float64 { return float64(s.sessionCount()) })
 	obs.RuntimeGauges(reg)
 	return reg
 }

@@ -176,25 +176,11 @@ func Process(d Design, cfg ProcessConfig) ([]HyperNet, error) {
 	// group order so the concatenated result is independent of scheduling.
 	perGroup := make([][]HyperNet, len(d.Groups))
 	err := parallel.ForEach(len(d.Groups), cfg.Workers, func(gi int) error {
-		g := d.Groups[gi]
-		centroids := make([]geom.Point, len(g.Bits))
-		for i, b := range g.Bits {
-			centroids[i] = b.Centroid()
-		}
-		clusters, err := cluster.KMeans(centroids, cluster.KMeansConfig{
-			Capacity: cfg.WDMCapacity,
-			Seed:     cfg.Seed + int64(gi),
-		})
+		hns, err := ProcessGroup(d.Groups[gi], gi, cfg)
 		if err != nil {
-			return fmt.Errorf("signal: group %q: %w", g.Name, err)
+			return err
 		}
-		for _, members := range clusters {
-			hn, err := buildHyperNet(g, members, cfg.PinMergeThresholdCM)
-			if err != nil {
-				return fmt.Errorf("signal: group %q: %w", g.Name, err)
-			}
-			perGroup[gi] = append(perGroup[gi], hn)
-		}
+		perGroup[gi] = hns
 		return nil
 	})
 	if err != nil {
@@ -205,6 +191,36 @@ func Process(d Design, cfg ProcessConfig) ([]HyperNet, error) {
 		nets = append(nets, g...)
 	}
 	return nets, nil
+}
+
+// ProcessGroup runs the signal-processing stage over a single group: bits
+// are clustered into capacity-respecting hyper nets by their centroids
+// (K-Means seeded with cfg.Seed plus the group's index gi, so a group's
+// clustering depends only on its contents and position), then each cluster's
+// electrical pins are agglomerated into hyper pins. Process is exactly the
+// concatenation of ProcessGroup over all groups; incremental re-synthesis
+// calls it directly to re-cluster only dirty groups.
+func ProcessGroup(g Group, gi int, cfg ProcessConfig) ([]HyperNet, error) {
+	centroids := make([]geom.Point, len(g.Bits))
+	for i, b := range g.Bits {
+		centroids[i] = b.Centroid()
+	}
+	clusters, err := cluster.KMeans(centroids, cluster.KMeansConfig{
+		Capacity: cfg.WDMCapacity,
+		Seed:     cfg.Seed + int64(gi),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("signal: group %q: %w", g.Name, err)
+	}
+	var out []HyperNet
+	for _, members := range clusters {
+		hn, err := buildHyperNet(g, members, cfg.PinMergeThresholdCM)
+		if err != nil {
+			return nil, fmt.Errorf("signal: group %q: %w", g.Name, err)
+		}
+		out = append(out, hn)
+	}
+	return out, nil
 }
 
 // buildHyperNet constructs the hyper pins of one bit cluster per §3.1.2.

@@ -311,47 +311,8 @@ func RunContextWith(ctx context.Context, d signal.Design, cfg Config, ws *Worksp
 		return nil, err
 	}
 	stop = startStage(cfg.Obs, "stage/selection", &res.Times.Selection)
-	switch cfg.Mode {
-	case ModeILP:
-		ir, err := selection.SolveILP(inst, selection.ILPOptions{
-			Ctx: ctx, TimeLimit: cfg.ILPTimeLimit, MaxNodes: cfg.ILPMaxNodes,
-			Workers: cfg.Workers, Arena: ws.arenaOf(), Obs: cfg.Obs,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.ILP = &ir
-		res.Selection = ir.Selection
-		if ir.TimedOut {
-			// Rung 1 of the ladder: the paper falls back to the Lagrangian
-			// relaxation when the ILP exceeds its budget. Both selections are
-			// feasible; keep the cheaper one (ties go to the incumbent).
-			lr, err := selection.SolveLR(inst, lrOptions(ctx, cfg))
-			if err != nil {
-				return nil, err
-			}
-			res.LR = &lr
-			if lr.Selection.PowerMW < ir.Selection.PowerMW {
-				res.Selection = lr.Selection
-			}
-			res.markDegraded(ctx, cfg, "selection")
-		}
-	case ModeGreedy:
-		sel, err := inst.GreedyIndependent()
-		if err != nil {
-			return nil, err
-		}
-		res.Selection = sel
-	default:
-		lr, err := selection.SolveLR(inst, lrOptions(ctx, cfg))
-		if err != nil {
-			return nil, err
-		}
-		res.LR = &lr
-		res.Selection = lr.Selection
-		if lr.Stopped {
-			res.markDegraded(ctx, cfg, "selection")
-		}
+	if err := runSelection(ctx, cfg, ws, inst, lrOptions(ctx, cfg), res); err != nil {
+		return nil, err
 	}
 	stop(obs.S("mode", cfg.Mode.String()))
 	res.PowerMW = res.Selection.PowerMW
@@ -367,6 +328,58 @@ func RunContextWith(ctx context.Context, d signal.Design, cfg Config, ws *Worksp
 		stop(obs.I("wdms_used", res.WDMStats.FinalWDMs))
 	}
 	return res, nil
+}
+
+// runSelection runs the configured solution-determination algorithm on inst
+// and fills res.Selection (plus the ILP/LR diagnostics), marking res degraded
+// when a solver hit its budget. lrOpt carries the resolved LR options — the
+// cold path passes lrOptions(ctx, cfg); Session.Resolve may add an opt-in
+// multiplier warm start on top. Shared by both so the selection trajectory is
+// identical by construction.
+func runSelection(ctx context.Context, cfg Config, ws *Workspace, inst *selection.Instance, lrOpt selection.LROptions, res *Result) error {
+	switch cfg.Mode {
+	case ModeILP:
+		ir, err := selection.SolveILP(inst, selection.ILPOptions{
+			Ctx: ctx, TimeLimit: cfg.ILPTimeLimit, MaxNodes: cfg.ILPMaxNodes,
+			Workers: cfg.Workers, Arena: ws.arenaOf(), Obs: cfg.Obs,
+		})
+		if err != nil {
+			return err
+		}
+		res.ILP = &ir
+		res.Selection = ir.Selection
+		if ir.TimedOut {
+			// Rung 1 of the ladder: the paper falls back to the Lagrangian
+			// relaxation when the ILP exceeds its budget. Both selections are
+			// feasible; keep the cheaper one (ties go to the incumbent).
+			lr, err := selection.SolveLR(inst, lrOpt)
+			if err != nil {
+				return err
+			}
+			res.LR = &lr
+			if lr.Selection.PowerMW < ir.Selection.PowerMW {
+				res.Selection = lr.Selection
+			}
+			res.markDegraded(ctx, cfg, "selection")
+		}
+	case ModeGreedy:
+		sel, err := inst.GreedyIndependent()
+		if err != nil {
+			return err
+		}
+		res.Selection = sel
+	default:
+		lr, err := selection.SolveLR(inst, lrOpt)
+		if err != nil {
+			return err
+		}
+		res.LR = &lr
+		res.Selection = lr.Selection
+		if lr.Stopped {
+			res.markDegraded(ctx, cfg, "selection")
+		}
+	}
+	return nil
 }
 
 // lrOptions resolves Config.LR for a flow-level solve: the flow context
@@ -634,6 +647,17 @@ func baselineTrees(ctx context.Context, hnets []signal.HyperNet, cfg Config, are
 // segments of the other hyper nets whose bounding boxes overlap — the
 // crossing-estimation environment for the co-design DP.
 func buildEnvs(hnets []signal.HyperNet, trees [][]steiner.Tree) [][]geom.Segment {
+	envs, _ := buildEnvsContrib(hnets, trees)
+	return envs
+}
+
+// buildEnvsContrib is buildEnvs returning, alongside each net's environment,
+// the ascending list of net indices that contributed segments to it. A net's
+// environment is exactly the concatenation of its contributors' primary-tree
+// segments in index order, so two solves whose contributor lists map to each
+// other net-for-net (with identical trees) see byte-identical environments —
+// the invariant incremental re-synthesis uses to decide candidate reuse.
+func buildEnvsContrib(hnets []signal.HyperNet, trees [][]steiner.Tree) ([][]geom.Segment, [][]int) {
 	type netGeom struct {
 		segs []geom.Segment
 		box  geom.Rect
@@ -651,6 +675,7 @@ func buildEnvs(hnets []signal.HyperNet, trees [][]steiner.Tree) [][]geom.Segment
 		geoms[i] = g
 	}
 	envs := make([][]geom.Segment, len(hnets))
+	contribs := make([][]int, len(hnets))
 	for i := range hnets {
 		for j := range hnets {
 			if i == j || len(geoms[j].segs) == 0 || len(geoms[i].segs) == 0 {
@@ -658,10 +683,11 @@ func buildEnvs(hnets []signal.HyperNet, trees [][]steiner.Tree) [][]geom.Segment
 			}
 			if geoms[i].box.Overlaps(geoms[j].box) {
 				envs[i] = append(envs[i], geoms[j].segs...)
+				contribs[i] = append(contribs[i], j)
 			}
 		}
 	}
-	return envs
+	return envs, contribs
 }
 
 // buildCoDesignNets generates the full OPERON candidate sets. Cancelling
@@ -691,44 +717,11 @@ func buildCoDesignNets(ctx context.Context, hnets []signal.HyperNet, cfg Config,
 			sp = cfg.Obs.Span("net/candidates", obs.WorkerLane(w), obs.I("net", i))
 		}
 		scr := grabScratch(s, cfg.Obs)
-		bits := hnets[i].BitCount()
-		var cands []codesign.Candidate
-		for _, tr := range trees[i] {
-			// Subdivide only loss-pressed topologies: relays and partial-
-			// optical routes pay off when the detection budget binds, and
-			// unconditional subdivision inflates every net's candidate set
-			// (and with it the ILP).
-			if cfg.SubdivideCM > 0 && lossPressed(tr, envs[i], cfg.Lib, len(hnets[i].Pins)-1) {
-				tr = steiner.Subdivide(tr, cfg.SubdivideCM)
-			}
-			cs, err := codesign.GenerateWS(codesign.Input{
-				Tree:       tr,
-				Bits:       bits,
-				Lib:        cfg.Lib,
-				Elec:       cfg.Elec,
-				Env:        envs[i],
-				MaxOptions: cfg.MaxCandidates,
-			}, scr.codesign)
-			if err != nil {
-				return fmt.Errorf("operon: net %d: %w", i, err)
-			}
-			cands = append(cands, cs...)
-		}
-		// Replace the per-tree electrical fallbacks with a single RSMT-based
-		// one (proper rectilinear Steiner tree, not the Euclidean baseline
-		// re-measured in the Manhattan metric).
-		kept := cands[:0]
-		for _, c := range cands {
-			if !c.AllElectrical {
-				kept = append(kept, c)
-			}
-		}
-		fallback, err := electricalCandidate(hnets[i], cfg, scr)
+		net, err := generateNetCandidates(i, hnets[i], trees[i], envs[i], cfg, scr)
 		if err != nil {
 			return err
 		}
-		kept = thinCandidates(kept, cfg.MaxCandidatesPerNet-1)
-		nets[i] = selection.Net{Bits: bits, Cands: append(kept, fallback)}
+		nets[i] = net
 		if cfg.Obs != nil {
 			netHist.RecordDuration(sp.End(obs.I("cands", len(nets[i].Cands))))
 		}
@@ -738,6 +731,53 @@ func buildCoDesignNets(ctx context.Context, hnets []signal.HyperNet, cfg Config,
 		return nil, err
 	}
 	return nets, nil
+}
+
+// generateNetCandidates builds hyper net i's merged candidate list from its
+// baseline topologies and crossing environment: the co-design DP per tree
+// (subdividing loss-pressed ones), dominated-candidate thinning, and the
+// RSMT electrical fallback. Pure in everything but scratch — the same
+// (hn, trees, env, cfg) always yields the same candidates, which is what
+// lets incremental re-synthesis skip it for untouched nets.
+func generateNetCandidates(i int, hn signal.HyperNet, trees []steiner.Tree, env []geom.Segment, cfg Config, scr *workerScratch) (selection.Net, error) {
+	bits := hn.BitCount()
+	var cands []codesign.Candidate
+	for _, tr := range trees {
+		// Subdivide only loss-pressed topologies: relays and partial-
+		// optical routes pay off when the detection budget binds, and
+		// unconditional subdivision inflates every net's candidate set
+		// (and with it the ILP).
+		if cfg.SubdivideCM > 0 && lossPressed(tr, env, cfg.Lib, len(hn.Pins)-1) {
+			tr = steiner.Subdivide(tr, cfg.SubdivideCM)
+		}
+		cs, err := codesign.GenerateWS(codesign.Input{
+			Tree:       tr,
+			Bits:       bits,
+			Lib:        cfg.Lib,
+			Elec:       cfg.Elec,
+			Env:        env,
+			MaxOptions: cfg.MaxCandidates,
+		}, scr.codesign)
+		if err != nil {
+			return selection.Net{}, fmt.Errorf("operon: net %d: %w", i, err)
+		}
+		cands = append(cands, cs...)
+	}
+	// Replace the per-tree electrical fallbacks with a single RSMT-based
+	// one (proper rectilinear Steiner tree, not the Euclidean baseline
+	// re-measured in the Manhattan metric).
+	kept := cands[:0]
+	for _, c := range cands {
+		if !c.AllElectrical {
+			kept = append(kept, c)
+		}
+	}
+	fallback, err := electricalCandidate(hn, cfg, scr)
+	if err != nil {
+		return selection.Net{}, err
+	}
+	kept = thinCandidates(kept, cfg.MaxCandidatesPerNet-1)
+	return selection.Net{Bits: bits, Cands: append(kept, fallback)}, nil
 }
 
 // lossPressed estimates whether an all-optical implementation of the tree
@@ -800,21 +840,26 @@ func electricalCandidate(hn signal.HyperNet, cfg Config, scr *workerScratch) (co
 	return cand, nil
 }
 
+// extractConnections turns a selection into the optical connection set the
+// WDM stage places: per chosen candidate, consecutive collinear optical
+// chunks (from edge subdivision) merge into one physical waveguide. Pure, so
+// two solves with identical nets and choices extract identical connections.
+func extractConnections(nets []selection.Net, choice []int) []wdm.Connection {
+	var conns []wdm.Connection
+	for i, j := range choice {
+		for _, seg := range geom.MergeCollinear(nets[i].Cands[j].OpticalSegs) {
+			conns = append(conns, wdm.Connection{Seg: seg, Bits: nets[i].Bits, Net: i})
+		}
+	}
+	return conns
+}
+
 // assignWDMs extracts the optical connections of the selection and runs
 // the §4 WDM pipeline under ctx. Cancellation never errors: wdm.RunContext
 // falls back to the placement-derived assignment and flags it in
 // Stats.Degraded, which the caller folds into Result.Degraded.
 func (r *Result) assignWDMs(ctx context.Context, cfg Config) error {
-	for i, j := range r.Selection.Choice {
-		cand := r.Nets[i].Cands[j]
-		// Consecutive collinear optical chunks (from edge subdivision) are
-		// one physical waveguide.
-		for _, seg := range geom.MergeCollinear(cand.OpticalSegs) {
-			r.Connections = append(r.Connections, wdm.Connection{
-				Seg: seg, Bits: r.Nets[i].Bits, Net: i,
-			})
-		}
-	}
+	r.Connections = extractConnections(r.Nets, r.Selection.Choice)
 	pl, as, st, err := wdm.RunContext(ctx, r.Connections, wdm.Config{
 		Capacity:        cfg.Lib.WDMCapacity,
 		MinSpacingCM:    cfg.Lib.CrosstalkMinDistCM,

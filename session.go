@@ -1,0 +1,846 @@
+package operon
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"operon/internal/benchgen"
+	"operon/internal/geom"
+	"operon/internal/obs"
+	"operon/internal/optics/bpm"
+	"operon/internal/parallel"
+	"operon/internal/selection"
+	"operon/internal/signal"
+	"operon/internal/steiner"
+)
+
+// Session supports incremental (ECO) re-synthesis: it wraps a Workspace, a
+// mutable copy of a design, and the committed state of the last successful
+// solve, so that edit→re-solve loops skip every stage whose inputs did not
+// change. Apply mutates the pending design/config; Resolve re-runs the flow
+// reusing, for untouched signal groups, the per-group clustering, the
+// baseline Steiner trees, and the co-design candidate sets of the previous
+// solve, plus the crossing-loss memo of the selection instance for every
+// carried-over net pair. The BPM simulation cache is process-global and is
+// reused verbatim by construction.
+//
+// Correctness contract: Resolve is bit-identical to a cold RunContext on the
+// same design and config — reuse is restricted to stage outputs whose inputs
+// are provably identical, so the solver trajectory cannot diverge (verified
+// by the differential suite in session_test.go). The one exception is the
+// opt-in SetWarmDuals mode, which seeds the Lagrangian multipliers from the
+// previous solve's final duals and deliberately trades bit-identity for
+// faster convergence on large edits.
+//
+// A Session serialises its own methods; distinct sessions are independent
+// (each owns its Workspace) and may resolve concurrently.
+type Session struct {
+	mu        sync.Mutex
+	ws        *Workspace
+	design    signal.Design
+	cfg       Config
+	warmDuals bool
+	last      *sessionState
+}
+
+// sessionState is the committed snapshot of the last successful
+// (non-degraded) solve — everything a later Resolve may reuse.
+type sessionState struct {
+	design     signal.Design // deep copy, immune to later edits
+	cfg        Config
+	groupHNets [][]signal.HyperNet
+	groupStart []int // first net index of each group in the flat net order
+	hnets      []signal.HyperNet
+	trees      [][]steiner.Tree
+	contribs   [][]int // per net, ascending env-contributor net indices
+	nets       []selection.Net
+	inst       *selection.Instance
+	res        *Result
+	lambda     []float64 // final LR duals, kept only under SetWarmDuals
+}
+
+// NewSession starts an editing session on a deep copy of d: later mutations
+// of the caller's design do not leak in, and edits never leak out. The
+// session owns a fresh Workspace; the first Resolve is a cold solve.
+func NewSession(d signal.Design, cfg Config) *Session {
+	return &Session{ws: NewWorkspace(), design: copyDesign(d), cfg: cfg}
+}
+
+// SetWarmDuals toggles the opt-in Lagrangian warm start: when on, Resolve
+// records the final LR multipliers of each solve and seeds the next solve's
+// multipliers from them (remapped onto surviving nets). Warm-started LR
+// follows a different dual trajectory than a cold solve, so results are no
+// longer guaranteed bit-identical to RunContext — still feasible, typically
+// equal-or-better after fewer iterations. Off by default.
+func (s *Session) SetWarmDuals(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.warmDuals = on
+}
+
+// Design returns a deep copy of the session's pending design (the last
+// applied edits included) — the input a cold RunContext must see to
+// reproduce the next Resolve bit-for-bit.
+func (s *Session) Design() signal.Design {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return copyDesign(s.design)
+}
+
+// Config returns the session's pending configuration.
+func (s *Session) Config() Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg
+}
+
+// EditKind discriminates the edit operations a Session accepts.
+type EditKind int
+
+const (
+	// EditMoveTerminal moves one terminal (driver or sink) of a bit.
+	EditMoveTerminal EditKind = iota
+	// EditAddTerminal adds a sink terminal to a bit.
+	EditAddTerminal
+	// EditRemoveTerminal removes a sink terminal from a bit (a bit must
+	// keep at least one sink).
+	EditRemoveTerminal
+	// EditAddGroup appends a new signal group to the design.
+	EditAddGroup
+	// EditRemoveGroup removes a signal group (the design must keep at least
+	// one). Groups after it shift down and therefore re-cluster.
+	EditRemoveGroup
+	// EditSetMaxLoss changes the optical power budget Lib.MaxLossDB.
+	EditSetMaxLoss
+	// EditSetConfig replaces the whole configuration.
+	EditSetConfig
+)
+
+// Edit is one delta against the session's pending design or config; build
+// them with the constructor functions (MoveTerminal, AddGroup, ...).
+type Edit struct {
+	// Kind selects the operation and which of the fields below it reads.
+	Kind EditKind
+	// Group is the index of the edited group (terminal edits, RemoveGroup).
+	Group int
+	// Bit is the index of the edited bit within the group (terminal edits).
+	Bit int
+	// Sink is the sink index within the bit; -1 addresses the driver
+	// (EditMoveTerminal only).
+	Sink int
+	// Pos is the new terminal position (move/add).
+	Pos geom.Point
+	// NewGroup is the group to append (EditAddGroup).
+	NewGroup signal.Group
+	// MaxLossDB is the new power budget (EditSetMaxLoss).
+	MaxLossDB float64
+	// Config is the replacement configuration (EditSetConfig).
+	Config *Config
+}
+
+// MoveTerminal moves a terminal of bit (group, bit): sink -1 moves the
+// driver, 0..len(Sinks)-1 moves that sink.
+func MoveTerminal(group, bit, sink int, pos geom.Point) Edit {
+	return Edit{Kind: EditMoveTerminal, Group: group, Bit: bit, Sink: sink, Pos: pos}
+}
+
+// AddTerminal appends a sink terminal at pos to bit (group, bit).
+func AddTerminal(group, bit int, pos geom.Point) Edit {
+	return Edit{Kind: EditAddTerminal, Group: group, Bit: bit, Pos: pos}
+}
+
+// RemoveTerminal removes sink index sink from bit (group, bit).
+func RemoveTerminal(group, bit, sink int) Edit {
+	return Edit{Kind: EditRemoveTerminal, Group: group, Bit: bit, Sink: sink}
+}
+
+// AddGroup appends a signal group to the design.
+func AddGroup(g signal.Group) Edit { return Edit{Kind: EditAddGroup, NewGroup: g} }
+
+// RemoveGroup removes the group at index i.
+func RemoveGroup(i int) Edit { return Edit{Kind: EditRemoveGroup, Group: i} }
+
+// SetMaxLossDB changes the optical detection budget (the "power budget"
+// knob of the paper's ECO loop: tightening it demotes marginal nets to
+// electrical wires, loosening it admits more optical routes).
+func SetMaxLossDB(v float64) Edit { return Edit{Kind: EditSetMaxLoss, MaxLossDB: v} }
+
+// SetConfig replaces the session's configuration wholesale.
+func SetConfig(cfg Config) Edit { return Edit{Kind: EditSetConfig, Config: &cfg} }
+
+// EditsFromOps converts flow-agnostic benchgen edit ops — the form edit
+// scripts are generated and shipped over the session HTTP API in — into
+// session edits. Index validation is left to Session.Apply.
+func EditsFromOps(ops []benchgen.EditOp) ([]Edit, error) {
+	edits := make([]Edit, 0, len(ops))
+	for k, op := range ops {
+		switch op.Kind {
+		case "move":
+			edits = append(edits, MoveTerminal(op.Group, op.Bit, op.Sink, geom.Point{X: op.X, Y: op.Y}))
+		case "add_terminal":
+			edits = append(edits, AddTerminal(op.Group, op.Bit, geom.Point{X: op.X, Y: op.Y}))
+		case "remove_terminal":
+			edits = append(edits, RemoveTerminal(op.Group, op.Bit, op.Sink))
+		case "add_group":
+			edits = append(edits, AddGroup(signal.Group{Name: op.Name, Bits: op.NewBits}))
+		case "remove_group":
+			edits = append(edits, RemoveGroup(op.Group))
+		case "budget":
+			edits = append(edits, SetMaxLossDB(op.Budget))
+		default:
+			return nil, fmt.Errorf("operon: op %d: unknown edit kind %q", k, op.Kind)
+		}
+	}
+	return edits, nil
+}
+
+// Dirty previews the work an edit script implies: which groups must
+// re-cluster and whether a config change is involved. It is advisory — the
+// authoritative dirty set is recomputed by Resolve from design content, so
+// a move-then-move-back script still reuses everything.
+type Dirty struct {
+	// All marks every group dirty (a clustering-relevant config change).
+	All bool
+	// Groups lists the touched group indices, ascending and deduplicated.
+	Groups []int
+	// Config reports that the edit script changed the configuration.
+	Config bool
+}
+
+// Apply validates and applies an edit script atomically to the session's
+// pending design/config: on error nothing is applied and the error names
+// the offending edit's position. The returned Dirty summarises the touched
+// groups; Resolve performs the actual re-solve.
+func (s *Session) Apply(edits ...Edit) (Dirty, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := copyDesign(s.design)
+	cfg := s.cfg
+	var dirty Dirty
+	for k, e := range edits {
+		if err := applyEdit(&d, &cfg, e, &dirty); err != nil {
+			return Dirty{}, fmt.Errorf("operon: edit %d: %w", k, err)
+		}
+	}
+	sort.Ints(dirty.Groups)
+	dirty.Groups = dedupInts(dirty.Groups)
+	s.design, s.cfg = d, cfg
+	return dirty, nil
+}
+
+// applyEdit applies one edit to the scratch design/config, accumulating the
+// dirty preview. Bounds are validated here so Apply can be atomic.
+func applyEdit(d *signal.Design, cfg *Config, e Edit, dirty *Dirty) error {
+	touch := func(gi int) { dirty.Groups = append(dirty.Groups, gi) }
+	bitAt := func() (*signal.Bit, error) {
+		if e.Group < 0 || e.Group >= len(d.Groups) {
+			return nil, fmt.Errorf("group %d out of range [0,%d)", e.Group, len(d.Groups))
+		}
+		g := &d.Groups[e.Group]
+		if e.Bit < 0 || e.Bit >= len(g.Bits) {
+			return nil, fmt.Errorf("group %d bit %d out of range [0,%d)", e.Group, e.Bit, len(g.Bits))
+		}
+		return &g.Bits[e.Bit], nil
+	}
+	switch e.Kind {
+	case EditMoveTerminal:
+		b, err := bitAt()
+		if err != nil {
+			return err
+		}
+		if e.Sink == -1 {
+			b.Driver = e.Pos
+		} else if e.Sink >= 0 && e.Sink < len(b.Sinks) {
+			b.Sinks[e.Sink] = e.Pos
+		} else {
+			return fmt.Errorf("sink %d out of range [-1,%d)", e.Sink, len(b.Sinks))
+		}
+		touch(e.Group)
+	case EditAddTerminal:
+		b, err := bitAt()
+		if err != nil {
+			return err
+		}
+		b.Sinks = append(b.Sinks, e.Pos)
+		touch(e.Group)
+	case EditRemoveTerminal:
+		b, err := bitAt()
+		if err != nil {
+			return err
+		}
+		if e.Sink < 0 || e.Sink >= len(b.Sinks) {
+			return fmt.Errorf("sink %d out of range [0,%d)", e.Sink, len(b.Sinks))
+		}
+		if len(b.Sinks) == 1 {
+			return fmt.Errorf("cannot remove the last sink of group %d bit %d", e.Group, e.Bit)
+		}
+		b.Sinks = append(b.Sinks[:e.Sink], b.Sinks[e.Sink+1:]...)
+		touch(e.Group)
+	case EditAddGroup:
+		if err := e.NewGroup.Validate(); err != nil {
+			return err
+		}
+		d.Groups = append(d.Groups, copyGroup(e.NewGroup))
+		touch(len(d.Groups) - 1)
+	case EditRemoveGroup:
+		if e.Group < 0 || e.Group >= len(d.Groups) {
+			return fmt.Errorf("group %d out of range [0,%d)", e.Group, len(d.Groups))
+		}
+		if len(d.Groups) == 1 {
+			return fmt.Errorf("cannot remove the last group")
+		}
+		d.Groups = append(d.Groups[:e.Group], d.Groups[e.Group+1:]...)
+		// Every surviving group at or after the removed index shifts down;
+		// its clustering seed (Seed + index) changes with it.
+		for gi := e.Group; gi < len(d.Groups); gi++ {
+			touch(gi)
+		}
+	case EditSetMaxLoss:
+		if e.MaxLossDB <= 0 {
+			return fmt.Errorf("max loss %.3f dB must be positive", e.MaxLossDB)
+		}
+		cfg.Lib.MaxLossDB = e.MaxLossDB
+		dirty.Config = true
+	case EditSetConfig:
+		if e.Config == nil {
+			return fmt.Errorf("SetConfig edit carries no config")
+		}
+		if diffConfig(*cfg, *e.Config).proc {
+			dirty.All = true
+		}
+		*cfg = *e.Config
+		dirty.Config = true
+	default:
+		return fmt.Errorf("unknown edit kind %d", e.Kind)
+	}
+	return nil
+}
+
+// ResolveStats reports what a Resolve reused versus rebuilt.
+type ResolveStats struct {
+	// Cold reports the session's first solve (nothing to reuse).
+	Cold bool
+	// FullReuse reports that nothing was dirty: the previous result was
+	// returned without re-running any stage.
+	FullReuse bool
+	// GroupsReused counts signal groups whose clustering was carried over.
+	GroupsReused int
+	// GroupsRebuilt counts signal groups re-clustered by this solve.
+	GroupsRebuilt int
+	// TreesReused counts hyper nets whose baseline trees were carried over.
+	TreesReused int
+	// TreesRebuilt counts hyper nets whose baseline trees were rebuilt.
+	TreesRebuilt int
+	// CandsReused counts hyper nets whose candidate sets were carried over.
+	CandsReused int
+	// CandsRebuilt counts hyper nets whose candidate sets were regenerated.
+	CandsRebuilt int
+	// CrossCacheSeeded counts crossing-loss memo entries transplanted into
+	// the new selection instance.
+	CrossCacheSeeded int
+	// WDMReused reports that the WDM placement/assignment was carried over
+	// (identical nets and selection choice).
+	WDMReused bool
+}
+
+// Resolve re-solves the session's pending design under ctx, re-running only
+// the stages whose inputs changed since the last committed solve (see the
+// type doc for the reuse rules and DESIGN.md §12 for the reuse matrix). The
+// result is bit-identical to RunContext(ctx, s.Design(), s.Config()) unless
+// SetWarmDuals is on. Degraded results (ctx expired mid-solve) are returned
+// but not committed: the next Resolve diffs against the last good state, so
+// a cancelled resolve never poisons the session.
+func (s *Session) Resolve(ctx context.Context) (*Result, ResolveStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var st ResolveStats
+	res, next, err := s.solve(ctx, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	s.recordStats(st)
+	if next != nil {
+		s.last = next
+	}
+	return res, st, nil
+}
+
+// recordStats mirrors ResolveStats onto the session's tracer as
+// ws.session.* counters, so serving and bench snapshots expose reuse rates.
+func (s *Session) recordStats(st ResolveStats) {
+	t := s.cfg.Obs
+	t.Counter("ws.session.resolves").Inc()
+	if st.Cold {
+		t.Counter("ws.session.cold").Inc()
+	}
+	if st.FullReuse {
+		t.Counter("ws.session.reuse/full").Inc()
+	}
+	if st.WDMReused {
+		t.Counter("ws.session.reuse/wdm").Inc()
+	}
+	t.Counter("ws.session.reuse/groups").Add(int64(st.GroupsReused))
+	t.Counter("ws.session.dirty/groups").Add(int64(st.GroupsRebuilt))
+	t.Counter("ws.session.reuse/trees").Add(int64(st.TreesReused))
+	t.Counter("ws.session.reuse/cands").Add(int64(st.CandsReused))
+	t.Counter("ws.session.dirty/cands").Add(int64(st.CandsRebuilt))
+	t.Counter("ws.session.reuse/crosscache").Add(int64(st.CrossCacheSeeded))
+}
+
+// solve is the incremental twin of RunContextWith: same stages, same shared
+// helpers, same degradation ladder — plus a reuse decision ahead of each
+// stage. It returns the committed state for the solve, or nil when the
+// result must not be committed (degraded run).
+func (s *Session) solve(ctx context.Context, st *ResolveStats) (*Result, *sessionState, error) {
+	cfg := s.cfg
+	d := s.design
+	prev := s.last
+
+	// Mirror process()'s validation order and messages exactly.
+	if err := cfg.Lib.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := cfg.Elec.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if cfg.Lib.WDMCapacity <= 0 {
+		return nil, nil, fmt.Errorf("signal: WDM capacity %d must be positive", cfg.Lib.WDMCapacity)
+	}
+
+	var delta cfgDelta
+	if prev != nil {
+		delta = diffConfig(prev.cfg, cfg)
+	} else {
+		st.Cold = true
+	}
+
+	// Group-level dirty set, by content: group gi is clean iff the previous
+	// committed design had an equal group at the same index (the clustering
+	// seed is Seed+index, so position matters as much as content).
+	nG := len(d.Groups)
+	groupClean := make([]bool, nG)
+	allClean := prev != nil && !delta.proc && nG == len(prev.design.Groups)
+	if prev != nil && !delta.proc {
+		for gi := 0; gi < nG; gi++ {
+			if gi < len(prev.design.Groups) && groupsEqual(d.Groups[gi], prev.design.Groups[gi]) {
+				groupClean[gi] = true
+			} else {
+				allClean = false
+			}
+		}
+	}
+
+	// Nothing dirty at all: hand back the committed result without running
+	// any stage. (A cold run under an expired ctx would degrade; returning
+	// the complete cached result is strictly better and still matches an
+	// un-expired cold run bit-for-bit.)
+	if allClean && !delta.any() && fullReuseSafe(cfg) {
+		st.FullReuse = true
+		st.GroupsReused = nG
+		st.TreesReused = len(prev.hnets)
+		st.CandsReused = len(prev.hnets)
+		st.WDMReused = !cfg.SkipWDM
+		out := *prev.res
+		out.Times = StageTimes{}
+		out.Obs = cfg.Obs
+		return &out, prev, nil
+	}
+
+	res := &Result{Design: d.Name, Flow: "operon-" + cfg.Mode.String(), Obs: cfg.Obs}
+	bpmHits0, bpmMisses0 := bpm.CacheCounters()
+	var bpmSim0 obs.HistogramSnapshot
+	if cfg.Obs != nil {
+		bpmSim0 = bpm.SimDurations()
+	}
+	defer res.foldBPMCounters(cfg, bpmHits0, bpmMisses0, bpmSim0)
+
+	// Stage 1: signal processing, per group, reusing clean groups' nets.
+	stop := startStage(cfg.Obs, "stage/process", &res.Times.Process)
+	procCfg := signal.ProcessConfig{
+		WDMCapacity:         cfg.Lib.WDMCapacity,
+		PinMergeThresholdCM: cfg.PinMergeThresholdCM,
+		Seed:                cfg.Seed,
+	}
+	groupHNets := make([][]signal.HyperNet, nG)
+	err := parallel.ForEach(nG, cfg.Workers, func(gi int) error {
+		if groupClean[gi] {
+			groupHNets[gi] = prev.groupHNets[gi]
+			return nil
+		}
+		hns, err := signal.ProcessGroup(d.Groups[gi], gi, procCfg)
+		if err != nil {
+			return err
+		}
+		groupHNets[gi] = hns
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	groupStart := make([]int, nG)
+	var hnets []signal.HyperNet
+	for gi, g := range groupHNets {
+		groupStart[gi] = len(hnets)
+		hnets = append(hnets, g...)
+	}
+	if len(hnets) == 0 {
+		return nil, nil, fmt.Errorf("operon: design %q produced no hyper nets", d.Name)
+	}
+	res.HyperNets = hnets
+	stop(obs.I("hyper_nets", len(hnets)))
+	for gi := range groupClean {
+		if groupClean[gi] {
+			st.GroupsReused++
+		} else {
+			st.GroupsRebuilt++
+		}
+	}
+
+	if ctx.Err() != nil {
+		if err := res.degradeToElectricalFloor(ctx, cfg, s.ws); err != nil {
+			return nil, nil, err
+		}
+		return res, nil, nil
+	}
+
+	// Stage 2: baseline trees and candidate sets, per net. netPrev maps a
+	// net in a clean group to its previous index (clean groups sit at the
+	// same group index and ProcessGroup is deterministic, so within-group
+	// net order carries over verbatim).
+	stop = startStage(cfg.Obs, "stage/candidates", &res.Times.Candidates)
+	nN := len(hnets)
+	netGroup := make([]int, nN)
+	for gi := range groupHNets {
+		for k := range groupHNets[gi] {
+			netGroup[groupStart[gi]+k] = gi
+		}
+	}
+	netPrev := make([]int, nN)
+	treeOK := make([]bool, nN)
+	for i := 0; i < nN; i++ {
+		gi := netGroup[i]
+		if groupClean[gi] {
+			netPrev[i] = prev.groupStart[gi] + (i - groupStart[gi])
+			treeOK[i] = !delta.trees
+		} else {
+			netPrev[i] = -1
+		}
+	}
+
+	blStart := time.Now()
+	maxBl := cfg.MaxBaselines
+	if maxBl <= 0 {
+		maxBl = 3
+	}
+	trees := make([][]steiner.Tree, nN)
+	var rebuildTrees []int
+	for i := 0; i < nN; i++ {
+		if treeOK[i] {
+			trees[i] = prev.trees[netPrev[i]]
+			st.TreesReused++
+		} else {
+			rebuildTrees = append(rebuildTrees, i)
+			st.TreesRebuilt++
+		}
+	}
+	err = parallel.ForEachScratchContext(ctx, s.ws.arenaOf(), len(rebuildTrees), cfg.Workers, func(w int, sc *parallel.Scratch, k int) error {
+		i := rebuildTrees[k]
+		scr := grabScratch(sc, cfg.Obs)
+		trees[i] = steiner.BaselinesWS(hnets[i].Terminals(), steiner.Euclidean, maxBl, scr.steiner)
+		return nil
+	})
+	if err != nil {
+		stop(obs.I("nets", 0), obs.S("aborted", "context"))
+		if err := res.degradeToElectricalFloor(ctx, cfg, s.ws); err != nil {
+			return nil, nil, err
+		}
+		return res, nil, nil
+	}
+	cfg.Obs.Histogram("stage/baselines").RecordDuration(time.Since(blStart))
+
+	// A net's candidates are reusable when its own trees carried over, no
+	// candidate-relevant knob changed, and its crossing environment is
+	// byte-identical: same contributors (mapped index-for-index onto the
+	// previous solve) each with carried-over trees.
+	envs, contribs := buildEnvsContrib(hnets, trees)
+	candOK := make([]bool, nN)
+	for i := 0; i < nN; i++ {
+		candOK[i] = treeOK[i] && !delta.cands && contribsMatch(i, netPrev, treeOK, contribs, prev)
+	}
+
+	nets := make([]selection.Net, nN)
+	var rebuildNets []int
+	for i := 0; i < nN; i++ {
+		if candOK[i] {
+			nets[i] = prev.nets[netPrev[i]]
+			st.CandsReused++
+		} else {
+			rebuildNets = append(rebuildNets, i)
+			st.CandsRebuilt++
+		}
+	}
+	netHist := cfg.Obs.Histogram("net/candidates")
+	err = parallel.ForEachScratchContext(ctx, s.ws.arenaOf(), len(rebuildNets), cfg.Workers, func(w int, sc *parallel.Scratch, k int) error {
+		i := rebuildNets[k]
+		var sp obs.Span
+		if cfg.Obs != nil {
+			sp = cfg.Obs.Span("net/candidates", obs.WorkerLane(w), obs.I("net", i))
+		}
+		scr := grabScratch(sc, cfg.Obs)
+		net, err := generateNetCandidates(i, hnets[i], trees[i], envs[i], cfg, scr)
+		if err != nil {
+			return err
+		}
+		nets[i] = net
+		if cfg.Obs != nil {
+			netHist.RecordDuration(sp.End(obs.I("cands", len(net.Cands))))
+		}
+		return nil
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			stop(obs.I("nets", 0), obs.S("aborted", "context"))
+			if err := res.degradeToElectricalFloor(ctx, cfg, s.ws); err != nil {
+				return nil, nil, err
+			}
+			return res, nil, nil
+		}
+		return nil, nil, err
+	}
+	res.Nets = nets
+	stop(obs.I("nets", len(nets)))
+
+	// Stage 3: selection. The instance is rebuilt (its index bookkeeping is
+	// cheap) but seeded with every crossing-loss memo entry whose two nets
+	// both carried their candidates over — a pure memo, so seeding cannot
+	// change results.
+	inst, err := selection.NewInstance(nets, cfg.Lib)
+	if err != nil {
+		return nil, nil, err
+	}
+	candMap := make([]int, nN)
+	for i := 0; i < nN; i++ {
+		if candOK[i] {
+			candMap[i] = netPrev[i]
+		} else {
+			candMap[i] = -1
+		}
+	}
+	if prev != nil && prev.inst != nil {
+		st.CrossCacheSeeded = inst.SeedCrossCache(prev.inst, candMap)
+	}
+	stop = startStage(cfg.Obs, "stage/selection", &res.Times.Selection)
+	lrOpt := lrOptions(ctx, cfg)
+	if s.warmDuals {
+		lrOpt.ReturnLambda = true
+		if prev != nil && prev.lambda != nil {
+			if warm := selection.RemapLambda(prev.inst, prev.lambda, inst, candMap); warm != nil {
+				lrOpt.WarmStart = warm
+			}
+		}
+	}
+	if err := runSelection(ctx, cfg, s.ws, inst, lrOpt, res); err != nil {
+		return nil, nil, err
+	}
+	stop(obs.S("mode", cfg.Mode.String()))
+	res.PowerMW = res.Selection.PowerMW
+
+	// Stage 4: WDM. Reusable only when its exact inputs recurred: identical
+	// net list (every net carried over in place) and identical choice.
+	if !cfg.SkipWDM {
+		stop = startStage(cfg.Obs, "stage/wdm", &res.Times.WDM)
+		if prev != nil && !delta.wdm && !prev.cfg.SkipWDM && prev.res != nil &&
+			identityMap(candMap) && len(prev.nets) == nN &&
+			intsEqual(res.Selection.Choice, prev.res.Selection.Choice) {
+			st.WDMReused = true
+			res.Connections = prev.res.Connections
+			res.Placement = prev.res.Placement
+			res.Assignment = prev.res.Assignment
+			res.WDMStats = prev.res.WDMStats
+		} else if err := res.assignWDMs(ctx, cfg); err != nil {
+			return nil, nil, err
+		}
+		if res.WDMStats.Degraded {
+			res.markDegraded(ctx, cfg, "wdm")
+		}
+		stop(obs.I("wdms_used", res.WDMStats.FinalWDMs))
+	}
+
+	if res.Degraded {
+		return res, nil, nil
+	}
+	next := &sessionState{
+		design:     copyDesign(d),
+		cfg:        cfg,
+		groupHNets: groupHNets,
+		groupStart: groupStart,
+		hnets:      hnets,
+		trees:      trees,
+		contribs:   contribs,
+		nets:       nets,
+		inst:       inst,
+		res:        res,
+	}
+	if s.warmDuals && res.LR != nil {
+		next.lambda = res.LR.Lambda
+	}
+	return res, next, nil
+}
+
+// contribsMatch reports whether net i's environment contributors map
+// index-for-index onto its previous incarnation's, each with carried-over
+// trees — the condition for the concatenated environment to be identical.
+func contribsMatch(i int, netPrev []int, treeOK []bool, contribs [][]int, prev *sessionState) bool {
+	pi := netPrev[i]
+	if pi < 0 || prev == nil {
+		return false
+	}
+	pc := prev.contribs[pi]
+	if len(contribs[i]) != len(pc) {
+		return false
+	}
+	for k, c := range contribs[i] {
+		if !treeOK[c] || netPrev[c] != pc[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// cfgDelta classifies a config change by the stages it invalidates.
+// Workers and Obs are excluded throughout: they never affect results.
+type cfgDelta struct {
+	proc  bool // re-cluster every group
+	trees bool // rebuild every baseline tree
+	cands bool // regenerate every candidate set
+	sel   bool // selection knobs changed (selection always re-runs anyway)
+	wdm   bool // re-place/assign the WDM stage
+}
+
+// any reports whether the delta invalidates anything.
+func (c cfgDelta) any() bool { return c.proc || c.trees || c.cands || c.sel || c.wdm }
+
+// diffConfig classifies the differences between two configurations by the
+// stages whose outputs they invalidate (the invalidation-trigger column of
+// the DESIGN.md §12 reuse matrix). optics.Library and power.ElectricalModel
+// are flat scalar structs, so == captures every knob.
+func diffConfig(a, b Config) cfgDelta {
+	var d cfgDelta
+	if a.Lib.WDMCapacity != b.Lib.WDMCapacity ||
+		a.PinMergeThresholdCM != b.PinMergeThresholdCM || a.Seed != b.Seed {
+		d.proc = true
+	}
+	if a.MaxBaselines != b.MaxBaselines {
+		d.trees = true
+	}
+	if a.Lib != b.Lib || a.Elec != b.Elec || a.SubdivideCM != b.SubdivideCM ||
+		a.MaxCandidates != b.MaxCandidates || a.MaxCandidatesPerNet != b.MaxCandidatesPerNet {
+		d.cands = true
+	}
+	if a.Lib != b.Lib || a.Mode != b.Mode || a.ILPTimeLimit != b.ILPTimeLimit ||
+		a.ILPMaxNodes != b.ILPMaxNodes || a.LR.MaxIters != b.LR.MaxIters ||
+		a.LR.ConvergeRatio != b.LR.ConvergeRatio || a.LR.StepScale != b.LR.StepScale {
+		d.sel = true
+	}
+	if a.Lib.WDMCapacity != b.Lib.WDMCapacity ||
+		a.Lib.CrosstalkMinDistCM != b.Lib.CrosstalkMinDistCM ||
+		a.Lib.AssignMaxDistCM != b.Lib.AssignMaxDistCM || a.SkipWDM != b.SkipWDM {
+		d.wdm = true
+	}
+	return d
+}
+
+// fullReuseSafe vetoes the full-reuse shortcut for configurations whose
+// solves are not pure functions of (design, config): a pinned LR context
+// can expire between solves and a caller-provided warm start already gave
+// up cold-identity.
+func fullReuseSafe(cfg Config) bool {
+	return cfg.LR.Ctx == nil && len(cfg.LR.WarmStart) == 0
+}
+
+// groupsEqual compares two signal groups by content.
+func groupsEqual(a, b signal.Group) bool {
+	if a.Name != b.Name || len(a.Bits) != len(b.Bits) {
+		return false
+	}
+	for i := range a.Bits {
+		if a.Bits[i].Driver != b.Bits[i].Driver || len(a.Bits[i].Sinks) != len(b.Bits[i].Sinks) {
+			return false
+		}
+		for j := range a.Bits[i].Sinks {
+			if a.Bits[i].Sinks[j] != b.Bits[i].Sinks[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// copyDesign deep-copies a design so session snapshots and pending designs
+// never alias caller- or edit-mutable memory.
+func copyDesign(d signal.Design) signal.Design {
+	out := d
+	out.Groups = make([]signal.Group, len(d.Groups))
+	for i, g := range d.Groups {
+		out.Groups[i] = copyGroup(g)
+	}
+	return out
+}
+
+// copyGroup deep-copies one signal group.
+func copyGroup(g signal.Group) signal.Group {
+	out := g
+	out.Bits = make([]signal.Bit, len(g.Bits))
+	for i, b := range g.Bits {
+		nb := b
+		nb.Sinks = append([]geom.Point(nil), b.Sinks...)
+		out.Bits[i] = nb
+	}
+	return out
+}
+
+// identityMap reports whether m maps every index to itself.
+func identityMap(m []int) bool {
+	for i, v := range m {
+		if v != i {
+			return false
+		}
+	}
+	return true
+}
+
+// intsEqual compares two int slices element-wise.
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dedupInts removes adjacent duplicates from a sorted slice.
+func dedupInts(xs []int) []int {
+	if len(xs) == 0 {
+		return xs
+	}
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

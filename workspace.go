@@ -18,7 +18,9 @@ import (
 //
 // A Workspace must not be shared by concurrently executing runs: the pool
 // hands slot w to worker w, so two overlapping runs would alias scratch.
-// Serving layers keep one Workspace per queue slot instead (cmd/operond).
+// Serving layers keep one Workspace per queue slot instead
+// (internal/serve), and sticky editing sessions own one for their whole
+// lifetime (Session).
 type Workspace struct {
 	arena *parallel.Arena
 }
