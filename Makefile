@@ -8,7 +8,7 @@ RACE_PKGS = ./internal/parallel ./internal/selection ./internal/signal \
             ./internal/wdm ./internal/optics/bpm ./internal/obs \
             ./internal/serve ./internal/ilp .
 
-.PHONY: check test race vet docs-lint serve-smoke bench trace-smoke bench-compare bench-alloc bench-scale load-smoke load-compare eco-smoke
+.PHONY: check test race vet docs-lint serve-smoke bench trace-smoke bench-compare bench-alloc bench-scale bench-speedup load-smoke load-compare eco-smoke dup-smoke
 
 check: vet docs-lint test race
 
@@ -69,6 +69,14 @@ bench-alloc:
 bench-scale:
 	$(GO) run ./cmd/bench -quick -mega I6 -mega-nodes 256 -out /tmp/operon-bench-scale.json
 
+# Parallel-speedup gate for multicore runners: only the worker-pool pairs
+# run (flow, LR pricing, deterministic parallel B&B), three iterations each,
+# and each parallel path must actually beat its sequential twin. On a
+# single-core machine the gate skips with a notice — the comparison would
+# measure pool overhead, not parallelism.
+bench-speedup:
+	$(GO) run ./cmd/bench -speedup-only -benchtime 3x -min-par-speedup 1.05 -out /tmp/operon-bench-speedup.json
+
 # SLO gate: replay a deterministic request mix (hot-key skew, bursts, mixed
 # budgets) against the in-process serving stack and fail when client-observed
 # p50/p95/p99 latency or the error rate regress beyond generous thresholds
@@ -78,9 +86,13 @@ load-smoke:
 	$(GO) run ./cmd/loadgen -requests 40 -check -out LOAD_smoke.json.tmp
 
 # Fuller local run against the committed baseline: same gate, more requests,
-# report left beside the baseline for inspection (still gitignored).
+# report left beside the baseline for inspection (still gitignored). The dup
+# leg replays the duplicate-heavy mix against its own baseline and addition-
+# ally gates the absolute dedup win: >= 5x fewer solves than items at the
+# mix's 10:1 duplicate ratio, with bit-identical deduplicated payloads.
 load-compare:
 	$(GO) run ./cmd/loadgen -requests 120 -check -out LOAD_compare.json.tmp
+	$(GO) run ./cmd/loadgen -mix dup -requests 120 -check -min-reduction 5 -min-cache-hits 1 -out LOAD_compare-dup.json.tmp
 
 # Incremental re-synthesis smoke: a tiny concurrent edit-loop (sticky
 # sessions, one-pin moves, full-reuse probes) against the in-process server.
@@ -88,3 +100,11 @@ load-compare:
 # concurrency.
 eco-smoke:
 	$(GO) run ./cmd/loadgen -mix eco -requests 24 -sessions 3 -max-errors 0 -no-write
+
+# Dedup smoke: replay the duplicate-heavy mix (singles + /solve/batch,
+# hot-key skew over six distinct instances) and gate the content-addressed
+# serving win — at least 5x fewer solves executed than items issued, at
+# least one result-cache hit, zero errors, zero payload mismatches (replayDup
+# fails the run itself on any differential mismatch).
+dup-smoke:
+	$(GO) run ./cmd/loadgen -mix dup -requests 40 -min-reduction 5 -min-cache-hits 1 -max-errors 0 -no-write

@@ -20,12 +20,15 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
@@ -43,6 +46,7 @@ import (
 	"operon/internal/optics/bpm"
 	"operon/internal/parallel"
 	"operon/internal/selection"
+	"operon/internal/serve"
 	"operon/internal/signal"
 	"operon/internal/steiner"
 	"operon/internal/wdm"
@@ -149,11 +153,19 @@ func main() {
 	mega := flag.String("mega", "I6", "comma-separated mega cases to run (I6,I7,I8; 'all', or '' to skip; skipped cases are listed in the report)")
 	megaNodes := flag.Int("mega-nodes", 2000, "branch-and-bound node budget for the mega ILP entries")
 	ack := flag.String("ack", "", "comma-separated benchmark names whose allocation-profile change is a deliberate trade (recorded in the report; benchcmp reports but does not gate them)")
+	speedupOnly := flag.Bool("speedup-only", false, "run only the parallel-vs-sequential pairs (the multicore CI gate's fast path)")
+	benchtime := flag.String("benchtime", "", "per-benchmark budget passed to testing (e.g. 3x or 2s; overrides -quick's 1x)")
+	minPar := flag.Float64("min-par-speedup", 0, "fail when a parallel-vs-sequential speedup falls below this factor (0 = off; skipped with a notice when GOMAXPROCS=1)")
 	flag.Parse()
 
 	if *quick {
 		// testing.Benchmark honours -test.benchtime via the flag package.
 		if err := flag.Set("test.benchtime", "1x"); err != nil {
+			fatal(err)
+		}
+	}
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
 			fatal(err)
 		}
 	}
@@ -227,6 +239,14 @@ func main() {
 
 	d := mustDesign(*caseName)
 	cfg := operon.DefaultConfig()
+	// full is the normal run; -speedup-only keeps just the parallel-vs-
+	// sequential pairs so the multicore CI job can gate them cheaply.
+	full := !*speedupOnly
+	// Shared between the full-run sections below (assigned in one, read in
+	// another).
+	var conns []wdm.Connection
+	var wcfg wdm.Config
+	var ilpInst *selection.Instance
 
 	record := func(name string, fn func(b *testing.B)) Entry {
 		fmt.Fprintf(os.Stderr, "bench: %s\n", name)
@@ -281,58 +301,60 @@ func main() {
 	par := record("Table1/OPERON-LR/"+*caseName+"/WorkersN", runFlow(0))
 	parSpeedup(&rep, "operon-lr workersN vs workers1", seq.NsPerOp, par.NsPerOp)
 
-	record("Table1/Electrical/"+*caseName, func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := operon.RunElectrical(d, cfg); err != nil {
-				b.Fatal(err)
+	if full {
+		record("Table1/Electrical/"+*caseName, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := operon.RunElectrical(d, cfg); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	})
-	record("Table1/Optical/"+*caseName, func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := operon.RunOptical(d, cfg); err != nil {
-				b.Fatal(err)
+		})
+		record("Table1/Optical/"+*caseName, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := operon.RunOptical(d, cfg); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	})
+		})
 
-	// Fig 3(b): the FD-BPM cascade, uncached solver vs process-wide cache.
-	bcfg := bpm.DefaultConfig()
-	uncached := record("Fig3b/Uncached", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := bpm.SimulateUncached(bcfg, 2); err != nil {
-				b.Fatal(err)
+		// Fig 3(b): the FD-BPM cascade, uncached solver vs process-wide cache.
+		bcfg := bpm.DefaultConfig()
+		uncached := record("Fig3b/Uncached", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bpm.SimulateUncached(bcfg, 2); err != nil {
+					b.Fatal(err)
+				}
 			}
+		})
+		// Warm the cache so Fig3b/Cached measures pure hits even under -quick's
+		// single iteration; without this the lone iteration would be the miss.
+		if _, err := bpm.Simulate(bcfg, 2); err != nil {
+			fatal(err)
 		}
-	})
-	// Warm the cache so Fig3b/Cached measures pure hits even under -quick's
-	// single iteration; without this the lone iteration would be the miss.
-	if _, err := bpm.Simulate(bcfg, 2); err != nil {
-		fatal(err)
+		cached := record("Fig3b/Cached", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bpm.Simulate(bcfg, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		speedup(&rep, "fig3b cached vs uncached", uncached.NsPerOp, cached.NsPerOp)
+
+		// Fig 8: the WDM placement + min-cost-flow assignment.
+		conns, wcfg = wdmInputs(d, cfg)
+		record("Fig8/WDM", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := wdm.Run(conns, wcfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
-	cached := record("Fig3b/Cached", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := bpm.Simulate(bcfg, 2); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	speedup(&rep, "fig3b cached vs uncached", uncached.NsPerOp, cached.NsPerOp)
-
-	// Fig 8: the WDM placement + min-cost-flow assignment.
-	conns, wcfg := wdmInputs(d, cfg)
-	record("Fig8/WDM", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, _, _, err := wdm.Run(conns, wcfg); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
 
 	// LR pricing in isolation, sequential vs worker-pool.
 	inst := mustInstance(d, cfg)
@@ -350,65 +372,67 @@ func main() {
 	lrPar := record("LRPricing/WorkersN", runLR(0))
 	parSpeedup(&rep, "lr-pricing workersN vs workers1", lrSeq.NsPerOp, lrPar.NsPerOp)
 
-	// LP engines head to head on a selection-shaped relaxation: the revised
-	// simplex with native bounds vs the dense two-phase tableau oracle.
-	lpProb := selectionShapedLP()
-	lpRev := record("LP/Revised", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			s, err := lp.Solve(lpProb)
-			if err != nil {
-				b.Fatal(err)
+	if full {
+		// LP engines head to head on a selection-shaped relaxation: the revised
+		// simplex with native bounds vs the dense two-phase tableau oracle.
+		lpProb := selectionShapedLP()
+		lpRev := record("LP/Revised", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := lp.Solve(lpProb)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.Status != lp.Optimal {
+					b.Fatalf("revised status %v", s.Status)
+				}
 			}
-			if s.Status != lp.Optimal {
-				b.Fatalf("revised status %v", s.Status)
+		})
+		lpDense := record("LP/Dense", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := lp.SolveDense(lpProb)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.Status != lp.Optimal {
+					b.Fatalf("dense status %v", s.Status)
+				}
 			}
-		}
-	})
-	lpDense := record("LP/Dense", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			s, err := lp.SolveDense(lpProb)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if s.Status != lp.Optimal {
-				b.Fatalf("dense status %v", s.Status)
-			}
-		}
-	})
-	speedup(&rep, "lp revised vs dense", lpDense.NsPerOp, lpRev.NsPerOp)
+		})
+		speedup(&rep, "lp revised vs dense", lpDense.NsPerOp, lpRev.NsPerOp)
 
-	// The exact selection solve (branch and bound, warm-started relaxations)
-	// on the reduced I3-style case, with per-node LP accounting.
-	ilpInst := mustInstance(mustILPDesign(), cfg)
-	record("ILP/Selection", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			ir, err := selection.SolveILP(ilpInst, selection.ILPOptions{TimeLimit: 60 * time.Second})
-			if err != nil {
-				b.Fatal(err)
-			}
-			if ir.TimedOut {
-				b.Fatal("ILP benchmark case timed out")
-			}
-			if i == 0 {
-				st := ILPStats{Nodes: ir.Nodes, LPSolves: ir.LPSolves, LPTimeNS: ir.LPTime.Nanoseconds()}
-				if ir.Nodes > 0 {
-					st.LPSolvesToNode = float64(ir.LPSolves) / float64(ir.Nodes)
+		// The exact selection solve (branch and bound, warm-started relaxations)
+		// on the reduced I3-style case, with per-node LP accounting.
+		ilpInst = mustInstance(mustILPDesign(), cfg)
+		record("ILP/Selection", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ir, err := selection.SolveILP(ilpInst, selection.ILPOptions{TimeLimit: 60 * time.Second})
+				if err != nil {
+					b.Fatal(err)
 				}
-				if ir.LPSolves > 0 {
-					st.LPNsPerSolve = float64(ir.LPTime.Nanoseconds()) / float64(ir.LPSolves)
+				if ir.TimedOut {
+					b.Fatal("ILP benchmark case timed out")
 				}
-				if ir.Elapsed > 0 {
-					st.NodesPerSec = float64(ir.Nodes) / ir.Elapsed.Seconds()
+				if i == 0 {
+					st := ILPStats{Nodes: ir.Nodes, LPSolves: ir.LPSolves, LPTimeNS: ir.LPTime.Nanoseconds()}
+					if ir.Nodes > 0 {
+						st.LPSolvesToNode = float64(ir.LPSolves) / float64(ir.Nodes)
+					}
+					if ir.LPSolves > 0 {
+						st.LPNsPerSolve = float64(ir.LPTime.Nanoseconds()) / float64(ir.LPSolves)
+					}
+					if ir.Elapsed > 0 {
+						st.NodesPerSec = float64(ir.Nodes) / ir.Elapsed.Seconds()
+					}
+					rep.ILP = &st
 				}
-				rep.ILP = &st
 			}
+		})
+		if rep.ILP != nil {
+			rep.Benchmarks[len(rep.Benchmarks)-1].NodesPerSec = rep.ILP.NodesPerSec
 		}
-	})
-	if rep.ILP != nil {
-		rep.Benchmarks[len(rep.Benchmarks)-1].NodesPerSec = rep.ILP.NodesPerSec
 	}
 
 	// The deterministic parallel branch and bound on a branchy equality
@@ -441,257 +465,291 @@ func main() {
 	}
 	parSpeedup(&rep, "ilp workers4 vs workers1", bw1.NsPerOp, bw4.NsPerOp)
 
-	// Min-cost max-flow on a WDM-assignment-shaped network (build + solve).
-	mcmfArcs := mcmfNetwork()
-	record("MCMF", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			g := mcmf.NewWithEdgeHint(mcmfNodes, len(mcmfArcs))
-			for _, a := range mcmfArcs {
-				g.AddEdge(a.u, a.v, a.cap, a.cost)
-			}
-			if _, err := g.MaxFlow(mcmfSrc, mcmfSnk); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-
-	// BI1S with the incremental MST evaluation.
-	rng := rand.New(rand.NewSource(11))
-	terms := make([]geom.Point, 24)
-	for i := range terms {
-		terms[i] = geom.Point{X: rng.Float64() * 4, Y: rng.Float64() * 4}
-	}
-	for _, metric := range []steiner.Metric{steiner.Rectilinear, steiner.Euclidean} {
-		record("BI1S/"+metric.String(), func(b *testing.B) {
+	if full {
+		// Min-cost max-flow on a WDM-assignment-shaped network (build + solve).
+		mcmfArcs := mcmfNetwork()
+		record("MCMF", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				steiner.BI1S(terms, metric, steiner.BI1SConfig{})
-			}
-		})
-	}
-
-	// The I6–I8 mega cases. Each selected case records the full flow plus an
-	// exact-ILP solve on the leading megaILPNets-net sub-instance — the full
-	// mega programme (≈240k variables at I6) is beyond any exact solver's
-	// root relaxation budget, so the slice is what keeps branch and bound an
-	// honest, repeatable measurement at this scale. Unselected cases go to
-	// rep.Skipped so benchcmp can tell a deliberate omission from a lost
-	// benchmark.
-	for _, spec := range benchgen.MegaSpecs() {
-		flowName := "Table1/OPERON-LR/" + spec.Name + "/WorkersN"
-		ilpName := fmt.Sprintf("ILP/%s/First%d", spec.Name, megaILPNets)
-		if !megaSel[spec.Name] {
-			rep.Skipped = append(rep.Skipped, flowName, ilpName)
-			continue
-		}
-		md, err := benchgen.Generate(spec)
-		if err != nil {
-			fatal(err)
-		}
-		record(flowName, func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, err := operon.Run(md, cfg); err != nil {
+				g := mcmf.NewWithEdgeHint(mcmfNodes, len(mcmfArcs))
+				for _, a := range mcmfArcs {
+					g.AddEdge(a.u, a.v, a.cap, a.cost)
+				}
+				if _, err := g.MaxFlow(mcmfSrc, mcmfSnk); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
-		mc := cfg
-		mc.SkipWDM = true
-		mres, err := operon.Run(md, mc)
-		if err != nil {
-			fatal(err)
+
+		// BI1S with the incremental MST evaluation.
+		rng := rand.New(rand.NewSource(11))
+		terms := make([]geom.Point, 24)
+		for i := range terms {
+			terms[i] = geom.Point{X: rng.Float64() * 4, Y: rng.Float64() * 4}
 		}
-		sub, err := selection.NewInstance(mres.Nets[:megaILPNets], cfg.Lib)
-		if err != nil {
-			fatal(err)
+		for _, metric := range []steiner.Metric{steiner.Rectilinear, steiner.Euclidean} {
+			record("BI1S/"+metric.String(), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					steiner.BI1S(terms, metric, steiner.BI1SConfig{})
+				}
+			})
 		}
-		var mNodes int
-		var mElapsed time.Duration
-		record(ilpName, func(b *testing.B) {
+
+		// The I6–I8 mega cases. Each selected case records the full flow plus an
+		// exact-ILP solve on the leading megaILPNets-net sub-instance — the full
+		// mega programme (≈240k variables at I6) is beyond any exact solver's
+		// root relaxation budget, so the slice is what keeps branch and bound an
+		// honest, repeatable measurement at this scale. Unselected cases go to
+		// rep.Skipped so benchcmp can tell a deliberate omission from a lost
+		// benchmark.
+		for _, spec := range benchgen.MegaSpecs() {
+			flowName := "Table1/OPERON-LR/" + spec.Name + "/WorkersN"
+			ilpName := fmt.Sprintf("ILP/%s/First%d", spec.Name, megaILPNets)
+			if !megaSel[spec.Name] {
+				rep.Skipped = append(rep.Skipped, flowName, ilpName)
+				continue
+			}
+			md, err := benchgen.Generate(spec)
+			if err != nil {
+				fatal(err)
+			}
+			record(flowName, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := operon.Run(md, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			mc := cfg
+			mc.SkipWDM = true
+			mres, err := operon.Run(md, mc)
+			if err != nil {
+				fatal(err)
+			}
+			sub, err := selection.NewInstance(mres.Nets[:megaILPNets], cfg.Lib)
+			if err != nil {
+				fatal(err)
+			}
+			var mNodes int
+			var mElapsed time.Duration
+			record(ilpName, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ir, err := selection.SolveILP(sub, selection.ILPOptions{
+						TimeLimit: 120 * time.Second, MaxNodes: *megaNodes,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					mNodes, mElapsed = ir.Nodes, ir.Elapsed
+				}
+			})
+			setNodesPerSec(mNodes, mElapsed)
+		}
+
+		// ECO: incremental re-synthesis. A session re-solve after a one-pin edit
+		// must beat the cold solve by >= 10x (the small-edit gate): only the
+		// touched group re-clusters, its nets regenerate candidates, and the
+		// untouched groups reuse clustering, trees, and candidate sets verbatim.
+		// The pin alternates between two positions so every iteration dirties
+		// exactly one group and the allocation profile is steady. WDM is skipped
+		// on both sides so the gate compares the incremental stages, not the
+		// (reused-anyway) placement.
+		ecoD := mustDesign("I3")
+		ecoCfg := cfg
+		ecoCfg.SkipWDM = true
+		ecoCold := record("ECO/Cold/I3", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				ir, err := selection.SolveILP(sub, selection.ILPOptions{
-					TimeLimit: 120 * time.Second, MaxNodes: *megaNodes,
-				})
-				if err != nil {
+				if _, err := operon.Run(ecoD, ecoCfg); err != nil {
 					b.Fatal(err)
 				}
-				mNodes, mElapsed = ir.Nodes, ir.Elapsed
 			}
 		})
-		setNodesPerSec(mNodes, mElapsed)
-	}
-
-	// ECO: incremental re-synthesis. A session re-solve after a one-pin edit
-	// must beat the cold solve by >= 10x (the small-edit gate): only the
-	// touched group re-clusters, its nets regenerate candidates, and the
-	// untouched groups reuse clustering, trees, and candidate sets verbatim.
-	// The pin alternates between two positions so every iteration dirties
-	// exactly one group and the allocation profile is steady. WDM is skipped
-	// on both sides so the gate compares the incremental stages, not the
-	// (reused-anyway) placement.
-	ecoD := mustDesign("I3")
-	ecoCfg := cfg
-	ecoCfg.SkipWDM = true
-	ecoCold := record("ECO/Cold/I3", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := operon.Run(ecoD, ecoCfg); err != nil {
-				b.Fatal(err)
-			}
+		ecoP0 := ecoD.Groups[0].Bits[0].Driver
+		ecoP1 := ecoP0
+		ecoP1.X += 0.01
+		sess := operon.NewSession(ecoD, ecoCfg)
+		if _, _, err := sess.Resolve(context.Background()); err != nil {
+			fatal(err)
 		}
-	})
-	ecoP0 := ecoD.Groups[0].Bits[0].Driver
-	ecoP1 := ecoP0
-	ecoP1.X += 0.01
-	sess := operon.NewSession(ecoD, ecoCfg)
-	if _, _, err := sess.Resolve(context.Background()); err != nil {
-		fatal(err)
-	}
-	ecoToggle := false
-	ecoSmall := record("ECO/SmallEdit/I3", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			p := ecoP0
-			if !ecoToggle {
-				p = ecoP1
+		ecoToggle := false
+		ecoSmall := record("ECO/SmallEdit/I3", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := ecoP0
+				if !ecoToggle {
+					p = ecoP1
+				}
+				ecoToggle = !ecoToggle
+				if _, err := sess.Apply(operon.MoveTerminal(0, 0, -1, p)); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := sess.Resolve(context.Background()); err != nil {
+					b.Fatal(err)
+				}
 			}
-			ecoToggle = !ecoToggle
-			if _, err := sess.Apply(operon.MoveTerminal(0, 0, -1, p)); err != nil {
-				b.Fatal(err)
-			}
-			if _, _, err := sess.Resolve(context.Background()); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	speedup(&rep, "eco small-edit resolve vs cold", ecoCold.NsPerOp, ecoSmall.NsPerOp)
-	if !*quick && ecoSmall.NsPerOp > 0 && ecoCold.NsPerOp/ecoSmall.NsPerOp < 10 {
-		fatal(fmt.Errorf("ECO small-edit speedup %.1fx is below the 10x gate (cold %.0f ns/op, resolve %.0f ns/op)",
-			ecoCold.NsPerOp/ecoSmall.NsPerOp, ecoCold.NsPerOp, ecoSmall.NsPerOp))
-	}
-
-	// The same one-pin edit through the full pipeline (WDM on) and an edit
-	// touching every group — both informational, no gate: the first shows
-	// what the end-to-end interactive latency looks like, the second bounds
-	// the worst case (a resolve that reuses nothing still must not be slower
-	// than cold by more than the dirty-tracking overhead).
-	sessFull := operon.NewSession(ecoD, cfg)
-	if _, _, err := sessFull.Resolve(context.Background()); err != nil {
-		fatal(err)
-	}
-	fullToggle := false
-	record("ECO/SmallEditFullPipeline/I3", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			p := ecoP0
-			if !fullToggle {
-				p = ecoP1
-			}
-			fullToggle = !fullToggle
-			if _, err := sessFull.Apply(operon.MoveTerminal(0, 0, -1, p)); err != nil {
-				b.Fatal(err)
-			}
-			if _, _, err := sessFull.Resolve(context.Background()); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	sessAll := operon.NewSession(ecoD, ecoCfg)
-	if _, _, err := sessAll.Resolve(context.Background()); err != nil {
-		fatal(err)
-	}
-	allToggle := false
-	record("ECO/AllGroups/I3", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			dx := 0.01
-			if allToggle {
-				dx = 0
-			}
-			allToggle = !allToggle
-			edits := make([]operon.Edit, len(ecoD.Groups))
-			for gi := range ecoD.Groups {
-				p := ecoD.Groups[gi].Bits[0].Driver
-				p.X += dx
-				edits[gi] = operon.MoveTerminal(gi, 0, -1, p)
-			}
-			if _, err := sessAll.Apply(edits...); err != nil {
-				b.Fatal(err)
-			}
-			if _, _, err := sessAll.Resolve(context.Background()); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-
-	// One untimed instrumented pass over the deterministic solver workloads
-	// embeds the behaviour counters in the report. The Nop sink keeps the
-	// pass cheap: only the atomic counters accumulate.
-	tracer := obs.New(nil)
-	if _, err := selection.SolveILP(ilpInst, selection.ILPOptions{
-		TimeLimit: 60 * time.Second, Obs: tracer,
-	}); err != nil {
-		fatal(err)
-	}
-	wcfgObs := wcfg
-	wcfgObs.Obs = tracer
-	if _, _, _, err := wdm.Run(conns, wcfgObs); err != nil {
-		fatal(err)
-	}
-	// The BPM cache is process-global; fold in the traffic the Fig-3(b)
-	// benchmarks generated (hit count scales with -test.benchtime, the miss
-	// count with the distinct configurations exercised).
-	hits, misses := bpm.CacheCounters()
-	tracer.Counter("bpm.cache_hits").Add(hits)
-	tracer.Counter("bpm.cache_misses").Add(misses)
-	rep.Counters = tracer.Snapshot()
-
-	// One untimed instrumented session pass (cold solve + one-pin edit +
-	// resolve) embeds the ws.session.* reuse counters. It runs on its own
-	// tracer and only those counters are folded in: the resolve also bumps
-	// lp.pivots & co., which must stay comparable with committed baselines.
-	ecoTracer := obs.New(nil)
-	ecoObsCfg := ecoCfg
-	ecoObsCfg.Obs = ecoTracer
-	es := operon.NewSession(ecoD, ecoObsCfg)
-	if _, _, err := es.Resolve(context.Background()); err != nil {
-		fatal(err)
-	}
-	if _, err := es.Apply(operon.MoveTerminal(0, 0, -1, ecoP1)); err != nil {
-		fatal(err)
-	}
-	if _, _, err := es.Resolve(context.Background()); err != nil {
-		fatal(err)
-	}
-	for _, c := range ecoTracer.Snapshot() {
-		if strings.HasPrefix(c.Name, "ws.session.") {
-			rep.Counters = append(rep.Counters, c)
-		}
-	}
-	sort.Slice(rep.Counters, func(i, j int) bool { return rep.Counters[i].Name < rep.Counters[j].Name })
-
-	// One more untimed instrumented flow run fills the per-stage latency
-	// histograms. It runs on its own tracer: folding it into the counter
-	// tracer above would shift lp.pivots & co. and break counter
-	// comparability with committed baselines.
-	histTracer := obs.New(nil)
-	hcfg := cfg
-	hcfg.Obs = histTracer
-	if _, err := operon.Run(d, hcfg); err != nil {
-		fatal(err)
-	}
-	const msPerNs = 1e-6
-	for _, h := range histTracer.HistogramSnapshots() {
-		rep.Histograms = append(rep.Histograms, HistEntry{
-			Name:  h.Name,
-			Count: h.Count,
-			P50MS: h.Quantile(0.50) * msPerNs,
-			P90MS: h.Quantile(0.90) * msPerNs,
-			P99MS: h.Quantile(0.99) * msPerNs,
 		})
+		speedup(&rep, "eco small-edit resolve vs cold", ecoCold.NsPerOp, ecoSmall.NsPerOp)
+		if !*quick && ecoSmall.NsPerOp > 0 && ecoCold.NsPerOp/ecoSmall.NsPerOp < 10 {
+			fatal(fmt.Errorf("ECO small-edit speedup %.1fx is below the 10x gate (cold %.0f ns/op, resolve %.0f ns/op)",
+				ecoCold.NsPerOp/ecoSmall.NsPerOp, ecoCold.NsPerOp, ecoSmall.NsPerOp))
+		}
+
+		// The same one-pin edit through the full pipeline (WDM on) and an edit
+		// touching every group — both informational, no gate: the first shows
+		// what the end-to-end interactive latency looks like, the second bounds
+		// the worst case (a resolve that reuses nothing still must not be slower
+		// than cold by more than the dirty-tracking overhead).
+		sessFull := operon.NewSession(ecoD, cfg)
+		if _, _, err := sessFull.Resolve(context.Background()); err != nil {
+			fatal(err)
+		}
+		fullToggle := false
+		record("ECO/SmallEditFullPipeline/I3", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := ecoP0
+				if !fullToggle {
+					p = ecoP1
+				}
+				fullToggle = !fullToggle
+				if _, err := sessFull.Apply(operon.MoveTerminal(0, 0, -1, p)); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := sessFull.Resolve(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		sessAll := operon.NewSession(ecoD, ecoCfg)
+		if _, _, err := sessAll.Resolve(context.Background()); err != nil {
+			fatal(err)
+		}
+		allToggle := false
+		record("ECO/AllGroups/I3", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dx := 0.01
+				if allToggle {
+					dx = 0
+				}
+				allToggle = !allToggle
+				edits := make([]operon.Edit, len(ecoD.Groups))
+				for gi := range ecoD.Groups {
+					p := ecoD.Groups[gi].Bits[0].Driver
+					p.X += dx
+					edits[gi] = operon.MoveTerminal(gi, 0, -1, p)
+				}
+				if _, err := sessAll.Apply(edits...); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := sessAll.Resolve(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		// One untimed instrumented pass over the deterministic solver workloads
+		// embeds the behaviour counters in the report. The Nop sink keeps the
+		// pass cheap: only the atomic counters accumulate.
+		tracer := obs.New(nil)
+		if _, err := selection.SolveILP(ilpInst, selection.ILPOptions{
+			TimeLimit: 60 * time.Second, Obs: tracer,
+		}); err != nil {
+			fatal(err)
+		}
+		wcfgObs := wcfg
+		wcfgObs.Obs = tracer
+		if _, _, _, err := wdm.Run(conns, wcfgObs); err != nil {
+			fatal(err)
+		}
+		// The BPM cache is process-global; fold in the traffic the Fig-3(b)
+		// benchmarks generated (hit count scales with -test.benchtime, the miss
+		// count with the distinct configurations exercised).
+		hits, misses := bpm.CacheCounters()
+		tracer.Counter("bpm.cache_hits").Add(hits)
+		tracer.Counter("bpm.cache_misses").Add(misses)
+		rep.Counters = tracer.Snapshot()
+
+		// One untimed instrumented session pass (cold solve + one-pin edit +
+		// resolve) embeds the ws.session.* reuse counters. It runs on its own
+		// tracer and only those counters are folded in: the resolve also bumps
+		// lp.pivots & co., which must stay comparable with committed baselines.
+		ecoTracer := obs.New(nil)
+		ecoObsCfg := ecoCfg
+		ecoObsCfg.Obs = ecoTracer
+		es := operon.NewSession(ecoD, ecoObsCfg)
+		if _, _, err := es.Resolve(context.Background()); err != nil {
+			fatal(err)
+		}
+		if _, err := es.Apply(operon.MoveTerminal(0, 0, -1, ecoP1)); err != nil {
+			fatal(err)
+		}
+		if _, _, err := es.Resolve(context.Background()); err != nil {
+			fatal(err)
+		}
+		for _, c := range ecoTracer.Snapshot() {
+			if strings.HasPrefix(c.Name, "ws.session.") {
+				rep.Counters = append(rep.Counters, c)
+			}
+		}
+		sort.Slice(rep.Counters, func(i, j int) bool { return rep.Counters[i].Name < rep.Counters[j].Name })
+
+		// One more untimed instrumented flow run fills the per-stage latency
+		// histograms. It runs on its own tracer: folding it into the counter
+		// tracer above would shift lp.pivots & co. and break counter
+		// comparability with committed baselines.
+		histTracer := obs.New(nil)
+		hcfg := cfg
+		hcfg.Obs = histTracer
+		if _, err := operon.Run(d, hcfg); err != nil {
+			fatal(err)
+		}
+		const msPerNs = 1e-6
+		for _, h := range histTracer.HistogramSnapshots() {
+			rep.Histograms = append(rep.Histograms, HistEntry{
+				Name:  h.Name,
+				Count: h.Count,
+				P50MS: h.Quantile(0.50) * msPerNs,
+				P90MS: h.Quantile(0.90) * msPerNs,
+				P99MS: h.Quantile(0.99) * msPerNs,
+			})
+		}
+
+		// Serve/CoalesceHot: an identical /solve request answered from the
+		// content-addressed result cache through the full HTTP handler path
+		// (decode, fingerprint, cache lookup, encode) — the serving-stack
+		// overhead a deduplicated request costs. The first request warms the
+		// cache; the speedup relates it to the sequential cold flow above.
+		ssrv := serve.New(serve.Options{
+			Config: cfg, QueueLen: 4, Concurrency: 1, DefaultTimeout: time.Minute,
+		})
+		handler := ssrv.Handler()
+		hotBody := []byte(fmt.Sprintf(`{"bench":%q,"timeout_ms":60000}`, *caseName))
+		hotPost := func() int {
+			req := httptest.NewRequest(http.MethodPost, "/solve", bytes.NewReader(hotBody))
+			req.Header.Set("Content-Type", "application/json")
+			w := httptest.NewRecorder()
+			handler.ServeHTTP(w, req)
+			return w.Code
+		}
+		if code := hotPost(); code != http.StatusOK {
+			fatal(fmt.Errorf("serve warm-up solve returned status %d", code))
+		}
+		hot := record("Serve/CoalesceHot", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if code := hotPost(); code != http.StatusOK {
+					b.Fatalf("cache-hit request returned status %d", code)
+				}
+			}
+		})
+		ssrv.Abort()
+		ssrv.Shutdown()
+		speedup(&rep, "serve cache-hit vs cold solve", seq.NsPerOp, hot.NsPerOp)
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -703,6 +761,31 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d benchmarks, %d CPUs)\n", path, len(rep.Benchmarks), rep.CPUs)
+
+	// The parallel-speedup gate: on a multicore runner the worker-pool paths
+	// must actually be faster than their sequential twins. A single-core
+	// runner cannot measure this (the pairs land in SpeedupsNA), so the gate
+	// skips there with a notice instead of passing vacuously silent.
+	if *minPar > 0 {
+		if rep.GoMaxProcs <= 1 {
+			fmt.Fprintln(os.Stderr, "bench: -min-par-speedup skipped: GOMAXPROCS=1, parallel speedups are not measurable here")
+			return
+		}
+		for _, name := range []string{
+			"operon-lr workersN vs workers1",
+			"lr-pricing workersN vs workers1",
+			"ilp workers4 vs workers1",
+		} {
+			s, measured := rep.Speedups[name]
+			if !measured {
+				fatal(fmt.Errorf("parallel speedup gate: %q was not measured", name))
+			}
+			if s < *minPar {
+				fatal(fmt.Errorf("parallel speedup gate: %s = %.2fx < %.2fx required", name, s, *minPar))
+			}
+		}
+		fmt.Printf("parallel speedup gate ok (>= %.2fx on %d procs)\n", *minPar, rep.GoMaxProcs)
+	}
 }
 
 func mustDesign(name string) signal.Design {

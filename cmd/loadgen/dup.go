@@ -1,0 +1,316 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"operon/internal/obs"
+	"operon/internal/serve"
+)
+
+// The dup mix replays the duplicate-heavy traffic shape of a design-space
+// sweep: a small set of distinct instances (benchmark × mode × WDM toggle)
+// is hammered with hot-key skew, as singles and as /solve/batch arrays, all
+// under generous budgets so every result is cacheable. The server-side
+// efficiency win is read off the /metrics.json counters (solves actually
+// run vs items issued), and every response is differentially checked
+// against the first response of its key — dedup must be invisible in the
+// payload, bit for bit.
+
+// dupKey is one distinct instance of the dup mix.
+type dupKey struct {
+	bench   string
+	mode    string
+	skipWDM bool
+	weight  float64 // hot-key skew: key 0 dominates
+}
+
+// dupKeys returns the mix's distinct instances. Budgets are uniform and
+// generous (nothing may degrade: degraded results are timing artifacts,
+// not cacheable, and not comparable).
+func dupKeys() []dupKey {
+	return []dupKey{
+		{bench: "I1", mode: "lr", skipWDM: false, weight: 0.40},
+		{bench: "I1", mode: "greedy", skipWDM: false, weight: 0.20},
+		{bench: "I1", mode: "lr", skipWDM: true, weight: 0.12},
+		{bench: "I1", mode: "greedy", skipWDM: true, weight: 0.10},
+		{bench: "I2", mode: "lr", skipWDM: false, weight: 0.10},
+		{bench: "I2", mode: "greedy", skipWDM: false, weight: 0.08},
+	}
+}
+
+// dupSemantics is the content-determined part of a solve response — the
+// fields that must be bit-identical across cold, coalesced, and cached
+// answers of one key.
+type dupSemantics struct {
+	Design     string
+	Flow       string
+	PowerMW    float64
+	Violations int
+	HyperNets  int
+	WDMsUsed   int
+}
+
+// semanticsOf projects a response onto its comparable core.
+func semanticsOf(sr *serve.SolveResponse) dupSemantics {
+	return dupSemantics{
+		Design: sr.Design, Flow: sr.Flow, PowerMW: sr.PowerMW,
+		Violations: sr.Violations, HyperNets: sr.HyperNets, WDMsUsed: sr.WDMsUsed,
+	}
+}
+
+// fetchCounters snapshots the server's counter map from /metrics.json.
+func fetchCounters(base string) (map[string]int64, error) {
+	resp, err := http.Get(base + "/metrics.json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("decode /metrics.json: %w", err)
+	}
+	out := make(map[string]int64, len(snap.Counters))
+	for _, c := range snap.Counters {
+		out[c.Name] = c.Value
+	}
+	return out, nil
+}
+
+// replayDup drives the duplicate-heavy mix against base: n dispatches with
+// client-side concurrency, every seventh dispatch a 6-item /solve/batch
+// drawn from the same skewed key distribution. The returned report carries
+// the Dedup block; a payload mismatch across duplicates of one key is a
+// hard error.
+func replayDup(base string, n, concurrency int, seed int64) (*Report, error) {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	keys := dupKeys()
+	before, err := fetchCounters(base)
+	if err != nil {
+		return nil, fmt.Errorf("counter snapshot before run: %w", err)
+	}
+
+	hist := obs.NewHistogram("client/dup", nil)
+	var items, ok, tooMany, errs, degraded, mismatches atomic.Int64
+
+	// Differential oracle: the first non-degraded response of each key is
+	// the reference every later duplicate must equal exactly.
+	var refMu sync.Mutex
+	refs := make([]*dupSemantics, len(keys))
+	checkResponse := func(ki int, sr *serve.SolveResponse) {
+		if sr.Degraded {
+			degraded.Add(1)
+			return
+		}
+		got := semanticsOf(sr)
+		refMu.Lock()
+		defer refMu.Unlock()
+		if refs[ki] == nil {
+			refs[ki] = &got
+			return
+		}
+		if *refs[ki] != got {
+			mismatches.Add(1)
+		}
+	}
+
+	reqOf := func(ki int) serve.SolveRequest {
+		k := keys[ki]
+		return serve.SolveRequest{
+			Bench: k.bench, Mode: k.mode, SkipWDM: k.skipWDM, TimeoutMS: 60_000,
+		}
+	}
+
+	// dispatch is one scheduled unit: a single /solve key or a batch of
+	// keys for /solve/batch.
+	type dispatch struct {
+		single  int
+		batch   []int
+		delayMS int
+	}
+	rng := rand.New(rand.NewSource(seed))
+	total := 0.0
+	for _, k := range keys {
+		total += k.weight
+	}
+	pickKey := func() int {
+		pick := rng.Float64() * total
+		for i, k := range keys {
+			if pick < k.weight {
+				return i
+			}
+			pick -= k.weight
+		}
+		return len(keys) - 1
+	}
+	var schedule []dispatch
+	burstLeft := 0
+	for i := 0; i < n; i++ {
+		delay := 0
+		if burstLeft == 0 {
+			burstLeft = 2 + rng.Intn(6)
+			if i > 0 {
+				delay = 5 + rng.Intn(16)
+			}
+		}
+		burstLeft--
+		if i%7 == 6 {
+			b := make([]int, 6)
+			for j := range b {
+				b[j] = pickKey()
+			}
+			schedule = append(schedule, dispatch{single: -1, batch: b, delayMS: delay})
+			items.Add(6)
+			continue
+		}
+		schedule = append(schedule, dispatch{single: pickKey(), delayMS: delay})
+		items.Add(1)
+	}
+
+	work := make(chan dispatch)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d := range work {
+				start := time.Now()
+				if d.single >= 0 {
+					body, _ := json.Marshal(reqOf(d.single))
+					resp, err := http.Post(base+"/solve", "application/json", bytes.NewReader(body))
+					if err != nil {
+						errs.Add(1)
+						continue
+					}
+					switch resp.StatusCode {
+					case http.StatusOK:
+						hist.RecordDuration(time.Since(start))
+						ok.Add(1)
+						var sr serve.SolveResponse
+						if json.NewDecoder(resp.Body).Decode(&sr) == nil {
+							checkResponse(d.single, &sr)
+						}
+					case http.StatusTooManyRequests:
+						tooMany.Add(1)
+					default:
+						errs.Add(1)
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					continue
+				}
+				reqs := make([]serve.SolveRequest, len(d.batch))
+				for j, ki := range d.batch {
+					reqs[j] = reqOf(ki)
+				}
+				body, _ := json.Marshal(reqs)
+				resp, err := http.Post(base+"/solve/batch", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs.Add(int64(len(d.batch)))
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(int64(len(d.batch)))
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					continue
+				}
+				hist.RecordDuration(time.Since(start))
+				var br serve.BatchResponse
+				if err := json.NewDecoder(resp.Body).Decode(&br); err != nil || len(br.Results) != len(d.batch) {
+					errs.Add(int64(len(d.batch)))
+					resp.Body.Close()
+					continue
+				}
+				resp.Body.Close()
+				for j, item := range br.Results {
+					if item.Error != "" {
+						errs.Add(1)
+						continue
+					}
+					ok.Add(1)
+					sr := item.SolveResponse
+					checkResponse(d.batch[j], &sr)
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	for _, d := range schedule {
+		if d.delayMS > 0 {
+			time.Sleep(time.Duration(d.delayMS) * time.Millisecond)
+		}
+		work <- d
+	}
+	close(work)
+	wg.Wait()
+	dur := time.Since(start)
+
+	after, err := fetchCounters(base)
+	if err != nil {
+		return nil, fmt.Errorf("counter snapshot after run: %w", err)
+	}
+	delta := func(name string) int64 { return after[name] - before[name] }
+
+	snap := hist.Snapshot()
+	const ms = 1e6 // histogram values are nanoseconds
+	it := items.Load()
+	rep := &Report{
+		Requests:      int(it),
+		Concurrency:   concurrency,
+		DurationS:     dur.Seconds(),
+		ThroughputRPS: float64(it) / dur.Seconds(),
+		Counts: ReportCounts{
+			OK: ok.Load(), TooMany: tooMany.Load(),
+			Errors: errs.Load(), Degraded: degraded.Load(),
+		},
+		LatencyMS: LatencyMS{
+			P50:  snap.Quantile(0.50) / ms,
+			P95:  snap.Quantile(0.95) / ms,
+			P99:  snap.Quantile(0.99) / ms,
+			Mean: snap.Mean() / ms,
+		},
+	}
+	if it > 0 {
+		rep.Rates = ReportRates{
+			Error:    float64(rep.Counts.Errors) / float64(it),
+			TooMany:  float64(rep.Counts.TooMany) / float64(it),
+			Degraded: float64(rep.Counts.Degraded) / float64(it),
+		}
+	}
+	ded := &DedupStats{
+		Items:         it,
+		UniqueKeys:    len(keys),
+		DupRatio:      float64(it) / float64(len(keys)),
+		SolvesRun:     delta("http.solves_run"),
+		CacheHits:     delta("http.cache_hits"),
+		CoalesceJoins: delta("http.coalesce_joins"),
+		Mismatches:    mismatches.Load(),
+	}
+	if ded.SolvesRun > 0 {
+		ded.EffectiveReduction = float64(it) / float64(ded.SolvesRun)
+	}
+	rep.Dedup = ded
+	if ded.Mismatches > 0 {
+		return rep, fmt.Errorf("dup mix: %d duplicate responses differed from their key's reference payload", ded.Mismatches)
+	}
+	if rep.Counts.OK == 0 {
+		return rep, fmt.Errorf("dup mix: no successful requests (%d errors)", rep.Counts.Errors)
+	}
+	return rep, nil
+}

@@ -92,26 +92,50 @@ func TestCompareSLO(t *testing.T) {
 	if v := compareSLO(base, dead, slo); len(v) == 0 {
 		t.Error("all-failed run passed the gate")
 	}
+
+	// Dedup gating: a mismatch always fails, a reduction collapse below
+	// half the baseline fails, jitter above that floor passes.
+	dbase := &Report{Counts: ReportCounts{OK: 50}, Dedup: &DedupStats{EffectiveReduction: 10}}
+	for _, tc := range []struct {
+		name string
+		ded  DedupStats
+		want int
+	}{
+		{"jitter ok", DedupStats{EffectiveReduction: 6}, 0},
+		{"collapse", DedupStats{EffectiveReduction: 4}, 1},
+		{"mismatch", DedupStats{EffectiveReduction: 10, Mismatches: 2}, 1},
+	} {
+		ded := tc.ded
+		cur := &Report{Counts: ReportCounts{OK: 50}, Dedup: &ded}
+		if v := compareSLO(dbase, cur, slo); len(v) != tc.want {
+			t.Errorf("dedup gate %s: got %v, want %d violations", tc.name, v, tc.want)
+		}
+	}
 }
 
-// TestBaselineRoundTrip writes a report, rediscovers it as the newest
-// baseline, and reads it back intact.
+// TestBaselineRoundTrip writes reports, rediscovers the newest baseline of
+// each mix, and reads them back intact — a dup baseline must never be
+// picked up as a smoke baseline and vice versa.
 func TestBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	old := &Report{Mix: "smoke", LatencyMS: LatencyMS{P99: 1}}
 	cur := &Report{Mix: "smoke", LatencyMS: LatencyMS{P99: 2}}
+	dup := &Report{Mix: "dup", Dedup: &DedupStats{EffectiveReduction: 9}}
 	if err := writeReport(dir+"/LOAD_2026-01-01.json", old); err != nil {
 		t.Fatal(err)
 	}
 	if err := writeReport(dir+"/LOAD_2026-08-08.json", cur); err != nil {
 		t.Fatal(err)
 	}
-	path, err := newestBaseline(dir)
+	if err := writeReport(dir+"/LOAD_2026-09-09-dup.json", dup); err != nil {
+		t.Fatal(err)
+	}
+	path, err := newestBaseline(dir, "smoke")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if path != dir+"/LOAD_2026-08-08.json" {
-		t.Fatalf("newest baseline = %s", path)
+		t.Fatalf("newest smoke baseline = %s", path)
 	}
 	got, err := readReport(path)
 	if err != nil {
@@ -120,7 +144,24 @@ func TestBaselineRoundTrip(t *testing.T) {
 	if got.LatencyMS.P99 != 2 {
 		t.Fatalf("round-trip lost data: %+v", got)
 	}
-	if _, err := newestBaseline(t.TempDir()); err == nil {
+	dupPath, err := newestBaseline(dir, "dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dupPath != dir+"/LOAD_2026-09-09-dup.json" {
+		t.Fatalf("newest dup baseline = %s", dupPath)
+	}
+	dupGot, err := readReport(dupPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dupGot.Dedup == nil || dupGot.Dedup.EffectiveReduction != 9 {
+		t.Fatalf("dedup block lost in round trip: %+v", dupGot)
+	}
+	if _, err := newestBaseline(dir, "eco"); err == nil {
+		t.Error("missing mix produced a baseline")
+	}
+	if _, err := newestBaseline(t.TempDir(), "smoke"); err == nil {
 		t.Error("empty dir produced a baseline")
 	}
 }
@@ -159,5 +200,47 @@ func TestReplayEndToEnd(t *testing.T) {
 	}
 	if rep.ThroughputRPS <= 0 {
 		t.Errorf("throughput %f, want > 0", rep.ThroughputRPS)
+	}
+}
+
+// TestReplayDupEndToEnd replays the duplicate-heavy mix against the real
+// in-process stack and pins the acceptance criterion: at a 10:1 duplicate
+// ratio the server must run at least 5x fewer solves than items issued,
+// with zero payload mismatches across deduplicated responses (replayDup
+// errors on any mismatch).
+func TestReplayDupEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up the full serving stack")
+	}
+	base, shutdown, err := bootInProcess(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := replayDup(base, 60, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	d := rep.Dedup
+	if d == nil {
+		t.Fatal("dup run produced no dedup block")
+	}
+	if d.DupRatio < 10 {
+		t.Errorf("dup ratio %.1f:1, want >= 10:1", d.DupRatio)
+	}
+	if d.EffectiveReduction < 5 {
+		t.Errorf("effective solve reduction %.1fx, want >= 5x (solves_run=%d of %d items)",
+			d.EffectiveReduction, d.SolvesRun, d.Items)
+	}
+	if d.Mismatches != 0 {
+		t.Errorf("%d payload mismatches, want 0", d.Mismatches)
+	}
+	if d.CacheHits+d.CoalesceJoins == 0 {
+		t.Error("neither cache hits nor coalesce joins recorded")
+	}
+	if rep.Counts.Errors != 0 {
+		t.Errorf("dup mix produced %d errors, want 0", rep.Counts.Errors)
 	}
 }

@@ -9,9 +9,14 @@
 // kind: it replays the interactive editing workload — concurrent sticky
 // sessions each looping POST /sessions/{id}/edit with deterministic
 // one-pin moves (and periodic empty-script full-reuse probes), exercising
-// the incremental re-synthesis path end to end. The target is either a
-// remote operond (-url) or a full in-process serving stack — the real
-// internal/serve Server on an ephemeral listener — so CI needs no daemon.
+// the incremental re-synthesis path end to end. The dup mix replays a
+// duplicate-heavy sweep — six distinct instances hammered with hot-key
+// skew as singles and /solve/batch arrays — and reports the server-side
+// dedup win (effective solves per request from /metrics.json counter
+// deltas) while differentially checking that deduplicated responses stay
+// bit-identical. The target is either a remote operond (-url) or a full
+// in-process serving stack — the real internal/serve Server on an
+// ephemeral listener — so CI needs no daemon.
 //
 // After the run, loadgen reports client-observed p50/p95/p99 latency,
 // throughput, and error/429/degraded rates, writes them to LOAD_<date>.json
@@ -49,7 +54,7 @@ func main() {
 
 	var (
 		url         = flag.String("url", "", "target operond base URL (empty = boot an in-process server)")
-		mix         = flag.String("mix", "smoke", "request mix: smoke, soak, hopeless or eco (sticky-session edit loop)")
+		mix         = flag.String("mix", "smoke", "request mix: smoke, soak, hopeless, eco (sticky-session edit loop) or dup (duplicate-heavy single+batch traffic)")
 		requests    = flag.Int("requests", 60, "total requests to replay")
 		concurrency = flag.Int("concurrency", 4, "client connections issuing requests")
 		seed        = flag.Int64("seed", 1, "mix generator seed")
@@ -63,6 +68,8 @@ func main() {
 		noWrite     = flag.Bool("no-write", false, "skip writing the report file")
 		sessions    = flag.Int("sessions", 4, "concurrent sticky sessions (eco mix only)")
 		maxErrors   = flag.Int("max-errors", -1, "exit non-zero when errors exceed this count (-1 = off)")
+		minReduce   = flag.Float64("min-reduction", 0, "exit non-zero when the dup mix's effective solve reduction falls below this factor (0 = off)")
+		minHits     = flag.Int64("min-cache-hits", 0, "exit non-zero when the dup mix sees fewer cache hits than this (0 = off)")
 	)
 	flag.Parse()
 
@@ -78,9 +85,12 @@ func main() {
 
 	var rep *Report
 	var err error
-	if *mix == "eco" {
+	switch *mix {
+	case "eco":
 		rep, err = replayEco(base, *requests, *sessions, *seed)
-	} else {
+	case "dup":
+		rep, err = replayDup(base, *requests, *concurrency, *seed)
+	default:
 		rep, err = replay(base, genRequests(*mix, *requests, *seed), *concurrency)
 	}
 	if err != nil {
@@ -101,11 +111,24 @@ func main() {
 	if *maxErrors >= 0 && rep.Counts.Errors > int64(*maxErrors) {
 		log.Fatalf("error gate: %d errors > %d allowed", rep.Counts.Errors, *maxErrors)
 	}
+	if d := rep.Dedup; d != nil {
+		if *minReduce > 0 && d.EffectiveReduction < *minReduce {
+			log.Fatalf("dedup gate: effective solve reduction %.1fx < %.1fx required", d.EffectiveReduction, *minReduce)
+		}
+		if *minHits > 0 && d.CacheHits < *minHits {
+			log.Fatalf("dedup gate: %d cache hits < %d required", d.CacheHits, *minHits)
+		}
+	}
 
 	if !*noWrite {
 		path := *out
 		if path == "" {
+			// The smoke mix keeps the historical unsuffixed name so old
+			// baselines stay comparable; other mixes are suffixed.
 			path = fmt.Sprintf("LOAD_%s.json", time.Now().UTC().Format("2006-01-02"))
+			if *mix != "smoke" {
+				path = fmt.Sprintf("LOAD_%s-%s.json", time.Now().UTC().Format("2006-01-02"), *mix)
+			}
 		}
 		if err := writeReport(path, rep); err != nil {
 			log.Fatal(err)
@@ -116,7 +139,7 @@ func main() {
 	if *check {
 		basePath := *baseline
 		if basePath == "" {
-			basePath, err = newestBaseline(".")
+			basePath, err = newestBaseline(".", rep.Mix)
 			if err != nil {
 				log.Fatal(err)
 			}

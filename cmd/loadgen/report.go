@@ -39,6 +39,35 @@ type Report struct {
 	// LatencyMS summarises client-observed /solve wall clock over the
 	// successful (200) requests only.
 	LatencyMS LatencyMS `json:"latency_ms"`
+	// Dedup is the server-side deduplication accounting of the dup mix
+	// (nil for the other mixes). Requests counts items there: batch
+	// dispatches contribute one item per array element.
+	Dedup *DedupStats `json:"dedup,omitempty"`
+}
+
+// DedupStats quantifies how much work content-addressed coalescing, the
+// result cache, and within-batch dedup saved during a dup-mix run. The
+// solver-side numbers are /metrics.json counter deltas taken around the
+// replay, so they measure what the server actually did, not what the
+// client believes happened.
+type DedupStats struct {
+	// Items is the solve-item count issued (singles + batch elements);
+	// UniqueKeys the distinct instances in the mix; DupRatio their ratio.
+	Items      int64   `json:"items"`
+	UniqueKeys int     `json:"unique_keys"`
+	DupRatio   float64 `json:"dup_ratio"`
+	// SolvesRun is the http.solves_run delta: solves that actually
+	// executed. CacheHits and CoalesceJoins are the matching counter
+	// deltas for items answered without running a solve.
+	SolvesRun     int64 `json:"solves_run"`
+	CacheHits     int64 `json:"cache_hits"`
+	CoalesceJoins int64 `json:"coalesce_joins"`
+	// EffectiveReduction is Items/SolvesRun — how many requests each
+	// executed solve served on average.
+	EffectiveReduction float64 `json:"effective_reduction"`
+	// Mismatches counts duplicate responses whose semantic payload
+	// differed from their key's reference — must be zero.
+	Mismatches int64 `json:"mismatches"`
 }
 
 // ReportCounts are the absolute outcome tallies of a run.
@@ -164,6 +193,12 @@ func printReport(w io.Writer, r *Report) {
 		100*r.Rates.Error, 100*r.Rates.TooMany, 100*r.Rates.Degraded)
 	fmt.Fprintf(w, "  latency_ms  p50=%.1f p95=%.1f p99=%.1f mean=%.1f\n",
 		r.LatencyMS.P50, r.LatencyMS.P95, r.LatencyMS.P99, r.LatencyMS.Mean)
+	if d := r.Dedup; d != nil {
+		fmt.Fprintf(w, "  dedup       items=%d unique=%d (%.1f:1) solves_run=%d cache_hits=%d joins=%d\n",
+			d.Items, d.UniqueKeys, d.DupRatio, d.SolvesRun, d.CacheHits, d.CoalesceJoins)
+		fmt.Fprintf(w, "  dedup       effective reduction %.1fx, mismatches=%d\n",
+			d.EffectiveReduction, d.Mismatches)
+	}
 }
 
 // writeReport marshals the report to path.
@@ -189,18 +224,26 @@ func readReport(path string) (*Report, error) {
 }
 
 // newestBaseline finds the lexicographically newest committed LOAD_*.json
-// in dir — the date-stamped naming makes lexicographic and chronological
-// order agree.
-func newestBaseline(dir string) (string, error) {
+// in dir whose recorded mix matches — the date-stamped naming makes
+// lexicographic and chronological order agree, and filtering by mix keeps
+// a dup baseline from gating a smoke run (their latency profiles differ by
+// construction). Unreadable candidates are skipped.
+func newestBaseline(dir, mix string) (string, error) {
 	matches, err := filepath.Glob(filepath.Join(dir, "LOAD_*.json"))
 	if err != nil {
 		return "", err
 	}
-	if len(matches) == 0 {
-		return "", fmt.Errorf("no LOAD_*.json baseline found in %s", dir)
-	}
 	sort.Strings(matches)
-	return matches[len(matches)-1], nil
+	for i := len(matches) - 1; i >= 0; i-- {
+		r, err := readReport(matches[i])
+		if err != nil {
+			continue
+		}
+		if r.Mix == mix {
+			return matches[i], nil
+		}
+	}
+	return "", fmt.Errorf("no LOAD_*.json baseline for mix %q found in %s", mix, dir)
 }
 
 // SLO are the regression thresholds of the gate. They are deliberately
@@ -240,6 +283,19 @@ func compareSLO(base, cur *Report, slo SLO) []string {
 	if allowed := base.Rates.Error + slo.ErrorPP/100; cur.Rates.Error > allowed {
 		v = append(v, fmt.Sprintf("error rate %.2f%% > %.2f%% (baseline %.2f%% + %gpp)",
 			100*cur.Rates.Error, 100*allowed, 100*base.Rates.Error, slo.ErrorPP))
+	}
+	// Dedup regressions (dup mix only): correctness is absolute, the
+	// hit-rate gate allows half the baseline's reduction before failing —
+	// scheduling jitter moves the cache/coalesce split between runs, but a
+	// 2x collapse means dedup stopped working.
+	if base.Dedup != nil && cur.Dedup != nil {
+		if cur.Dedup.Mismatches > 0 {
+			v = append(v, fmt.Sprintf("dedup payload mismatches: %d (must be 0)", cur.Dedup.Mismatches))
+		}
+		if floor := base.Dedup.EffectiveReduction / 2; cur.Dedup.EffectiveReduction < floor {
+			v = append(v, fmt.Sprintf("effective solve reduction %.1fx < %.1fx (half of baseline %.1fx)",
+				cur.Dedup.EffectiveReduction, floor, base.Dedup.EffectiveReduction))
+		}
 	}
 	return v
 }

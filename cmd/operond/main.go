@@ -8,6 +8,12 @@
 // in-flight solves, which return their degraded results to any waiting
 // clients before the listener drains.
 //
+// Identical requests are deduplicated by content fingerprint
+// (operon.Fingerprint): concurrent duplicates coalesce onto one solve,
+// non-degraded results are cached (-cache-entries/-cache-ttl), and POST
+// /solve/batch deduplicates within an array — responses carry cached/
+// coalesced provenance and stay bit-identical to the solve they shadow.
+//
 // Telemetry: /metrics serves Prometheus text exposition (request and
 // per-stage latency histograms, serving gauges, solver counters),
 // /metrics.json the same snapshot as JSON; every request is logged as one
@@ -18,6 +24,7 @@
 //	operond -addr :8080 -queue 64 -concurrency 2
 //	curl -s localhost:8080/solve -d '{"bench":"I2","timeout_ms":2000}'
 //	curl -s localhost:8080/solve -d '{"bench":"I3","async":true}'
+//	curl -s localhost:8080/solve/batch -d '[{"bench":"I1"},{"bench":"I1"}]'
 //	curl -s localhost:8080/jobs/job-1
 //	curl -s localhost:8080/sessions -d '{"bench":"I3","skip_wdm":true}'
 //	curl -s localhost:8080/sessions/sess-1/edit -d '{"edits":[{"kind":"move","group":0,"bit":0,"sink":-1,"x":1.2,"y":0.8}]}'
@@ -63,6 +70,9 @@ func main() {
 		smoke       = flag.Bool("smoke", false, "self-test: solve one benchmark under a 1 ms budget in-process and exit")
 		sessionTTL  = flag.Duration("session-ttl", 10*time.Minute, "idle lifetime of sticky editing sessions before eviction")
 		maxSessions = flag.Int("max-sessions", 64, "cap on concurrent sticky sessions (LRU evicts past it)")
+		cacheSize   = flag.Int("cache-entries", 256, "content-addressed result cache capacity (0 disables caching)")
+		cacheTTL    = flag.Duration("cache-ttl", 5*time.Minute, "lifetime of cached solve results")
+		maxBody     = flag.Int64("max-body-bytes", 8<<20, "request body size cap; exceeding it returns 413 (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -72,6 +82,15 @@ func main() {
 	}
 	cfg := operon.DefaultConfig()
 	cfg.Workers = *workers
+	// The flags use 0 for "off"; Options uses 0 for "default" — translate.
+	cacheEntries := *cacheSize
+	if cacheEntries == 0 {
+		cacheEntries = -1
+	}
+	maxBodyBytes := *maxBody
+	if maxBodyBytes == 0 {
+		maxBodyBytes = -1
+	}
 	srv := serve.New(serve.Options{
 		Config:         cfg,
 		QueueLen:       *queueLen,
@@ -81,6 +100,9 @@ func main() {
 		Logger:         logger,
 		SessionTTL:     *sessionTTL,
 		MaxSessions:    *maxSessions,
+		CacheEntries:   cacheEntries,
+		CacheTTL:       *cacheTTL,
+		MaxBodyBytes:   maxBodyBytes,
 	})
 
 	if *smoke {

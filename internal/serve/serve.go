@@ -16,6 +16,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -74,6 +75,14 @@ type SolveResponse struct {
 	// worker picked it up.
 	QueueMS   float64 `json:"queue_ms"`
 	ElapsedMS float64 `json:"elapsed_ms"` // solve wall clock in milliseconds
+	// Cached marks a response served from the content-addressed result
+	// cache: no solve ran, ElapsedMS is the lookup time, and the payload is
+	// bit-identical to the solve that populated the entry.
+	Cached bool `json:"cached,omitempty"`
+	// Coalesced marks a response fanned out from another request's solve:
+	// this request joined an identical in-flight instance instead of
+	// queueing its own.
+	Coalesced bool `json:"coalesced,omitempty"`
 }
 
 // JobState is the lifecycle of a queued solve.
@@ -101,6 +110,14 @@ type Job struct {
 	timeout  time.Duration
 	enqueued time.Time
 	done     chan struct{}
+
+	// fp is the content address of the instance; dedup marks jobs tracked
+	// in the flight table (leaders). Shadow jobs (joiners) carry fp but are
+	// never flight leaders until promoted. failStatus, when non-zero, is
+	// the HTTP status a failure should map to (default 500).
+	fp         [32]byte
+	dedup      bool
+	failStatus int
 }
 
 // SolveFunc is the solver the job workers invoke; tests inject a stub here
@@ -133,6 +150,17 @@ type Options struct {
 	// MaxSessions caps concurrent sticky sessions; the least recently used
 	// session is evicted when a create exceeds it (0 = 64).
 	MaxSessions int
+	// CacheEntries bounds the content-addressed result cache (0 = 256,
+	// negative = caching disabled). Only non-degraded results are cached —
+	// they are bit-identical to an unbounded solve of the same instance, so
+	// the cache needs no invalidation.
+	CacheEntries int
+	// CacheTTL is the lifetime of a cached result (0 = 5 minutes).
+	CacheTTL time.Duration
+	// MaxBodyBytes caps request bodies on the decode paths (/solve,
+	// /solve/batch, session endpoints); exceeding it returns 413
+	// (0 = 8 MiB, negative = unlimited).
+	MaxBodyBytes int64
 }
 
 // Server is the operond HTTP state: a bounded job queue drained by a fixed
@@ -151,6 +179,10 @@ type Server struct {
 	hQueueWait *obs.Histogram // request/queue_wait: enqueue -> worker pickup
 	hSolve     *obs.Histogram // request/solve: solve wall clock
 	hE2E       *obs.Histogram // request/e2e: enqueue -> result published
+	hCacheHit  *obs.Histogram // request/cache_hit: fast-path lookup latency
+
+	maxBodyBytes int64
+	cache        *resultCache // nil when disabled
 
 	baseCtx  context.Context
 	cancel   context.CancelFunc
@@ -161,9 +193,10 @@ type Server struct {
 	draining atomic.Bool
 	reqSeq   atomic.Int64
 
-	mu   sync.Mutex
-	jobs map[string]*Job
-	seq  int
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	seq     int
+	flights map[[32]byte]*Job // in-flight leader per fingerprint
 
 	sessMu   sync.Mutex
 	sessions map[string]*session
@@ -200,11 +233,18 @@ func New(opts Options) *Server {
 		hQueueWait:     tracer.Histogram("request/queue_wait"),
 		hSolve:         tracer.Histogram("request/solve"),
 		hE2E:           tracer.Histogram("request/e2e"),
+		hCacheHit:      tracer.Histogram("request/cache_hit"),
+		maxBodyBytes:   opts.MaxBodyBytes,
+		cache:          newResultCache(opts.CacheEntries, opts.CacheTTL),
 		baseCtx:        ctx,
 		cancel:         cancel,
 		queue:          make(chan *Job, opts.QueueLen),
 		start:          time.Now(),
 		jobs:           map[string]*Job{},
+		flights:        map[[32]byte]*Job{},
+	}
+	if s.maxBodyBytes == 0 {
+		s.maxBodyBytes = 8 << 20
 	}
 	s.reg = newRegistry(s)
 	s.initSessions(opts)
@@ -279,6 +319,7 @@ func (s *Server) runJob(j *Job, ws *operon.Workspace) {
 	// default (discarding) sink only its attrs cost anything, and only
 	// nanoseconds.
 	sp := s.tracer.Span("request/solve", obs.LaneFlow, obs.S("request_id", j.reqID))
+	s.tracer.Counter("http.solves_run").Inc()
 	start := time.Now()
 	res, err := s.solve(ctx, j.design, j.cfg, ws)
 	solveDur := time.Since(start)
@@ -298,6 +339,7 @@ func (s *Server) runJob(j *Job, ws *operon.Workspace) {
 		sp.End(obs.S("error", err.Error()))
 		s.tracer.Counter("http.solve_errors").Inc()
 		s.setState(j, JobFailed, nil, err.Error())
+		s.releaseFlight(j)
 		s.log.Error("solve failed", append(logAttrs, "error", err.Error())...)
 	} else {
 		sp.End(obs.S("stop_reason", string(res.StopReason)), obs.I("degraded", boolInt(res.Degraded)))
@@ -305,7 +347,15 @@ func (s *Server) runJob(j *Job, ws *operon.Workspace) {
 			s.tracer.Counter("http.degraded").Inc()
 		}
 		resp := s.responseOf(res, j, queueWait, solveDur)
+		// Publish order matters: a non-degraded result enters the cache
+		// BEFORE the flight key is released, so a request that misses the
+		// flight table is guaranteed to hit the cache. Degraded results are
+		// timing artifacts of this request's budget, never cached.
+		if !res.Degraded {
+			s.cachePut(j.fp, resp)
+		}
 		s.setState(j, JobDone, resp, "")
+		s.releaseFlight(j)
 		s.log.Info("solve done", append(logAttrs,
 			"degraded", res.Degraded,
 			"stop_reason", string(res.StopReason),
@@ -314,6 +364,20 @@ func (s *Server) runJob(j *Job, ws *operon.Workspace) {
 	}
 	s.hE2E.RecordDuration(time.Since(j.enqueued))
 	close(j.done)
+}
+
+// releaseFlight removes a leader from the flight table; joiners attached to
+// it are woken afterwards by close(j.done). The guard keeps a promoted
+// successor's entry intact.
+func (s *Server) releaseFlight(j *Job) {
+	if !j.dedup {
+		return
+	}
+	s.mu.Lock()
+	if s.flights[j.fp] == j {
+		delete(s.flights, j.fp)
+	}
+	s.mu.Unlock()
 }
 
 // boolInt maps a bool onto the 0/1 convention of numeric span attrs.
@@ -360,7 +424,10 @@ func (s *Server) jobView(j *Job) Job {
 
 // Handler builds the operond route table:
 //
-//	POST /solve         run a solve (sync, or async with {"async":true})
+//	POST /solve         run a solve (sync, or async with {"async":true});
+//	                    identical instances coalesce and hit the result cache
+//	POST /solve/batch   run an array of solves in one scheduler pass with
+//	                    within-batch dedup; positional results
 //	GET  /jobs/{id}     poll an async job
 //	POST /sessions      create a sticky editing session (runs the cold solve)
 //	POST /sessions/{id}/edit  apply an edit script, re-solve incrementally
@@ -378,6 +445,7 @@ func (s *Server) jobView(j *Job) Job {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/solve/batch", s.handleBatch)
 	mux.HandleFunc("/jobs/", s.handleJob)
 	mux.HandleFunc("/sessions", s.handleSessions)
 	mux.HandleFunc("/sessions/", s.handleSession)
@@ -454,8 +522,10 @@ var (
 	bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 )
 
-// httpError writes a JSON error body with the given status.
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+// writeJSONError writes a JSON error body with the given status; every
+// handler error path goes through it so clients always see
+// Content-Type: application/json.
+func writeJSONError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
@@ -467,7 +537,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	defer bufPool.Put(buf)
 	buf.Reset()
 	if err := json.NewEncoder(buf).Encode(v); err != nil {
-		http.Error(w, fmt.Sprintf(`{"error":"encode response: %v"}`, err), http.StatusInternalServerError)
+		body, _ := json.Marshal(map[string]string{"error": "encode response: " + err.Error()})
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write(body)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -475,30 +548,51 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_, _ = w.Write(buf.Bytes())
 }
 
-// handleSolve validates the request, enqueues a job (429 when the queue is
-// full), and either returns its id (async) or blocks for the result.
+// decodeJSON decodes a request body into v under the server's body-size
+// cap. On failure it writes the JSON error response (413 for an oversized
+// body, 400 otherwise) and returns false.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := r.Body
+	if s.maxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+	}
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.tracer.Counter("http.body_too_large").Inc()
+			writeJSONError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", mbe.Limit)
+			return false
+		}
+		writeJSONError(w, http.StatusBadRequest, "parse request: %v", err)
+		return false
+	}
+	return true
+}
+
+// handleSolve validates the request and admits it through the dedup layer:
+// cache hits answer immediately, identical in-flight instances coalesce,
+// everything else enqueues a job (429 when the queue is full). The response
+// is either the job id (async) or the blocking result.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	req := reqPool.Get().(*SolveRequest)
 	defer reqPool.Put(req)
 	*req = SolveRequest{}
-	if err := json.NewDecoder(r.Body).Decode(req); err != nil {
-		httpError(w, http.StatusBadRequest, "parse request: %v", err)
+	if !s.decodeJSON(w, r, req) {
 		return
 	}
-	j, err := s.NewJob(*req, r.Header.Get("X-Request-Id"))
+	inst, err := s.resolveInstance(*req)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		writeJSONError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	select {
-	case s.queue <- j:
-	default:
-		s.DropJob(j)
-		httpError(w, http.StatusTooManyRequests, "job queue full (%d slots)", cap(s.queue))
+	j, status, err := s.admit(inst, r.Header.Get("X-Request-Id"), r.Context(), false)
+	if err != nil {
+		writeJSONError(w, status, "%v", err)
 		return
 	}
 	if req.Async {
@@ -509,28 +603,38 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	case <-j.done:
 	case <-r.Context().Done():
 		// The client went away; the job keeps running and stays pollable.
-		httpError(w, http.StatusRequestTimeout, "client cancelled; poll /jobs/%s", j.ID)
+		writeJSONError(w, http.StatusRequestTimeout, "client cancelled; poll /jobs/%s", j.ID)
 		return
 	}
 	v := s.jobView(j)
 	if v.State == JobFailed {
-		httpError(w, http.StatusInternalServerError, "%s", v.Error)
+		writeJSONError(w, s.failStatusOf(j), "%s", v.Error)
 		return
 	}
 	writeJSON(w, http.StatusOK, v.Result)
 }
 
-// NewJob resolves a request into a registered, runnable job. reqID tags the
-// job's telemetry; "" is valid (direct API use without the middleware).
-func (s *Server) NewJob(req SolveRequest, reqID string) (*Job, error) {
+// instance is a fully resolved solve input: the materialised design, the
+// effective config, the clamped budget, and the content address the dedup
+// layer keys on.
+type instance struct {
+	design  signal.Design
+	cfg     operon.Config
+	timeout time.Duration
+	fp      [32]byte
+}
+
+// resolveInstance materialises a request into an instance (design lookup,
+// mode parse, budget default/clamp, fingerprint).
+func (s *Server) resolveInstance(req SolveRequest) (instance, error) {
 	design, err := resolveDesign(req)
 	if err != nil {
-		return nil, err
+		return instance{}, err
 	}
 	cfg := s.cfg
 	cfg.SkipWDM = req.SkipWDM
 	if cfg.Mode, err = ParseMode(req.Mode); err != nil {
-		return nil, err
+		return instance{}, err
 	}
 	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
 	if timeout <= 0 {
@@ -539,21 +643,56 @@ func (s *Server) NewJob(req SolveRequest, reqID string) (*Job, error) {
 	if s.maxTimeout > 0 && timeout > s.maxTimeout {
 		timeout = s.maxTimeout
 	}
-	s.mu.Lock()
+	return instance{
+		design:  design,
+		cfg:     cfg,
+		timeout: timeout,
+		fp:      operon.Fingerprint(design, cfg),
+	}, nil
+}
+
+// newJobLocked registers a job for an instance; the caller holds s.mu.
+func (s *Server) newJobLocked(inst instance, reqID string) *Job {
 	s.seq++
 	j := &Job{
 		ID:       fmt.Sprintf("job-%d", s.seq),
 		State:    JobQueued,
 		reqID:    reqID,
-		design:   design,
-		cfg:      cfg,
-		timeout:  timeout,
+		design:   inst.design,
+		cfg:      inst.cfg,
+		timeout:  inst.timeout,
 		enqueued: time.Now(),
 		done:     make(chan struct{}),
+		fp:       inst.fp,
 	}
 	s.jobs[j.ID] = j
+	return j
+}
+
+// NewJob resolves a request into a registered, runnable job. reqID tags the
+// job's telemetry; "" is valid (direct API use without the middleware). The
+// job bypasses the dedup layer — callers that want coalescing and caching
+// go through the handlers.
+func (s *Server) NewJob(req SolveRequest, reqID string) (*Job, error) {
+	inst, err := s.resolveInstance(req)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	j := s.newJobLocked(inst, reqID)
 	s.mu.Unlock()
 	return j, nil
+}
+
+// failStatusOf maps a failed job onto its HTTP status (500 unless the
+// failure recorded a more specific one, e.g. 429 for a queue-full leader).
+func (s *Server) failStatusOf(j *Job) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.failStatus != 0 {
+		return j.failStatus
+	}
+	return http.StatusInternalServerError
 }
 
 // Timeout returns the budget resolved for the job (after default/clamp).
@@ -601,7 +740,7 @@ func ParseMode(mode string) (operon.Mode, error) {
 // handleJob serves GET /jobs/{id}.
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		writeJSONError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
@@ -609,7 +748,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		writeJSONError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.jobView(j))

@@ -29,11 +29,18 @@ func newTestServer(queueLen, concurrency int, defTimeout, maxTimeout time.Durati
 
 // testDesign generates a small deterministic design for server tests.
 func testDesign(t *testing.T) signal.Design {
+	return testDesignSeed(t, 7)
+}
+
+// testDesignSeed generates a small deterministic design whose content (and
+// so its fingerprint) varies with the seed — tests that must NOT coalesce
+// use distinct seeds.
+func testDesignSeed(t *testing.T, seed int64) signal.Design {
 	t.Helper()
 	d, err := benchgen.Generate(benchgen.Spec{
 		Name: "srv-a", DieCM: 4, Groups: 24, BitsPerGroup: 8, BitsJitter: 2,
 		MinSinkClusters: 1, MaxSinkClusters: 3, LocalFraction: 0.3,
-		LocalSpanCM: 0.3, GlobalSpanCM: 2.0, RegionSpreadCM: 0.02, Seed: 7,
+		LocalSpanCM: 0.3, GlobalSpanCM: 2.0, RegionSpreadCM: 0.02, Seed: seed,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -102,15 +109,17 @@ func TestQueueFullReturns429(t *testing.T) {
 	})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	d := testDesign(t)
+	// Three DISTINCT designs: identical ones would coalesce into a single
+	// solve instead of filling the queue.
+	d1, d2, d3 := testDesignSeed(t, 7), testDesignSeed(t, 8), testDesignSeed(t, 9)
 
 	// Job 1 is picked up by the lone worker and blocks; job 2 occupies the
 	// single queue slot; job 3 must bounce.
 	var j1, j2 Job
-	decode(t, post(t, ts, "/solve", SolveRequest{Design: &d, Async: true}), &j1)
+	decode(t, post(t, ts, "/solve", SolveRequest{Design: &d1, Async: true}), &j1)
 	<-started
-	decode(t, post(t, ts, "/solve", SolveRequest{Design: &d, Async: true}), &j2)
-	resp := post(t, ts, "/solve", SolveRequest{Design: &d, Async: true})
+	decode(t, post(t, ts, "/solve", SolveRequest{Design: &d2, Async: true}), &j2)
+	resp := post(t, ts, "/solve", SolveRequest{Design: &d3, Async: true})
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("third job got status %d, want 429", resp.StatusCode)
 	}

@@ -2,7 +2,6 @@ package serve
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"strings"
@@ -222,27 +221,26 @@ func (s *Server) sessionCount() int {
 // solve inline, and return the result with the session id.
 func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	if s.draining.Load() {
-		httpError(w, http.StatusServiceUnavailable, "draining")
+		writeJSONError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	var req SessionRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "parse request: %v", err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	design, err := resolveDesign(SolveRequest{Bench: req.Bench, Design: req.Design})
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		writeJSONError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	cfg := s.cfg
 	cfg.SkipWDM = req.SkipWDM
 	if cfg.Mode, err = ParseMode(req.Mode); err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		writeJSONError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	s.sessMu.Lock()
@@ -267,7 +265,7 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	id, action, _ := strings.Cut(rest, "/")
 	se, ok := s.getSession(id)
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown session %q", id)
+		writeJSONError(w, http.StatusNotFound, "unknown session %q", id)
 		return
 	}
 	switch {
@@ -297,25 +295,24 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 	case action == "edit" && r.Method == http.MethodPost:
 		var req EditRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "parse request: %v", err)
+		if !s.decodeJSON(w, r, &req) {
 			return
 		}
 		edits, err := operon.EditsFromOps(req.Edits)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
+			writeJSONError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		se.mu.Lock()
 		if _, err := se.sess.Apply(edits...); err != nil {
 			se.mu.Unlock()
-			httpError(w, http.StatusBadRequest, "%v", err)
+			writeJSONError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		se.mu.Unlock()
 		s.resolveSession(w, r, se, req.TimeoutMS)
 	default:
-		httpError(w, http.StatusMethodNotAllowed, "unsupported method %s for /sessions/%s/%s", r.Method, id, action)
+		writeJSONError(w, http.StatusMethodNotAllowed, "unsupported method %s for /sessions/%s/%s", r.Method, id, action)
 	}
 }
 
@@ -346,7 +343,7 @@ func (s *Server) resolveSession(w http.ResponseWriter, r *http.Request, se *sess
 	if err != nil {
 		s.tracer.Counter("http.solve_errors").Inc()
 		s.log.Error("session resolve failed", "request_id", reqID, "session_id", se.id, "error", err.Error())
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		writeJSONError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	se.resolves++

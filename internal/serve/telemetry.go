@@ -38,6 +38,8 @@ func newRegistry(s *Server) *obs.Registry {
 		})
 	reg.Gauge("sessions_active", "Live sticky editing sessions.",
 		func() float64 { return float64(s.sessionCount()) })
+	reg.Gauge("cache_entries", "Live entries in the content-addressed result cache.",
+		func() float64 { return float64(s.cacheEntryCount()) })
 	obs.RuntimeGauges(reg)
 	return reg
 }
